@@ -1,0 +1,134 @@
+"""Component micro-benchmarks and ablations.
+
+Not a paper artifact: measures the substrate so regressions in the
+simulator or the checkers are visible, and quantifies the design
+choices DESIGN.md calls out — the per-step cost of lasso
+fingerprinting, the cost of deep (per-prefix) opacity checking over
+final-state-only, and adversary-vs-workload driver overhead.
+"""
+
+import pytest
+
+from repro.adversaries import TMLocalProgressAdversary
+from repro.algorithms.consensus import CommitAdoptConsensus
+from repro.algorithms.tm import AgpTransactionalMemory
+from repro.objects.linearizability import LinearizabilityChecker
+from repro.objects.opacity import OpacityChecker
+from repro.objects.register_obj import RegisterSpec
+from repro.sim import (
+    ComposedDriver,
+    LockstepScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    TransactionWorkload,
+    play,
+    propose_workload,
+)
+
+
+def agp_history(n=3, txs=4):
+    result = play(
+        AgpTransactionalMemory(n),
+        ComposedDriver(RoundRobinScheduler(), TransactionWorkload(n, txs)),
+        max_steps=50_000,
+    )
+    assert result.fairness_complete
+    return result.history
+
+
+class TestSimulatorThroughput:
+    def test_benchmark_agp_round_robin_steps(self, benchmark):
+        """Simulator throughput: a full AGP workload run per iteration."""
+
+        def run():
+            return play(
+                AgpTransactionalMemory(3),
+                ComposedDriver(RoundRobinScheduler(), TransactionWorkload(3, 4)),
+                max_steps=50_000,
+            )
+
+        result = benchmark(run)
+        benchmark.extra_info["steps"] = result.total_steps
+        assert result.fairness_complete
+
+    def test_benchmark_lasso_detection_overhead(self, benchmark):
+        """Ablation: the lockstep consensus run with fingerprinting on
+        (the run ends early via the certificate, so detection *wins*
+        despite per-step hashing)."""
+
+        def run():
+            return play(
+                CommitAdoptConsensus(2),
+                ComposedDriver(LockstepScheduler([0, 1]), propose_workload([0, 1])),
+                max_steps=3_000,
+                detect_lasso=True,
+            )
+
+        result = benchmark(run)
+        assert result.stop_reason == "lasso"
+
+    def test_benchmark_no_lasso_burns_budget(self, benchmark):
+        def run():
+            return play(
+                CommitAdoptConsensus(2),
+                ComposedDriver(LockstepScheduler([0, 1]), propose_workload([0, 1])),
+                max_steps=3_000,
+                detect_lasso=False,
+            )
+
+        result = benchmark(run)
+        assert result.stop_reason == "max-steps"
+
+    def test_benchmark_adversary_driver(self, benchmark):
+        def run():
+            adversary = TMLocalProgressAdversary(victim=0, helper=1, variable=0)
+            return play(
+                AgpTransactionalMemory(2, variables=(0,)), adversary, max_steps=2_000
+            )
+
+        result = benchmark(run)
+        assert result.stats[0].good_responses == 0
+
+
+class TestCheckerCosts:
+    def test_benchmark_opacity_deep(self, benchmark):
+        history = agp_history()
+        checker = OpacityChecker(deep=True)
+        verdict = benchmark(checker.check_history, history)
+        assert verdict.holds
+
+    def test_benchmark_opacity_final_state_only(self, benchmark):
+        history = agp_history()
+        checker = OpacityChecker(deep=False)
+        verdict = benchmark(checker.check_history, history)
+        assert verdict.holds
+
+    def test_benchmark_linearizability(self, benchmark):
+        from repro.core.history import History
+        from repro.core.events import Invocation, Response
+        from repro.objects.register_obj import WRITE_OK
+
+        events = []
+        for round_index in range(6):
+            for pid in range(2):
+                events.append(Invocation(pid, "write", (round_index,)))
+            for pid in range(2):
+                events.append(Response(pid, "write", WRITE_OK))
+            for pid in range(2):
+                events.append(Invocation(pid, "read", ()))
+            for pid in range(2):
+                events.append(Response(pid, "read", round_index))
+        history = History(events)
+        checker = LinearizabilityChecker(RegisterSpec(initial=0))
+        verdict = benchmark(checker.check_history, history)
+        assert verdict.holds
+
+
+class TestScaling:
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_benchmark_fig1b_scaling(self, benchmark, n):
+        """How the Figure 1(b) classification cost grows with n."""
+        from repro.analysis.experiments import run_fig1b
+
+        result = benchmark(run_fig1b, n=n, max_steps=200, transactions=1)
+        assert result.all_ok, result.render()

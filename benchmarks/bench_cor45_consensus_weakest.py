@@ -1,0 +1,19 @@
+"""Corollary 4.5: no weakest liveness property excludes consensus
+agreement & validity (registers only).
+
+Reconstructs the paper's two six-history adversary sets F1/F2, checks
+Definition 4.3's three conditions (condition (3) against the register
+registry via the lockstep adversary), and certifies F1 ∩ F2 = ∅ by the
+first-event argument — hence Gmax = ∅ and, by Theorem 4.4, no weakest
+excluding liveness exists.
+"""
+
+from repro.analysis.experiments import run_cor45
+
+from conftest import record_experiment
+
+
+def test_benchmark_cor45(benchmark):
+    result = benchmark(run_cor45, max_steps=20_000)
+    record_experiment(benchmark, result)
+    assert result.artifacts["certificate"].gmax_is_empty

@@ -1,0 +1,17 @@
+"""Corollary 4.6: no weakest TM liveness property excludes opacity.
+
+Plays the Section 4.1 three-step adversary (and its process-swapped
+twin) against every registered opaque TM; materialises the resulting
+history sets F1/F2; verifies every play starves the victim while
+remaining opaque; and certifies disjointness by the first-event
+argument (start_0 vs start_1) — hence Gmax = ∅.
+"""
+
+from repro.analysis.experiments import run_cor46
+
+from conftest import record_experiment
+
+
+def test_benchmark_cor46(benchmark):
+    result = benchmark(run_cor46, n=2, max_steps=240)
+    record_experiment(benchmark, result)

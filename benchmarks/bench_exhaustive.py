@@ -1,0 +1,51 @@
+"""Exhaustive-interleaving verification benchmarks.
+
+Not a paper artifact: measures the cost of model-checking small
+workloads over *all* schedules — the strongest safety evidence the
+artifact produces (no random battery can match it) and the natural
+scaling ablation for the replay-based explorer.
+"""
+
+from repro.algorithms.consensus import CasConsensus
+from repro.algorithms.tm import AgpTransactionalMemory, I12TransactionalMemory
+from repro.objects.consensus import AgreementValidity
+from repro.objects.opacity import OpacityChecker
+from repro.sim import check_all_histories
+
+TM_PLAN = {
+    0: [("start", ()), ("write", (0, 1)), ("tryC", ())],
+    1: [("start", ()), ("read", (0,)), ("tryC", ())],
+}
+
+
+def test_benchmark_exhaustive_cas_consensus(benchmark):
+    report = benchmark(
+        check_all_histories,
+        lambda: CasConsensus(2),
+        {0: [("propose", (0,))], 1: [("propose", (1,))]},
+        AgreementValidity(),
+    )
+    assert report.holds
+    benchmark.extra_info["interleavings"] = report.runs_checked
+
+
+def test_benchmark_exhaustive_agp_opacity(benchmark):
+    report = benchmark(
+        check_all_histories,
+        lambda: AgpTransactionalMemory(2, variables=(0,)),
+        TM_PLAN,
+        OpacityChecker(),
+    )
+    assert report.holds
+    benchmark.extra_info["interleavings"] = report.runs_checked
+
+
+def test_benchmark_exhaustive_i12_opacity(benchmark):
+    report = benchmark(
+        check_all_histories,
+        lambda: I12TransactionalMemory(2, variables=(0,)),
+        TM_PLAN,
+        OpacityChecker(),
+    )
+    assert report.holds
+    benchmark.extra_info["interleavings"] = report.runs_checked

@@ -1,0 +1,19 @@
+"""Figure 1(a): the (l,k)-freedom grid for consensus agreement &
+validity over register-only implementations.
+
+Regenerates the left panel of the paper's only figure: white at (1,1),
+black everywhere else.  Every black point is certified by a proved
+lasso (lockstep contention or silent-implementation spin); the white
+point's witness is commit-adopt consensus surviving the full battery.
+"""
+
+from repro.analysis.experiments import run_fig1a
+
+from conftest import record_experiment
+
+
+def test_benchmark_fig1a(benchmark):
+    result = benchmark(run_fig1a, n=3, max_steps=20_000)
+    record_experiment(benchmark, result)
+    grid = result.artifacts["grid"]
+    assert grid.implementable_points() == [(1, 1)]

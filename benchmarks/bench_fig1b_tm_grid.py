@@ -1,0 +1,19 @@
+"""Figure 1(b): the (l,k)-freedom grid for TM opacity.
+
+Regenerates the right panel of Figure 1: white on the whole l=1 row
+(witness: the lock-free AGP TM), black for every biprogressing point
+(the three-step adversary of Section 4.1 defeats all five registered
+opaque TMs; the obstruction-free intent TM additionally falls to plain
+group contention).
+"""
+
+from repro.analysis.experiments import run_fig1b
+
+from conftest import record_experiment
+
+
+def test_benchmark_fig1b(benchmark):
+    result = benchmark(run_fig1b, n=3, max_steps=240, transactions=2)
+    record_experiment(benchmark, result)
+    grid = result.artifacts["grid"]
+    assert set(grid.implementable_points()) == {(1, 1), (1, 2), (1, 3)}

@@ -1,0 +1,18 @@
+"""Section 5.3: the counterexample property S defeats (l,k)-freedom's
+weakest-exclusion question.
+
+(2,2)- and (1,3)-freedom both exclude S (the latter via the
+three-process concurrent-start adversary), (1,2)-freedom does not
+(I(1,2) implements it), (1,2) is weaker than both excluders, and the
+two excluders are incomparable — so no weakest excluding (l,k)-freedom
+exists for S.
+"""
+
+from repro.analysis.experiments import run_sec53
+
+from conftest import record_experiment
+
+
+def test_benchmark_sec53(benchmark):
+    result = benchmark(run_sec53, n=3, transactions=2, max_steps=240)
+    record_experiment(benchmark, result)

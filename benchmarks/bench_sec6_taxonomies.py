@@ -1,0 +1,16 @@
+"""Section 6: the concluding taxonomy of restricted liveness families.
+
+Singleton S-freedom properties form an antichain (no strongest
+implementable member), (n,x)-liveness forms a chain (trivial extremal
+answers), and the (l,k)-freedom family sits in between as a genuine
+partial order.  All three Hasse diagrams are printed.
+"""
+
+from repro.analysis.experiments import run_sec6
+
+from conftest import record_experiment
+
+
+def test_benchmark_sec6(benchmark):
+    result = benchmark(run_sec6, n=3)
+    record_experiment(benchmark, result)

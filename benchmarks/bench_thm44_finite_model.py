@@ -1,0 +1,18 @@
+"""Theorem 4.4 on exact finite models: a weakest excluding liveness
+exists iff Gmax is an adversary set.
+
+Both branches of the biconditional run by full enumeration of the
+liveness lattice and the adversary-set family — the positive micro
+model (weakest exists and equals complement(Gmax), as in the theorem's
+proof) and the negative symmetric model (two disjoint first-event
+adversary sets force Gmax = ∅).
+"""
+
+from repro.analysis.experiments import run_thm44
+
+from conftest import record_experiment
+
+
+def test_benchmark_thm44(benchmark):
+    result = benchmark(run_thm44)
+    record_experiment(benchmark, result)

@@ -1,0 +1,18 @@
+"""Lemma 4.8 and Theorem 4.9 on exact finite models.
+
+Lemma 4.8: the strongest liveness property each implementation ensures
+is Lmax ∪ fair(A_I) (checked against the whole enumerated lattice).
+Theorem 4.9: a strongest non-excluding liveness property, when it
+exists, is Lmax — positive branch where Lmax itself does not exclude S,
+negative branch (all 16 policies of a symmetric micro type) where Lmax
+excludes S and no strongest non-excluding property exists.
+"""
+
+from repro.analysis.experiments import run_thm49
+
+from conftest import record_experiment
+
+
+def test_benchmark_thm49(benchmark):
+    result = benchmark(run_thm49)
+    record_experiment(benchmark, result)

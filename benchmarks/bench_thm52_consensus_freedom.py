@@ -1,0 +1,18 @@
+"""Theorem 5.2: for consensus from registers, (1,1)-freedom is the
+strongest implementable and (1,2)-freedom the weakest non-implementable
+(l,k)-freedom property.
+
+Also runs the mechanised Chor-Israeli-Li search: a non-deciding
+schedule is found for the register implementation and provably absent
+for the CAS control.
+"""
+
+from repro.analysis.experiments import run_thm52
+
+from conftest import record_experiment
+
+
+def test_benchmark_thm52(benchmark):
+    result = benchmark(run_thm52, n=3, max_steps=20_000)
+    record_experiment(benchmark, result)
+    assert result.artifacts["witness"] is not None

@@ -1,0 +1,13 @@
+"""Theorem 5.3: for TM vs opacity, (1,n)-freedom is the strongest
+implementable and (2,2)-freedom the weakest non-implementable
+(l,k)-freedom — and the two are incomparable, as the paper remarks.
+"""
+
+from repro.analysis.experiments import run_thm53
+
+from conftest import record_experiment
+
+
+def test_benchmark_thm53(benchmark):
+    result = benchmark(run_thm53, n=3, max_steps=240, transactions=2)
+    record_experiment(benchmark, result)

@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's artifacts (Figure 1
+panel, theorem, corollary, lemma — DESIGN.md §4 maps ids to paper
+items), asserts each paper-vs-measured claim, attaches the claim rows
+to the benchmark record via ``extra_info``, and prints the rendered
+artifact so a ``pytest benchmarks/ --benchmark-only -s`` run reproduces
+the paper's figures in the terminal.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ExperimentResult
+
+
+def record_experiment(benchmark, result: ExperimentResult) -> None:
+    """Attach claims to the benchmark and fail loudly on mismatches."""
+    benchmark.extra_info["experiment"] = result.experiment_id
+    benchmark.extra_info["claims"] = [
+        {
+            "claim": claim.name,
+            "paper": claim.expected,
+            "measured": claim.measured,
+            "ok": claim.ok,
+        }
+        for claim in result.claims
+    ]
+    print()
+    print(result.render())
+    assert result.all_ok, f"{result.experiment_id}: a paper claim failed"

@@ -1,0 +1,66 @@
+"""Theorems 4.4 and 4.9, checked by brute force on finite models.
+
+The heart of the paper is set arithmetic over histories; on micro
+object types every quantifier ("for every liveness property", "for
+every adversary set", "for every implementation") is enumerable, so
+the theorems can be *watched* rather than trusted:
+
+* positive model — Gmax is an adversary set, the weakest excluding
+  liveness exists and equals complement(Gmax);
+* negative model — two disjoint first-event adversary sets (the paper's
+  Corollary 4.5/4.6 argument in miniature) force Gmax = ∅ and the
+  brute-force search confirms no weakest excluding liveness exists;
+* Lemma 4.8 and Theorem 4.9 on their own models, including the
+  regression exhibit showing why Section 3.1's admissibility
+  assumption is load-bearing.
+
+Usage::
+
+    python examples/finite_universe_gmax.py
+"""
+
+from repro.analysis.experiments import run_thm44, run_thm49
+from repro.setmodel import theorem44, verify_theorem44
+from repro.setmodel.theorem44 import first_event_adversary_sets
+
+
+def show_history_set(label, histories, limit=8):
+    rendered = sorted((str(h) for h in histories), key=len)
+    shown = "; ".join(rendered[:limit])
+    suffix = " ..." if len(rendered) > limit else ""
+    print(f"   {label} = {{{shown}}}{suffix}")
+
+
+def main() -> None:
+    print("Positive micro model (1 process, silent implementation):")
+    model, safety = theorem44.positive_model()
+    report = verify_theorem44(model, safety)
+    show_history_set("universe", model.universe)
+    show_history_set("Lmax", model.lmax)
+    show_history_set("S", safety)
+    show_history_set("Gmax", report.gmax)
+    show_history_set("weakest excluding liveness", report.weakest_excluding)
+    print(f"   weakest == complement(Gmax): {report.weakest_equals_complement_gmax}")
+    print()
+
+    print("Negative micro model (2 symmetric processes):")
+    model2, safety2 = theorem44.negative_model()
+    f1, f2 = first_event_adversary_sets(model2, safety2)
+    show_history_set("F1 (first event by p0)", f1, limit=4)
+    show_history_set("F2 (first event by p1)", f2, limit=4)
+    report2 = verify_theorem44(model2, safety2)
+    print(f"   F1, F2 adversary sets: "
+          f"{model2.is_adversary_set(f1, model2.lmax, safety2)}, "
+          f"{model2.is_adversary_set(f2, model2.lmax, safety2)}")
+    print(f"   Gmax: {set(report2.gmax) or '∅'}")
+    print(f"   weakest excluding liveness exists: "
+          f"{report2.weakest_excluding is not None}")
+    print()
+
+    print(run_thm44().render())
+    print()
+    print(run_thm49().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Quickstart: simulate a shared object, check safety and liveness.
+
+Runs obstruction-free consensus (registers only) under three schedules
+— solo, fair round-robin with agreeing proposals, and the adversarial
+lockstep schedule with conflicting proposals — and evaluates agreement
+& validity (safety) plus several liveness properties on each run.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro.algorithms.consensus import CommitAdoptConsensus
+from repro.core.freedom import LKFreedom
+from repro.core.liveness import WaitFreedom
+from repro.objects.consensus import AgreementValidity, consensus_object_type
+from repro.sim import (
+    ComposedDriver,
+    LockstepScheduler,
+    RoundRobinScheduler,
+    SoloScheduler,
+    play,
+    propose_workload,
+)
+
+
+def main() -> None:
+    implementation = CommitAdoptConsensus(2)
+    safety = AgreementValidity()
+    properties = [WaitFreedom(), LKFreedom(1, 1), LKFreedom(1, 2)]
+    progress_mode = consensus_object_type().progress_mode
+
+    scenarios = [
+        ("solo run of p0", SoloScheduler(0), [7, None]),
+        ("round-robin, agreeing proposals", RoundRobinScheduler(), [4, 4]),
+        ("lockstep contention, conflicting proposals", LockstepScheduler([0, 1]), [0, 1]),
+    ]
+
+    for title, scheduler, proposals in scenarios:
+        driver = ComposedDriver(scheduler, propose_workload(proposals))
+        result = play(implementation, driver, max_steps=20_000)
+        summary = result.summary(progress_mode)
+        print(f"== {title}")
+        print(f"   run: {result.describe()}")
+        print(f"   history: {result.history}")
+        print(f"   safety [{safety.name}]: {bool(safety.check_history(result.history))}")
+        for prop in properties:
+            verdict = prop.evaluate(summary)
+            certainty = verdict.certainty.value
+            print(f"   liveness [{prop.name}]: {bool(verdict)} ({certainty})")
+        print()
+
+    print(
+        "The lockstep run shows the paper's Theorem 5.2 in action: the\n"
+        "adversarial schedule defeats (1,2)-freedom (and wait-freedom)\n"
+        "with a PROVED lasso certificate, while (1,1)-freedom — i.e.\n"
+        "obstruction-freedom — survives every scenario."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The environment has no network access and no ``wheel`` package, so the
+PEP 660 editable-install path (which needs ``bdist_wheel``) is
+unavailable; this shim lets ``pip install -e .`` fall back to the legacy
+``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,90 @@
+"""Command-line entry point: run the paper's experiments.
+
+Usage::
+
+    python -m repro list                 # available experiments
+    python -m repro run fig1a            # one experiment
+    python -m repro run all              # everything (exit 1 on mismatch)
+    python -m repro run fig1b --param n=4 --param max_steps=300
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Any, Dict, List
+
+from repro.analysis import EXPERIMENTS, run_experiment
+
+
+def _parse_params(pairs: List[str]) -> Dict[str, Any]:
+    """Parse ``key=value`` pairs; values are ints where possible."""
+    params: Dict[str, Any] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--param expects key=value, got {pair!r}")
+        key, _, raw = pair.partition("=")
+        try:
+            params[key] = int(raw)
+        except ValueError:
+            params[key] = raw
+    return params
+
+
+def cmd_list() -> int:
+    width = max(len(spec.experiment_id) for spec in EXPERIMENTS.values())
+    for experiment_id in sorted(EXPERIMENTS):
+        spec = EXPERIMENTS[experiment_id]
+        print(f"{experiment_id:<{width}}  {spec.title}")
+    return 0
+
+
+def cmd_run(targets: List[str], params: Dict[str, Any]) -> int:
+    if targets == ["all"]:
+        targets = sorted(EXPERIMENTS)
+    failures = 0
+    for experiment_id in targets:
+        if experiment_id not in EXPERIMENTS:
+            print(f"unknown experiment {experiment_id!r}; try 'list'", file=sys.stderr)
+            return 2
+        started = time.time()
+        result = run_experiment(experiment_id, **params) if params else run_experiment(
+            experiment_id
+        )
+        elapsed = time.time() - started
+        print(result.render())
+        print(f"[{experiment_id}] {'ALL OK' if result.all_ok else 'MISMATCH'} "
+              f"({elapsed:.2f}s)")
+        print()
+        if not result.all_ok:
+            failures += 1
+    return 1 if failures else 0
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce Bushkov & Guerraoui, PODC 2015.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("list", help="list available experiments")
+    run_parser = subparsers.add_parser("run", help="run experiments")
+    run_parser.add_argument(
+        "experiments", nargs="+", help="experiment ids, or 'all'"
+    )
+    run_parser.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        help="runner parameter as key=value (repeatable); applied to every "
+        "listed experiment",
+    )
+    arguments = parser.parse_args(argv)
+    if arguments.command == "list":
+        return cmd_list()
+    return cmd_run(arguments.experiments, _parse_params(arguments.param))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,223 @@
+"""Valency-style schedule search: reconstructing [5] mechanically.
+
+The Chor–Israeli–Li impossibility (cited for Theorem 5.2 and Corollary
+4.5) proves that for *any* register-based consensus implementation and
+two processes proposing different values, some schedule makes at least
+one of them run forever without deciding.  For a concrete deterministic
+implementation that argument becomes a graph search: configurations of
+(implementation state × process frames) form a finite graph once the
+implementation offers a liveness abstraction (or has genuinely finite
+state), and a non-deciding infinite schedule is exactly a cycle in the
+sub-graph of configurations where the adversary's target has not
+decided.
+
+:func:`find_nondeciding_schedule` performs that search by *replay*:
+generator frames cannot be snapshotted, so a configuration is
+identified with the schedule (pid sequence) that reaches it, and each
+edge re-executes the run from scratch.  The cost is quadratic in the
+explored schedule length — fine at these sizes — and the payoff is a
+machine-found witness schedule, verified by replaying it and checking
+the fingerprint actually repeats with no new decisions.
+
+For implementations the impossibility does *not* apply to (CAS- or
+TAS-based consensus), the search exhausts the reachable graph and
+returns ``None`` — the experiments use that as the positive control.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.sim.drivers import InvokeDecision, ScriptedDriver, StepDecision, StopDecision
+from repro.sim.kernel import Implementation
+from repro.sim.runtime import Runtime
+from repro.util.errors import AdversaryError, SimulationError
+
+
+@dataclass(frozen=True)
+class ScheduleWitness:
+    """A non-deciding infinite schedule ``stem · cycle^ω``.
+
+    ``stem`` and ``cycle`` are pid sequences applied after both
+    proposals have been invoked; ``deciders`` are the processes that
+    decided during the stem (at most one, never the whole group).
+    """
+
+    stem: Tuple[int, ...]
+    cycle: Tuple[int, ...]
+    deciders: Tuple[int, ...]
+
+    def unrolled(self, repetitions: int = 2) -> Tuple[int, ...]:
+        """The finite prefix ``stem · cycle^repetitions``."""
+        return self.stem + self.cycle * repetitions
+
+
+def _replay(
+    implementation_factory: Callable[[], Implementation],
+    proposals: Sequence[Any],
+    schedule: Sequence[int],
+) -> Tuple[Optional[Hashable], Tuple[int, ...], bool]:
+    """Run proposals then ``schedule``; return (fingerprint, deciders,
+    all_decided)."""
+    implementation = implementation_factory()
+    decisions: List[object] = [
+        InvokeDecision(pid, "propose", (value,))
+        for pid, value in enumerate(proposals)
+        if value is not None
+    ]
+    decisions.extend(StepDecision(pid) for pid in schedule)
+    driver = ScriptedDriver(decisions, name="valency-replay")
+    runtime = Runtime(implementation, driver, max_steps=len(decisions) + 1,
+                      detect_lasso=False)
+    try:
+        result = runtime.run()
+    except SimulationError:
+        # The schedule stepped a process with no pending operation (it
+        # already decided): such an extension is not a step of the real
+        # system — callers must skip it rather than treat it as a no-op
+        # (a no-op self-loop would fabricate cycles).
+        return None, (), False
+    deciders = tuple(
+        pid
+        for pid in range(implementation.n_processes)
+        if result.stats[pid].responses > 0
+    )
+    all_decided = all(
+        result.stats[pid].responses > 0
+        for pid, value in enumerate(proposals)
+        if value is not None
+    )
+    abstraction = implementation.liveness_abstraction(
+        runtime.pool, tuple(state.memory for state in runtime.processes)
+    )
+    if abstraction is None:
+        abstraction = (
+            runtime.pool.snapshot_state(),
+            tuple(state.fingerprint() for state in runtime.processes),
+        )
+    pending = tuple(
+        state.frame.invocation.operation if state.frame is not None else None
+        for state in runtime.processes
+    )
+    fingerprint = (abstraction, pending, deciders)
+    return fingerprint, deciders, all_decided
+
+
+def find_nondeciding_schedule(
+    implementation_factory: Callable[[], Implementation],
+    proposals: Sequence[Any] = (0, 1),
+    group: Sequence[int] = (0, 1),
+    max_configs: int = 5_000,
+) -> Optional[ScheduleWitness]:
+    """Search for an infinite schedule on which the group never fully
+    decides.
+
+    BFS over configurations reached by scheduling only ``group``
+    members; a configuration whose fingerprint was already seen on the
+    path closes a cycle, and any cycle among not-all-decided
+    configurations is a witness.  Returns ``None`` when the reachable
+    graph is exhausted without finding one (wait-free implementations).
+    """
+    group = tuple(group)
+    root_fp, _root_deciders, root_done = _replay(implementation_factory, proposals, ())
+    if root_done or root_fp is None:
+        return None
+    # Phase 1: BFS the configuration graph by replay.  Soundness rests on
+    # the fingerprint being a complete configuration (the same
+    # bisimulation contract the lasso detector uses): then the successor
+    # fingerprints of a node are independent of which schedule reached it.
+    schedules: Dict[Hashable, Tuple[int, ...]] = {root_fp: ()}
+    deciders_at: Dict[Hashable, Tuple[int, ...]] = {}
+    edges: Dict[Hashable, Dict[int, Hashable]] = {}
+    queue = deque([root_fp])
+    while queue and len(schedules) < max_configs:
+        node = queue.popleft()
+        edges[node] = {}
+        for pid in group:
+            extended = schedules[node] + (pid,)
+            fingerprint, deciders, all_decided = _replay(
+                implementation_factory, proposals, extended
+            )
+            if fingerprint is None:
+                continue  # stepping a finished process: not a real step
+            if all_decided:
+                continue  # decided configurations cannot be on a witness
+            edges[node][pid] = fingerprint
+            deciders_at[fingerprint] = deciders
+            if fingerprint not in schedules:
+                schedules[fingerprint] = extended
+                queue.append(fingerprint)
+    # Phase 2: find any cycle in the explored graph (iterative DFS with
+    # colour marking; the pid labels along the cycle form the schedule).
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour: Dict[Hashable, int] = {node: WHITE for node in schedules}
+    parent_edge: Dict[Hashable, Tuple[Hashable, int]] = {}
+
+    def extract_cycle(back_from: Hashable, back_to: Hashable, pid: int) -> ScheduleWitness:
+        labels = [pid]
+        node = back_from
+        while node != back_to:
+            previous, label = parent_edge[node]
+            labels.append(label)
+            node = previous
+        labels.reverse()
+        witness = ScheduleWitness(
+            stem=schedules[back_to],
+            cycle=tuple(labels),
+            deciders=deciders_at.get(back_to, ()),
+        )
+        _verify_witness(implementation_factory, proposals, witness)
+        return witness
+
+    for start in schedules:
+        if colour[start] != WHITE:
+            continue
+        stack: List[Tuple[Hashable, Optional[object]]] = [(start, None)]
+        while stack:
+            node, iterator = stack[-1]
+            if iterator is None:
+                colour[node] = GREY
+                iterator = iter(sorted(edges.get(node, {}).items()))
+                stack[-1] = (node, iterator)
+            advanced = False
+            for pid, successor in iterator:  # type: ignore[union-attr]
+                if successor not in colour:
+                    continue  # beyond the explored frontier
+                if colour[successor] == GREY:
+                    return extract_cycle(node, successor, pid)
+                if colour[successor] == WHITE:
+                    parent_edge[successor] = (node, pid)
+                    stack.append((successor, None))
+                    advanced = True
+                    break
+            if not advanced:
+                colour[node] = BLACK
+                stack.pop()
+    return None
+
+
+def _verify_witness(
+    implementation_factory: Callable[[], Implementation],
+    proposals: Sequence[Any],
+    witness: ScheduleWitness,
+) -> None:
+    """Re-run ``stem·cycle`` and ``stem·cycle·cycle`` and confirm the
+    fingerprint repeats with no additional decisions."""
+    fp_once, deciders_once, done_once = _replay(
+        implementation_factory, proposals, witness.stem + witness.cycle
+    )
+    fp_twice, deciders_twice, done_twice = _replay(
+        implementation_factory, proposals, witness.stem + witness.cycle * 2
+    )
+    if fp_once is None or fp_twice is None:
+        raise AdversaryError("witness schedule is not executable")
+    if done_once or done_twice:
+        raise AdversaryError("witness schedule decides; search is inconsistent")
+    if fp_once != fp_twice:
+        raise AdversaryError(
+            "witness cycle does not repeat the configuration fingerprint"
+        )
+    if deciders_once != deciders_twice:
+        raise AdversaryError("witness cycle produces new decisions")

@@ -1,0 +1,37 @@
+"""Shared-object implementations evaluated by the experiments."""
+
+from repro.algorithms.consensus import (
+    CasConsensus,
+    CommitAdoptConsensus,
+    InventingConsensus,
+    SilentConsensus,
+    StubbornConsensus,
+    TasConsensus,
+)
+from repro.algorithms.tm import (
+    AgpTransactionalMemory,
+    GlobalLockTransactionalMemory,
+    I12TransactionalMemory,
+    IntentTransactionalMemory,
+    TrivialTransactionalMemory,
+)
+from repro.algorithms.locks import GRANTED, RELEASED, BakeryLock, TasLock, lock_object_type
+
+__all__ = [
+    "CasConsensus",
+    "CommitAdoptConsensus",
+    "InventingConsensus",
+    "SilentConsensus",
+    "StubbornConsensus",
+    "TasConsensus",
+    "AgpTransactionalMemory",
+    "GlobalLockTransactionalMemory",
+    "I12TransactionalMemory",
+    "IntentTransactionalMemory",
+    "TrivialTransactionalMemory",
+    "GRANTED",
+    "RELEASED",
+    "BakeryLock",
+    "TasLock",
+    "lock_object_type",
+]

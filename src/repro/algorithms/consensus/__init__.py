@@ -1,0 +1,19 @@
+"""Consensus implementations (register-only and stronger-primitive)."""
+
+from repro.algorithms.consensus.commit_adopt import CommitAdoptConsensus
+from repro.algorithms.consensus.cas_consensus import CasConsensus
+from repro.algorithms.consensus.tas_consensus import TasConsensus
+from repro.algorithms.consensus.faulty import (
+    InventingConsensus,
+    SilentConsensus,
+    StubbornConsensus,
+)
+
+__all__ = [
+    "CommitAdoptConsensus",
+    "CasConsensus",
+    "TasConsensus",
+    "InventingConsensus",
+    "SilentConsensus",
+    "StubbornConsensus",
+]

@@ -1,0 +1,59 @@
+"""Wait-free consensus from a compare-and-swap object.
+
+Compare-and-swap has infinite consensus number: one CAS on a decision
+cell solves consensus wait-free for any number of processes.  In the
+paper's framing this implementation ensures ``Lmax`` (wait-freedom)
+together with agreement & validity — demonstrating that the consensus
+corollaries (4.5, 4.10) are statements about *register-only*
+implementations, not about consensus per se.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.base_objects.base import ObjectPool
+from repro.base_objects.cas import CompareAndSwap
+from repro.core.object_type import ObjectType
+from repro.objects.consensus import consensus_object_type
+from repro.sim.kernel import Algorithm, Implementation, Op
+from repro.util.errors import SimulationError
+
+#: The undecided marker in the decision cell.
+UNDECIDED = ("undecided",)
+
+
+class CasConsensus(Implementation):
+    """Wait-free consensus: one ``compare_and_swap`` then one ``read``."""
+
+    name = "cas-consensus"
+
+    def __init__(self, n_processes: int, object_type: Optional[ObjectType] = None):
+        super().__init__(object_type or consensus_object_type(), n_processes)
+
+    def create_pool(self) -> ObjectPool:
+        return ObjectPool([CompareAndSwap("decision", initial=UNDECIDED)])
+
+    def algorithm(
+        self,
+        pid: int,
+        operation: str,
+        args: Tuple[Any, ...],
+        memory: Dict[str, Any],
+    ) -> Algorithm:
+        if operation != "propose" or len(args) != 1:
+            raise SimulationError(
+                f"consensus implementation supports propose(v); got "
+                f"{operation}{args!r}"
+            )
+        return self._propose(args[0], memory)
+
+    @staticmethod
+    def _propose(proposal: Any, memory: Dict[str, Any]) -> Algorithm:
+        memory["pc"] = "cas"
+        won = yield Op("decision", "compare_and_swap", (UNDECIDED, proposal))
+        if won:
+            return proposal
+        memory["pc"] = "read"
+        decided = yield Op("decision", "read")
+        return decided

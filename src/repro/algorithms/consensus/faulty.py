@@ -1,0 +1,121 @@
+"""Deliberately incorrect consensus implementations.
+
+The safety checkers must be demonstrated to *fail* on bad
+implementations, not only to pass on good ones; these implementations
+provide the negative fixtures.  They are also useful for validating
+that the adversary machinery refuses plays against implementations that
+do not ensure the safety property (Definition 4.3's condition (3) only
+quantifies over implementations ensuring ``S``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.base_objects.base import ObjectPool
+from repro.base_objects.register import AtomicRegister
+from repro.core.object_type import ObjectType
+from repro.objects.consensus import consensus_object_type
+from repro.sim.kernel import Algorithm, Implementation, Op
+from repro.util.errors import SimulationError
+
+
+class StubbornConsensus(Implementation):
+    """Violates agreement: every process decides its own proposal."""
+
+    name = "stubborn-consensus"
+
+    def __init__(self, n_processes: int, object_type: Optional[ObjectType] = None):
+        super().__init__(object_type or consensus_object_type(), n_processes)
+
+    def create_pool(self) -> ObjectPool:
+        return ObjectPool([AtomicRegister("scratch", initial=None)])
+
+    def algorithm(
+        self,
+        pid: int,
+        operation: str,
+        args: Tuple[Any, ...],
+        memory: Dict[str, Any],
+    ) -> Algorithm:
+        if operation != "propose" or len(args) != 1:
+            raise SimulationError(f"unsupported {operation}{args!r}")
+        return self._propose(args[0])
+
+    @staticmethod
+    def _propose(proposal: Any) -> Algorithm:
+        yield Op("scratch", "write", (proposal,))
+        return proposal
+
+
+class InventingConsensus(Implementation):
+    """Violates validity: decides a constant nobody proposed."""
+
+    name = "inventing-consensus"
+
+    #: The invented decision value.
+    INVENTED = ("out-of-thin-air",)
+
+    def __init__(self, n_processes: int, object_type: Optional[ObjectType] = None):
+        super().__init__(object_type or consensus_object_type(), n_processes)
+
+    def create_pool(self) -> ObjectPool:
+        return ObjectPool([AtomicRegister("scratch", initial=None)])
+
+    def algorithm(
+        self,
+        pid: int,
+        operation: str,
+        args: Tuple[Any, ...],
+        memory: Dict[str, Any],
+    ) -> Algorithm:
+        if operation != "propose" or len(args) != 1:
+            raise SimulationError(f"unsupported {operation}{args!r}")
+        return self._propose()
+
+    @classmethod
+    def _propose(cls) -> Algorithm:
+        yield Op("scratch", "read")
+        return cls.INVENTED
+
+
+class SilentConsensus(Implementation):
+    """The trivial implementation of Theorem 4.9's proof: never responds.
+
+    Its algorithm spins forever on a scratch register, so every
+    invocation remains pending.  Vacuously ensures every safety
+    property; ensures no nontrivial liveness.  (Theorem 4.9 uses it to
+    rule out candidate strongest liveness properties whose extra
+    histories contain responses.)
+    """
+
+    name = "silent-consensus"
+
+    def __init__(self, n_processes: int, object_type: Optional[ObjectType] = None):
+        super().__init__(object_type or consensus_object_type(), n_processes)
+
+    def create_pool(self) -> ObjectPool:
+        return ObjectPool([AtomicRegister("scratch", initial=0)])
+
+    def algorithm(
+        self,
+        pid: int,
+        operation: str,
+        args: Tuple[Any, ...],
+        memory: Dict[str, Any],
+    ) -> Algorithm:
+        return self._spin(memory)
+
+    @staticmethod
+    def _spin(memory: Dict[str, Any]) -> Algorithm:
+        memory["pc"] = "spin"
+        while True:
+            yield Op("scratch", "read")
+
+    def liveness_abstraction(self, pool, memories):
+        # The spin loop is stateless: the pool plus per-process memories
+        # (each just a pc marker) determine all future behaviour, so the
+        # identity abstraction is trivially a bisimulation quotient.
+        from repro.util.freeze import freeze
+
+        return (pool.snapshot_state(), freeze(list(memories)))

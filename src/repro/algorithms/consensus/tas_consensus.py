@@ -1,0 +1,66 @@
+"""Two-process consensus from test-and-set and registers.
+
+Test-and-set has consensus number exactly 2 (Herlihy's hierarchy): this
+implementation is wait-free for two processes and rejects larger
+systems at construction time.  Included to populate the implementation
+registry with a base-object class strictly between registers and CAS.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.base_objects.base import ObjectPool
+from repro.base_objects.register import RegisterArray
+from repro.base_objects.tas import TestAndSet
+from repro.core.object_type import ObjectType
+from repro.objects.consensus import consensus_object_type
+from repro.sim.kernel import Algorithm, Implementation, Op
+from repro.util.errors import SimulationError
+
+
+class TasConsensus(Implementation):
+    """Wait-free 2-process consensus: publish proposal, race the TAS."""
+
+    name = "tas-consensus"
+
+    def __init__(self, n_processes: int = 2, object_type: Optional[ObjectType] = None):
+        if n_processes != 2:
+            raise ValueError(
+                "test-and-set has consensus number 2: exactly two processes"
+            )
+        super().__init__(object_type or consensus_object_type(), n_processes)
+
+    def create_pool(self) -> ObjectPool:
+        return ObjectPool(
+            [
+                RegisterArray("proposals", size=2, initial=None),
+                TestAndSet("race"),
+            ]
+        )
+
+    def algorithm(
+        self,
+        pid: int,
+        operation: str,
+        args: Tuple[Any, ...],
+        memory: Dict[str, Any],
+    ) -> Algorithm:
+        if operation != "propose" or len(args) != 1:
+            raise SimulationError(
+                f"consensus implementation supports propose(v); got "
+                f"{operation}{args!r}"
+            )
+        return self._propose(pid, args[0], memory)
+
+    @staticmethod
+    def _propose(pid: int, proposal: Any, memory: Dict[str, Any]) -> Algorithm:
+        memory["pc"] = "publish"
+        yield Op("proposals", "write", (pid, proposal))
+        memory["pc"] = "race"
+        lost = yield Op("race", "test_and_set")
+        if not lost:
+            return proposal
+        memory["pc"] = "read-winner"
+        winner_value = yield Op("proposals", "read", (1 - pid,))
+        return winner_value

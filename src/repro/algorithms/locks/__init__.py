@@ -1,0 +1,7 @@
+"""Mutual-exclusion locks (progress-taxonomy fixtures)."""
+
+from repro.algorithms.locks.lock_type import GRANTED, RELEASED, lock_object_type
+from repro.algorithms.locks.bakery import BakeryLock
+from repro.algorithms.locks.tas_lock import TasLock
+
+__all__ = ["GRANTED", "RELEASED", "lock_object_type", "BakeryLock", "TasLock"]

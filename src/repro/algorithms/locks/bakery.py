@@ -1,0 +1,89 @@
+"""Lamport's bakery lock: starvation-free mutual exclusion from registers.
+
+Every process that keeps taking steps while waiting eventually enters
+the critical section (tickets are totally ordered by ``(number, pid)``
+and only finitely many processes can sit ahead of a given ticket) — the
+starvation-freedom witness of the progress-taxonomy experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.base_objects.base import ObjectPool
+from repro.base_objects.register import RegisterArray
+from repro.core.object_type import ObjectType
+from repro.sim.kernel import Algorithm, Implementation, Op
+from repro.util.errors import SimulationError
+
+from repro.algorithms.locks.lock_type import GRANTED, RELEASED, lock_object_type
+
+
+class BakeryLock(Implementation):
+    """Lamport's bakery algorithm."""
+
+    name = "bakery-lock"
+
+    def __init__(self, n_processes: int, object_type: Optional[ObjectType] = None):
+        super().__init__(object_type or lock_object_type(), n_processes)
+
+    def create_pool(self) -> ObjectPool:
+        return ObjectPool(
+            [
+                RegisterArray("choosing", size=self.n_processes, initial=False),
+                RegisterArray("number", size=self.n_processes, initial=0),
+            ]
+        )
+
+    def algorithm(
+        self,
+        pid: int,
+        operation: str,
+        args: Tuple[Any, ...],
+        memory: Dict[str, Any],
+    ) -> Algorithm:
+        if operation == "acquire":
+            return self._acquire(pid, memory)
+        if operation == "release":
+            return self._release(pid, memory)
+        raise SimulationError(f"lock has acquire/release; got {operation!r}")
+
+    def _acquire(self, pid: int, memory: Dict[str, Any]) -> Algorithm:
+        if memory.get("holding"):
+            raise SimulationError(f"p{pid} acquires while holding the lock")
+        memory["pc"] = "choosing"
+        yield Op("choosing", "write", (pid, True))
+        memory["max"] = 0
+        for j in range(self.n_processes):
+            memory["pc"] = ("scan-number", j)
+            ticket = yield Op("number", "read", (j,))
+            if ticket > memory["max"]:
+                memory["max"] = ticket
+        memory["ticket"] = memory["max"] + 1
+        memory["pc"] = "take-ticket"
+        yield Op("number", "write", (pid, memory["ticket"]))
+        memory["pc"] = "done-choosing"
+        yield Op("choosing", "write", (pid, False))
+        for j in range(self.n_processes):
+            if j == pid:
+                continue
+            while True:
+                memory["pc"] = ("wait-choosing", j)
+                busy = yield Op("choosing", "read", (j,))
+                if not busy:
+                    break
+            while True:
+                memory["pc"] = ("wait-ticket", j)
+                ticket = yield Op("number", "read", (j,))
+                if ticket == 0 or (ticket, j) > (memory["ticket"], pid):
+                    break
+        memory["holding"] = True
+        return GRANTED
+
+    def _release(self, pid: int, memory: Dict[str, Any]) -> Algorithm:
+        if not memory.get("holding"):
+            raise SimulationError(f"p{pid} releases without holding the lock")
+        memory["pc"] = "release"
+        yield Op("number", "write", (pid, 0))
+        memory["holding"] = False
+        return RELEASED

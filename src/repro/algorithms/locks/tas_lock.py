@@ -1,0 +1,66 @@
+"""Test-and-set spin lock: deadlock-free but not starvation-free.
+
+Some process always wins the next acquisition (deadlock freedom — a
+minimal progress guarantee), but a particular process can lose the race
+forever under an adversarial fair schedule: the taxonomy tests exhibit
+an interleaving in which one process acquires repeatedly while the
+other's ``test_and_set`` always lands on a taken lock.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.base_objects.base import ObjectPool
+from repro.base_objects.tas import TestAndSet
+from repro.core.object_type import ObjectType
+from repro.sim.kernel import Algorithm, Implementation, Op
+from repro.util.errors import SimulationError
+
+from repro.algorithms.locks.lock_type import GRANTED, RELEASED, lock_object_type
+
+
+class TasLock(Implementation):
+    """Spin on one test-and-set bit."""
+
+    name = "tas-lock"
+
+    def __init__(self, n_processes: int, object_type: Optional[ObjectType] = None):
+        super().__init__(object_type or lock_object_type(), n_processes)
+
+    def create_pool(self) -> ObjectPool:
+        return ObjectPool([TestAndSet("lock")])
+
+    def algorithm(
+        self,
+        pid: int,
+        operation: str,
+        args: Tuple[Any, ...],
+        memory: Dict[str, Any],
+    ) -> Algorithm:
+        if operation == "acquire":
+            return self._acquire(pid, memory)
+        if operation == "release":
+            return self._release(pid, memory)
+        raise SimulationError(f"lock has acquire/release; got {operation!r}")
+
+    @staticmethod
+    def _acquire(pid: int, memory: Dict[str, Any]) -> Algorithm:
+        if memory.get("holding"):
+            raise SimulationError(f"p{pid} acquires while holding the lock")
+        memory["pc"] = "spin"
+        while True:
+            taken = yield Op("lock", "test_and_set")
+            if not taken:
+                break
+        memory["holding"] = True
+        return GRANTED
+
+    @staticmethod
+    def _release(pid: int, memory: Dict[str, Any]) -> Algorithm:
+        if not memory.get("holding"):
+            raise SimulationError(f"p{pid} releases without holding the lock")
+        memory["pc"] = "clear"
+        yield Op("lock", "clear")
+        memory["holding"] = False
+        return RELEASED

@@ -1,0 +1,15 @@
+"""Transactional memory implementations."""
+
+from repro.algorithms.tm.agp import AgpTransactionalMemory
+from repro.algorithms.tm.i12 import I12TransactionalMemory
+from repro.algorithms.tm.trivial import TrivialTransactionalMemory
+from repro.algorithms.tm.global_lock import GlobalLockTransactionalMemory
+from repro.algorithms.tm.dstm import IntentTransactionalMemory
+
+__all__ = [
+    "AgpTransactionalMemory",
+    "I12TransactionalMemory",
+    "TrivialTransactionalMemory",
+    "GlobalLockTransactionalMemory",
+    "IntentTransactionalMemory",
+]

@@ -1,0 +1,126 @@
+"""AGP: the global compare-and-swap transactional memory.
+
+The TM that Algorithm 1 of the paper modifies (Guerraoui & Kapalka's
+simple lock-free TM): a single compare-and-swap object ``C`` holds
+``(version, values)`` — a version number plus the committed value of
+every transactional variable.
+
+* ``start`` copies ``C`` into process-local memory;
+* ``read``/``write`` act on the local copy (zero shared steps);
+* ``tryC`` attempts ``C.cas((version, oldval), (version+1, newval))``
+  and commits iff the CAS succeeds.
+
+Properties (both exercised by the test suite and the benchmarks):
+
+* **opacity** — every transaction reads a single committed snapshot,
+  and a committing transaction atomically validates that the snapshot
+  is still current;
+* **lock-freedom** (``1``-lock-freedom, hence ``(1,n)``-freedom) — a
+  transaction's CAS fails only because another transaction committed,
+  so whenever steps are taken forever, commits happen forever.  This is
+  the positive half of Theorem 5.3 (the paper cites Fraser's lock-free
+  TM; AGP is the minimal stand-in with the same guarantee).
+
+It is **not** ``(2,2)``-free: the three-step adversary of Section 4.1
+starves one of two processes forever (see
+:mod:`repro.adversaries.tm_local_progress`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from repro.base_objects.base import ObjectPool
+from repro.base_objects.cas import CompareAndSwap
+from repro.core.object_type import ObjectType
+from repro.objects.tm import ABORTED, COMMITTED, OK, tm_object_type
+from repro.sim.kernel import Algorithm, Implementation, Op
+from repro.util.errors import SimulationError
+
+
+class AgpTransactionalMemory(Implementation):
+    """Lock-free, opaque TM from one global compare-and-swap object."""
+
+    name = "agp-tm"
+
+    def __init__(
+        self,
+        n_processes: int,
+        variables: Sequence[int] = (0, 1),
+        initial_value: Any = 0,
+        object_type: Optional[ObjectType] = None,
+    ):
+        super().__init__(
+            object_type or tm_object_type(variables=variables), n_processes
+        )
+        self.variables = tuple(variables)
+        self.initial_value = initial_value
+
+    def create_pool(self) -> ObjectPool:
+        initial = (1, tuple(self.initial_value for _ in self.variables))
+        return ObjectPool([CompareAndSwap("C", initial=initial)])
+
+    def _index(self, variable: Any) -> int:
+        try:
+            return self.variables.index(variable)
+        except ValueError:
+            raise SimulationError(
+                f"unknown transactional variable {variable!r}; "
+                f"declared: {self.variables}"
+            ) from None
+
+    def algorithm(
+        self,
+        pid: int,
+        operation: str,
+        args: Tuple[Any, ...],
+        memory: Dict[str, Any],
+    ) -> Algorithm:
+        if operation == "start":
+            return self._start(memory)
+        if operation == "read":
+            return self._read(args[0], memory)
+        if operation == "write":
+            return self._write(args[0], args[1], memory)
+        if operation == "tryC":
+            return self._try_commit(memory)
+        raise SimulationError(f"TM has start/read/write/tryC; got {operation!r}")
+
+    def _start(self, memory: Dict[str, Any]) -> Algorithm:
+        memory["pc"] = "start-read-C"
+        version, old_values = yield Op("C", "read")
+        memory["version"] = version
+        memory["oldval"] = old_values
+        memory["values"] = old_values
+        memory["in_tx"] = True
+        return OK
+
+    def _read(self, variable: Any, memory: Dict[str, Any]) -> Algorithm:
+        self._require_tx(memory)
+        return memory["values"][self._index(variable)]
+        yield  # pragma: no cover - makes this a generator
+
+    def _write(self, variable: Any, value: Any, memory: Dict[str, Any]) -> Algorithm:
+        self._require_tx(memory)
+        values = list(memory["values"])
+        values[self._index(variable)] = value
+        memory["values"] = tuple(values)
+        return OK
+        yield  # pragma: no cover - makes this a generator
+
+    def _try_commit(self, memory: Dict[str, Any]) -> Algorithm:
+        self._require_tx(memory)
+        memory["pc"] = "tryC-cas"
+        expected = (memory["version"], memory["oldval"])
+        replacement = (memory["version"] + 1, memory["values"])
+        swapped = yield Op("C", "compare_and_swap", (expected, replacement))
+        memory["in_tx"] = False
+        memory["version"] = None
+        return COMMITTED if swapped else ABORTED
+
+    @staticmethod
+    def _require_tx(memory: Dict[str, Any]) -> None:
+        if not memory.get("in_tx"):
+            raise SimulationError(
+                "transactional operation outside a transaction (no start)"
+            )

@@ -1,0 +1,148 @@
+"""An obstruction-free TM with an aggressive contention manager.
+
+AGP is lock-free; to separate obstruction-freedom from lock-freedom the
+registry needs a TM that is obstruction-free but can *livelock* under
+contention.  This design publishes a commit *intent* before the commit
+CAS and politely self-aborts when it observes a competitor's intent:
+
+* ``start``/``read``/``write`` — exactly as AGP (snapshot of the global
+  compare-and-swap object, local redo buffer);
+* ``tryC`` — raise ``intent[i]``; read every other intent flag; if any
+  is raised, lower the own flag and abort; otherwise attempt the
+  version CAS, lower the flag, and return the CAS verdict.
+
+Running solo (no raised intents), a transaction commits — obstruction
+freedom in crash-free executions.  Two processes in lockstep raise
+their intents together, observe each other, and abort forever: the
+livelock witness separating obstruction-freedom from lock-freedom in
+the progress-taxonomy tests and examples.
+
+Known limitation (documented, by design): a process that crashes
+between raising and lowering its intent leaves the flag raised and
+blocks all future commits, so the obstruction-freedom claim is
+restricted to crash-free suffixes.  The experiments that use this
+implementation inject no crashes; curing the limitation needs
+helping/ownership stealing, which AGP's single-CAS design cannot
+express and which the paper does not require.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from repro.base_objects.base import ObjectPool
+from repro.base_objects.cas import CompareAndSwap
+from repro.base_objects.register import RegisterArray
+from repro.core.object_type import ObjectType
+from repro.objects.tm import ABORTED, COMMITTED, OK, tm_object_type
+from repro.sim.kernel import Algorithm, Implementation, Op
+from repro.util.errors import SimulationError
+
+
+class IntentTransactionalMemory(Implementation):
+    """Obstruction-free (crash-free) TM that livelocks under contention."""
+
+    name = "intent-tm"
+
+    def __init__(
+        self,
+        n_processes: int,
+        variables: Sequence[int] = (0, 1),
+        initial_value: Any = 0,
+        object_type: Optional[ObjectType] = None,
+    ):
+        super().__init__(
+            object_type or tm_object_type(variables=variables), n_processes
+        )
+        self.variables = tuple(variables)
+        self.initial_value = initial_value
+
+    def create_pool(self) -> ObjectPool:
+        initial = (1, tuple(self.initial_value for _ in self.variables))
+        return ObjectPool(
+            [
+                CompareAndSwap("C", initial=initial),
+                RegisterArray("intent", size=self.n_processes, initial=False),
+            ]
+        )
+
+    def _index(self, variable: Any) -> int:
+        try:
+            return self.variables.index(variable)
+        except ValueError:
+            raise SimulationError(
+                f"unknown transactional variable {variable!r}"
+            ) from None
+
+    def algorithm(
+        self,
+        pid: int,
+        operation: str,
+        args: Tuple[Any, ...],
+        memory: Dict[str, Any],
+    ) -> Algorithm:
+        if operation == "start":
+            return self._start(memory)
+        if operation == "read":
+            return self._read(args[0], memory)
+        if operation == "write":
+            return self._write(args[0], args[1], memory)
+        if operation == "tryC":
+            return self._try_commit(pid, memory)
+        raise SimulationError(f"TM has start/read/write/tryC; got {operation!r}")
+
+    def _start(self, memory: Dict[str, Any]) -> Algorithm:
+        memory["pc"] = "start-read-C"
+        version, old_values = yield Op("C", "read")
+        memory["version"] = version
+        memory["oldval"] = old_values
+        memory["values"] = old_values
+        memory["in_tx"] = True
+        return OK
+
+    def _read(self, variable: Any, memory: Dict[str, Any]) -> Algorithm:
+        self._require_tx(memory)
+        return memory["values"][self._index(variable)]
+        yield  # pragma: no cover - makes this a generator
+
+    def _write(self, variable: Any, value: Any, memory: Dict[str, Any]) -> Algorithm:
+        self._require_tx(memory)
+        values = list(memory["values"])
+        values[self._index(variable)] = value
+        memory["values"] = tuple(values)
+        return OK
+        yield  # pragma: no cover - makes this a generator
+
+    def _try_commit(self, pid: int, memory: Dict[str, Any]) -> Algorithm:
+        self._require_tx(memory)
+        memory["pc"] = "raise-intent"
+        yield Op("intent", "write", (pid, True))
+        memory["rival"] = False
+        for j in range(self.n_processes):
+            if j == pid:
+                continue
+            memory["pc"] = ("scan-intent", j)
+            raised = yield Op("intent", "read", (j,))
+            if raised:
+                memory["rival"] = True
+                break
+        if memory["rival"]:
+            memory["pc"] = "yield-intent"
+            yield Op("intent", "write", (pid, False))
+            memory["in_tx"] = False
+            return ABORTED
+        memory["pc"] = "commit-cas"
+        expected = (memory["version"], memory["oldval"])
+        replacement = (memory["version"] + 1, memory["values"])
+        swapped = yield Op("C", "compare_and_swap", (expected, replacement))
+        memory["pc"] = "lower-intent"
+        yield Op("intent", "write", (pid, False))
+        memory["in_tx"] = False
+        return COMMITTED if swapped else ABORTED
+
+    @staticmethod
+    def _require_tx(memory: Dict[str, Any]) -> None:
+        if not memory.get("in_tx"):
+            raise SimulationError(
+                "transactional operation outside a transaction (no start)"
+            )

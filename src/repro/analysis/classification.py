@@ -1,0 +1,173 @@
+"""Classifying the ``(l,k)`` grid against a safety property (Figure 1).
+
+A grid point ``(l,k)`` is *excluded* (black in Figure 1) when no
+implementation ensures both the safety property and
+``(l,k)``-freedom.  Relative to a registry and a battery of plays:
+
+* ``(l,k)`` is **excluded** if every registered implementation (that
+  ensures the safety property) has at least one battery play whose
+  history satisfies the safety property while the execution summary
+  violates ``(l,k)``-freedom;
+* ``(l,k)`` is **not excluded** if some implementation's plays *all*
+  satisfy both (a witness implementation).
+
+Points that are neither (adversaries defeated some implementations but
+a would-be witness also has a violating play — which would indicate an
+incoherent battery) are flagged ``undetermined``; the shipped batteries
+never produce them, and the tests assert so.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.freedom import LKFreedom
+from repro.core.history import History
+from repro.core.properties import (
+    Certainty,
+    ExecutionSummary,
+    SafetyProperty,
+)
+
+#: One battery play: (history, summary, play label).
+Play = Tuple[History, ExecutionSummary, str]
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    """Verdict for one ``(l,k)`` point."""
+
+    l: int
+    k: int
+    excludes: bool
+    certainty: Certainty
+    evidence: str
+    undetermined: bool = False
+
+    @property
+    def label(self) -> str:
+        return f"({self.l},{self.k})"
+
+
+@dataclass
+class ClassifiedGrid:
+    """A full Figure-1 panel."""
+
+    n: int
+    safety_name: str
+    semantics: str
+    points: List[GridPoint] = field(default_factory=list)
+
+    def point(self, l: int, k: int) -> GridPoint:
+        for candidate in self.points:
+            if candidate.l == l and candidate.k == k:
+                return candidate
+        raise KeyError(f"no point ({l},{k})")
+
+    def excluded_points(self) -> List[Tuple[int, int]]:
+        return [(p.l, p.k) for p in self.points if p.excludes]
+
+    def implementable_points(self) -> List[Tuple[int, int]]:
+        return [(p.l, p.k) for p in self.points if not p.excludes]
+
+    def matches(self, expected_excluded) -> bool:
+        """Compare against a predicate ``expected_excluded(l, k)``."""
+        return all(
+            point.excludes == bool(expected_excluded(point.l, point.k))
+            for point in self.points
+        )
+
+
+def classify_grid(
+    n: int,
+    safety: SafetyProperty,
+    plays_by_impl: Mapping[str, Sequence[Play]],
+    semantics: str = "conditional",
+    safety_precomputed: Optional[Mapping[str, Sequence[bool]]] = None,
+) -> ClassifiedGrid:
+    """Classify every ``(l,k)`` with ``1 <= l <= k <= n``.
+
+    ``plays_by_impl`` maps implementation keys (all of which must
+    ensure the safety property by design) to their battery plays.
+    ``safety_precomputed`` optionally supplies per-play safety verdicts
+    (checking opacity on long histories is the dominant cost; callers
+    that already validated them can pass the bits).
+    """
+    grid = ClassifiedGrid(n=n, safety_name=safety.name, semantics=semantics)
+    safety_bits: Dict[str, List[bool]] = {}
+    for key, plays in plays_by_impl.items():
+        if safety_precomputed is not None and key in safety_precomputed:
+            safety_bits[key] = list(safety_precomputed[key])
+        else:
+            safety_bits[key] = [
+                bool(safety.check_history(history)) for history, _s, _label in plays
+            ]
+    for k in range(1, n + 1):
+        for l in range(1, k + 1):
+            prop = LKFreedom(l, k, semantics=semantics)
+            grid.points.append(
+                _classify_point(prop, plays_by_impl, safety_bits)
+            )
+    return grid
+
+
+def _classify_point(
+    prop: LKFreedom,
+    plays_by_impl: Mapping[str, Sequence[Play]],
+    safety_bits: Mapping[str, Sequence[bool]],
+) -> GridPoint:
+    defeats: Dict[str, Tuple[str, Certainty]] = {}
+    witnesses: Dict[str, Certainty] = {}
+    for key, plays in plays_by_impl.items():
+        defeat: Optional[Tuple[str, Certainty]] = None
+        all_satisfy = True
+        witness_certainty = Certainty.PROVED
+        for (history, summary, label), safe in zip(plays, safety_bits[key]):
+            verdict = prop.evaluate(summary)
+            if safe and not verdict.holds:
+                all_satisfy = False
+                candidate = (label, verdict.certainty)
+                if defeat is None or (
+                    defeat[1] is Certainty.HORIZON
+                    and verdict.certainty is Certainty.PROVED
+                ):
+                    defeat = candidate
+            elif not safe:
+                all_satisfy = False  # unsafe play: not usable either way
+            elif verdict.certainty is Certainty.HORIZON:
+                witness_certainty = Certainty.HORIZON
+        if defeat is not None:
+            defeats[key] = defeat
+        elif all_satisfy and plays:
+            witnesses[key] = witness_certainty
+    excludes = set(defeats) == set(plays_by_impl) and bool(plays_by_impl)
+    if excludes:
+        certainty = (
+            Certainty.HORIZON
+            if any(c is Certainty.HORIZON for _label, c in defeats.values())
+            else Certainty.PROVED
+        )
+        evidence = "; ".join(
+            f"{key} defeated by {label}" for key, (label, _c) in sorted(defeats.items())
+        )
+        return GridPoint(
+            l=prop.l, k=prop.k, excludes=True, certainty=certainty, evidence=evidence
+        )
+    if witnesses:
+        key = sorted(witnesses)[0]
+        return GridPoint(
+            l=prop.l,
+            k=prop.k,
+            excludes=False,
+            certainty=witnesses[key],
+            evidence=f"witness implementation: {key}",
+        )
+    return GridPoint(
+        l=prop.l,
+        k=prop.k,
+        excludes=False,
+        certainty=Certainty.HORIZON,
+        evidence="battery incoherent: no full defeat and no clean witness",
+        undetermined=True,
+    )

@@ -1,0 +1,960 @@
+"""The experiment registry: every table/figure/theorem of the paper.
+
+Each experiment id from DESIGN.md §4 maps to a runner returning an
+:class:`ExperimentResult` — a list of *claims* comparing what the paper
+states with what the artifact measures, plus rendered artifacts
+(Figure-1 panels, Hasse diagrams, adversary-set certificates).  The
+benchmark harness times the runners and prints the renderings;
+EXPERIMENTS.md records the outcomes.
+
+Batteries
+---------
+Experiments that quantify over schedules use shared *play batteries*:
+
+* :func:`consensus_plays` — solo schedules (obstruction premise),
+  pairwise lockstep with distinct proposals (the CIL contention
+  schedule), and full-group round-robin;
+* :func:`tm_plays` — round-robin and pairwise group schedules over a
+  transaction workload, the three-step local-progress adversary (both
+  victim roles), and — for three or more processes — the Section 5.3
+  concurrent-start adversary.
+
+Each play yields ``(history, summary, label)``; classification
+evaluates safety on the history and liveness on the summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.adversaries.consensus_flp import (
+    LockstepConsensusAdversary,
+    f1_adversary_set,
+    f2_adversary_set,
+    histories_match_f1,
+)
+from repro.adversaries.counterexample import CounterexampleAdversary
+from repro.adversaries.tm_local_progress import TMLocalProgressAdversary
+from repro.adversaries.valency import find_nondeciding_schedule
+from repro.algorithms.consensus import CasConsensus, CommitAdoptConsensus
+from repro.analysis.classification import ClassifiedGrid, Play, classify_grid
+from repro.analysis.registry import (
+    AGREEMENT_VALIDITY,
+    COUNTEREXAMPLE_S,
+    OPACITY,
+    RegistryEntry,
+    consensus_registry,
+    entries_ensuring,
+    tm_registry,
+)
+from repro.analysis.report import render_claims, render_grid, render_hasse
+from repro.core.adversary import certify_disjoint_by_first_event
+from repro.core.freedom import LKFreedom
+from repro.core.history import History
+from repro.core.lattice import LivenessOrder
+from repro.core.liveness import enumerate_summaries
+from repro.core.progress import NXLiveness, SFreedom
+from repro.core.properties import Certainty, ExecutionSummary
+from repro.objects.consensus import AgreementValidity
+from repro.objects.counterexample_s import counterexample_safety
+from repro.objects.opacity import OpacityChecker
+from repro.setmodel import theorem44, theorem49
+from repro.setmodel.theorem44 import first_event_adversary_sets, verify_theorem44
+from repro.setmodel.theorem49 import verify_lemma48, verify_theorem49
+from repro.sim.drivers import ComposedDriver
+from repro.sim.runtime import play
+from repro.sim.schedulers import (
+    GroupScheduler,
+    LockstepScheduler,
+    RoundRobinScheduler,
+    SoloScheduler,
+)
+from repro.sim.workload import TransactionWorkload, propose_workload
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One paper-vs-measured row."""
+
+    name: str
+    expected: str
+    measured: str
+    ok: bool
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment."""
+
+    experiment_id: str
+    title: str
+    claims: List[Claim] = field(default_factory=list)
+    artifacts: Dict[str, object] = field(default_factory=dict)
+    rendered: str = ""
+
+    @property
+    def all_ok(self) -> bool:
+        return all(claim.ok for claim in self.claims)
+
+    def claim_rows(self) -> List[Tuple[str, str, str, bool]]:
+        return [(c.name, c.expected, c.measured, c.ok) for c in self.claims]
+
+    def render(self) -> str:
+        table = render_claims(f"[{self.experiment_id}] {self.title}", self.claim_rows())
+        if self.rendered:
+            return f"{table}\n\n{self.rendered}"
+        return table
+
+
+# ---------------------------------------------------------------------------
+# Play batteries
+# ---------------------------------------------------------------------------
+
+
+def consensus_plays(
+    n: int,
+    entries: Sequence[RegistryEntry],
+    max_steps: int = 20_000,
+) -> Dict[str, List[Play]]:
+    """The consensus schedule battery (see module docstring)."""
+    battery: Dict[str, List[Play]] = {}
+    for entry in entries:
+        plays: List[Play] = []
+        mode = entry.make().object_type.progress_mode
+        for pid in range(n):
+            proposals: List[Optional[int]] = [None] * n
+            proposals[pid] = pid
+            result = play(
+                entry.make(),
+                ComposedDriver(SoloScheduler(pid), propose_workload(proposals)),
+                max_steps=max_steps,
+            )
+            plays.append((result.history, result.summary(mode), f"solo(p{pid})"))
+        for a in range(n):
+            for b in range(a + 1, n):
+                proposals = [None] * n
+                proposals[a], proposals[b] = 0, 1
+                result = play(
+                    entry.make(),
+                    ComposedDriver(
+                        LockstepScheduler([a, b]), propose_workload(proposals)
+                    ),
+                    max_steps=max_steps,
+                )
+                plays.append(
+                    (result.history, result.summary(mode), f"lockstep(p{a},p{b})")
+                )
+        result = play(
+            entry.make(),
+            ComposedDriver(
+                RoundRobinScheduler(), propose_workload(list(range(n)))
+            ),
+            max_steps=max_steps,
+        )
+        plays.append((result.history, result.summary(mode), "round-robin(all)"))
+        battery[entry.key] = plays
+    return battery
+
+
+def tm_plays(
+    n: int,
+    entries: Sequence[RegistryEntry],
+    variables: Sequence[int] = (0,),
+    transactions: int = 2,
+    max_steps: int = 240,
+    include_counterexample: bool = True,
+) -> Dict[str, List[Play]]:
+    """The TM schedule-and-adversary battery."""
+    battery: Dict[str, List[Play]] = {}
+    for entry in entries:
+        plays: List[Play] = []
+        mode = entry.make().object_type.progress_mode
+
+        def run(driver, label: str, budget: int = max_steps) -> None:
+            result = play(entry.make(), driver, max_steps=budget)
+            plays.append((result.history, result.summary(mode), label))
+
+        run(
+            ComposedDriver(
+                RoundRobinScheduler(),
+                TransactionWorkload(n, transactions, variables=variables),
+            ),
+            "round-robin(all)",
+        )
+        for a in range(n):
+            for b in range(a + 1, n):
+                run(
+                    ComposedDriver(
+                        GroupScheduler([a, b]),
+                        TransactionWorkload(n, transactions, variables=variables),
+                    ),
+                    f"group(p{a},p{b})",
+                )
+        for victim, helper in ((0, 1), (1, 0)):
+            run(
+                TMLocalProgressAdversary(
+                    victim=victim, helper=helper, variable=variables[0]
+                ),
+                f"tm-adversary(victim=p{victim})",
+            )
+        if include_counterexample and n >= 3:
+            run(CounterexampleAdversary(tuple(range(3))), "counterexample-adversary")
+        battery[entry.key] = plays
+    return battery
+
+
+# ---------------------------------------------------------------------------
+# Figure 1
+# ---------------------------------------------------------------------------
+
+
+def run_fig1a(
+    n: int = 3, max_steps: int = 20_000, semantics: str = "conditional"
+) -> ExperimentResult:
+    """Figure 1(a): the (l,k) grid for consensus agreement & validity,
+    register-only implementations."""
+    entries = consensus_registry(n, registers_only=True)
+    battery = consensus_plays(n, entries, max_steps=max_steps)
+    safety = AgreementValidity()
+    grid = classify_grid(n, safety, battery, semantics=semantics)
+    expected = lambda l, k: not (l == 1 and k == 1)
+    result = ExperimentResult(
+        experiment_id="fig1a",
+        title="Figure 1(a): (l,k)-freedom vs consensus safety (registers only)",
+    )
+    result.claims.append(
+        Claim(
+            name="white points",
+            expected="{(1,1)}",
+            measured=str(sorted(grid.implementable_points())),
+            ok=grid.matches(expected),
+        )
+    )
+    result.claims.append(
+        Claim(
+            name="black points",
+            expected="all (l,k) with k >= 2",
+            measured=str(sorted(grid.excluded_points())),
+            ok=grid.matches(expected),
+        )
+    )
+    result.artifacts["grid"] = grid
+    result.rendered = render_grid(grid)
+    return result
+
+
+def run_fig1b(
+    n: int = 3,
+    max_steps: int = 240,
+    transactions: int = 2,
+    semantics: str = "conditional",
+) -> ExperimentResult:
+    """Figure 1(b): the (l,k) grid for TM opacity."""
+    entries = entries_ensuring(tm_registry(n, variables=(0,)), OPACITY)
+    battery = tm_plays(n, entries, max_steps=max_steps, transactions=transactions)
+    safety = OpacityChecker(deep=True)
+    grid = classify_grid(n, safety, battery, semantics=semantics)
+    expected = lambda l, k: l >= 2
+    result = ExperimentResult(
+        experiment_id="fig1b",
+        title="Figure 1(b): (l,k)-freedom vs TM opacity",
+    )
+    result.claims.append(
+        Claim(
+            name="white points",
+            expected="all (1,k)",
+            measured=str(sorted(grid.implementable_points())),
+            ok=grid.matches(expected),
+        )
+    )
+    result.claims.append(
+        Claim(
+            name="black points",
+            expected="all (l,k) with l >= 2",
+            measured=str(sorted(grid.excluded_points())),
+            ok=grid.matches(expected),
+        )
+    )
+    result.artifacts["grid"] = grid
+    result.rendered = render_grid(grid)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Theorems 5.2 / 5.3
+# ---------------------------------------------------------------------------
+
+
+def _extremal_points(
+    grid: ClassifiedGrid, semantics: str
+) -> Tuple[List[str], List[str]]:
+    """(strongest implementable, weakest excluded) under the semantic
+    order of the grid's (l,k) properties."""
+    properties = [
+        LKFreedom(point.l, point.k, semantics=semantics) for point in grid.points
+    ]
+    order = LivenessOrder(properties, grid.n, progress_requires_steps=False)
+    implementable = [
+        prop
+        for prop, point in zip(properties, grid.points)
+        if not point.excludes
+    ]
+    excluded = [
+        prop for prop, point in zip(properties, grid.points) if point.excludes
+    ]
+    strongest = order.strongest_below(implementable)
+    # weakest excluded = minimal elements among excluded
+    names = {p.name for p in excluded}
+    stronger_pairs = [
+        (a, b)
+        for a, b in order.strictly_stronger_pairs()
+        if a in names and b in names
+    ]
+    dominating = {a for a, _ in stronger_pairs}
+    weakest = [p.name for p in excluded if p.name not in dominating]
+    return strongest, weakest
+
+
+def run_thm52(n: int = 3, max_steps: int = 20_000) -> ExperimentResult:
+    """Theorem 5.2: extremal (l,k) properties for register consensus,
+    plus the mechanised CIL schedule search."""
+    fig = run_fig1a(n=n, max_steps=max_steps)
+    grid: ClassifiedGrid = fig.artifacts["grid"]  # type: ignore[assignment]
+    strongest, weakest = _extremal_points(grid, semantics="conditional")
+    result = ExperimentResult(
+        experiment_id="thm52",
+        title="Theorem 5.2: consensus-from-registers extremal (l,k)-freedom",
+    )
+    result.claims.append(
+        Claim(
+            name="strongest implementable",
+            expected="(1,1)-freedom",
+            measured=", ".join(strongest),
+            ok=strongest == ["(1,1)-freedom"],
+        )
+    )
+    result.claims.append(
+        Claim(
+            name="weakest non-implementable",
+            expected="(1,2)-freedom",
+            measured=", ".join(weakest),
+            ok=weakest == ["(1,2)-freedom"],
+        )
+    )
+    witness = find_nondeciding_schedule(
+        lambda: CommitAdoptConsensus(2), proposals=(0, 1), max_configs=3_000
+    )
+    result.claims.append(
+        Claim(
+            name="CIL schedule search (registers)",
+            expected="non-deciding schedule exists",
+            measured=(
+                f"found: stem={len(witness.stem)} cycle={len(witness.cycle)}"
+                if witness
+                else "none found"
+            ),
+            ok=witness is not None,
+        )
+    )
+    cas_witness = find_nondeciding_schedule(
+        lambda: CasConsensus(2), proposals=(0, 1), max_configs=3_000
+    )
+    result.claims.append(
+        Claim(
+            name="CIL schedule search (CAS control)",
+            expected="no non-deciding schedule",
+            measured="none found" if cas_witness is None else "found (!)",
+            ok=cas_witness is None,
+        )
+    )
+    result.artifacts["grid"] = grid
+    result.artifacts["witness"] = witness
+    result.rendered = render_grid(grid, annotate=False)
+    return result
+
+
+def run_thm53(
+    n: int = 3, max_steps: int = 240, transactions: int = 2
+) -> ExperimentResult:
+    """Theorem 5.3: extremal (l,k) properties for TM opacity, plus the
+    paper's remark that (1,n) and (2,2) are incomparable."""
+    fig = run_fig1b(n=n, max_steps=max_steps, transactions=transactions)
+    grid: ClassifiedGrid = fig.artifacts["grid"]  # type: ignore[assignment]
+    strongest, weakest = _extremal_points(grid, semantics="conditional")
+    result = ExperimentResult(
+        experiment_id="thm53",
+        title="Theorem 5.3: TM extremal (l,k)-freedom vs opacity",
+    )
+    result.claims.append(
+        Claim(
+            name="strongest implementable",
+            expected=f"(1,{n})-freedom",
+            measured=", ".join(strongest),
+            ok=strongest == [f"(1,{n})-freedom"],
+        )
+    )
+    result.claims.append(
+        Claim(
+            name="weakest non-implementable",
+            expected="(2,2)-freedom",
+            measured=", ".join(weakest),
+            ok=weakest == ["(2,2)-freedom"],
+        )
+    )
+    order = LivenessOrder(
+        [LKFreedom(1, n), LKFreedom(2, 2)], n, progress_requires_steps=False
+    )
+    relation = order.relate(LKFreedom(1, n), LKFreedom(2, 2))
+    result.claims.append(
+        Claim(
+            name=f"(1,{n}) vs (2,2)",
+            expected="incomparable",
+            measured=relation.kind,
+            ok=relation.kind == "incomparable",
+        )
+    )
+    result.artifacts["grid"] = grid
+    result.rendered = render_grid(grid, annotate=False)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Corollaries 4.5 / 4.6 (no weakest excluding liveness)
+# ---------------------------------------------------------------------------
+
+
+def _outside_lmax_consensus(history: History) -> bool:
+    """A consensus history lies outside Lmax iff some proposer has not
+    decided (the bounded reading of wait-freedom's complement)."""
+    proposers = {inv.process for inv in history.invocations()}
+    deciders = {res.process for res in history.responses()}
+    return bool(proposers - deciders)
+
+
+def run_cor45(max_steps: int = 20_000) -> ExperimentResult:
+    """Corollary 4.5: no weakest liveness excluding consensus safety."""
+    safety = AgreementValidity()
+    f1 = f1_adversary_set(first=0, second=1)
+    f2 = f2_adversary_set()
+    result = ExperimentResult(
+        experiment_id="cor45",
+        title="Corollary 4.5: no weakest liveness excluding agreement+validity",
+    )
+    cond1 = all(safety.permits(h) for h in f1.histories | f2.histories)
+    result.claims.append(
+        Claim(
+            name="F1, F2 ⊆ S",
+            expected="true",
+            measured=str(cond1).lower(),
+            ok=cond1,
+        )
+    )
+    cond2 = all(
+        _outside_lmax_consensus(h) for h in f1.histories | f2.histories
+    )
+    result.claims.append(
+        Claim(
+            name="F1, F2 ⊆ complement(Lmax)",
+            expected="true",
+            measured=str(cond2).lower(),
+            ok=cond2,
+        )
+    )
+    # Condition (3) relative to the register-only registry: the lockstep
+    # adversary defeats every implementation, and the resulting history
+    # matches the F1 shape.
+    entries = consensus_registry(2, registers_only=True)
+    all_match = True
+    for entry in entries:
+        adversary = LockstepConsensusAdversary(first=0, second=1)
+        run = play(entry.make(), adversary, max_steps=max_steps)
+        if not histories_match_f1(run.history, first=0, second=1):
+            all_match = False
+    result.claims.append(
+        Claim(
+            name="condition (3) on registry",
+            expected="every register impl yields a fair history matching F1",
+            measured="all match" if all_match else "some play escapes F1",
+            ok=all_match,
+        )
+    )
+    certificate = certify_disjoint_by_first_event(f1, f2, 0, 1)
+    result.claims.append(
+        Claim(
+            name="F1 ∩ F2",
+            expected="empty (first-event argument)",
+            measured="empty" if certificate.disjoint else "non-empty",
+            ok=certificate.disjoint,
+        )
+    )
+    result.claims.append(
+        Claim(
+            name="Gmax",
+            expected="empty ⇒ no weakest excluding liveness",
+            measured="empty" if certificate.gmax_is_empty else "non-empty",
+            ok=certificate.gmax_is_empty,
+        )
+    )
+    result.artifacts["certificate"] = certificate
+    result.rendered = (
+        f"F1 = {{{'; '.join(str(h) for h in sorted(f1.histories, key=str))}}}\n"
+        f"F2 = {{{'; '.join(str(h) for h in sorted(f2.histories, key=str))}}}\n"
+        f"separating feature: {certificate.separating_feature}"
+    )
+    return result
+
+
+def run_cor46(
+    n: int = 2, max_steps: int = 240
+) -> ExperimentResult:
+    """Corollary 4.6: no weakest liveness excluding opacity."""
+    from repro.core.adversary import FiniteAdversarySet
+    from repro.core.liveness import LocalProgress
+
+    entries = entries_ensuring(tm_registry(n, variables=(0,)), OPACITY)
+    opacity = OpacityChecker(deep=True)
+    local_progress = LocalProgress()
+    result = ExperimentResult(
+        experiment_id="cor46",
+        title="Corollary 4.6: no weakest TM liveness excluding opacity",
+    )
+    sets: Dict[str, FiniteAdversarySet] = {}
+    defeats_ok = True
+    safety_ok = True
+    for name, victim, helper in (("F1", 0, 1), ("F2", 1, 0)):
+        histories = []
+        for entry in entries:
+            adversary = TMLocalProgressAdversary(victim=victim, helper=helper, variable=0)
+            run = play(entry.make(), adversary, max_steps=max_steps)
+            summary = run.summary(entry.make().object_type.progress_mode)
+            if adversary.escaped or local_progress.evaluate(summary).holds:
+                defeats_ok = False
+            if not opacity.permits(run.history):
+                safety_ok = False
+            histories.append(run.history)
+        sets[name] = FiniteAdversarySet(histories, name=name)
+    result.claims.append(
+        Claim(
+            name="strategy defeats every opaque TM",
+            expected="victim starves in every play",
+            measured="yes" if defeats_ok else "an implementation escaped",
+            ok=defeats_ok,
+        )
+    )
+    result.claims.append(
+        Claim(
+            name="plays stay opaque (F ⊆ S)",
+            expected="true",
+            measured=str(safety_ok).lower(),
+            ok=safety_ok,
+        )
+    )
+    certificate = certify_disjoint_by_first_event(sets["F1"], sets["F2"], 0, 1)
+    result.claims.append(
+        Claim(
+            name="F1 ∩ F2",
+            expected="empty (every F1 history begins with start_0)",
+            measured="empty" if certificate.disjoint else "non-empty",
+            ok=certificate.disjoint,
+        )
+    )
+    result.claims.append(
+        Claim(
+            name="Gmax",
+            expected="empty ⇒ no weakest excluding liveness",
+            measured="empty" if certificate.gmax_is_empty else "non-empty",
+            ok=certificate.gmax_is_empty,
+        )
+    )
+    result.artifacts["certificate"] = certificate
+    result.rendered = f"separating feature: {certificate.separating_feature}"
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Theorems 4.4 / 4.9, Lemma 4.8 (finite models)
+# ---------------------------------------------------------------------------
+
+
+def run_thm44() -> ExperimentResult:
+    """Theorem 4.4 on the positive and negative micro models."""
+    result = ExperimentResult(
+        experiment_id="thm44",
+        title="Theorem 4.4: weakest-excluding liveness iff Gmax is an adversary set",
+    )
+    model, safety = theorem44.positive_model()
+    report = verify_theorem44(model, safety)
+    result.claims.append(
+        Claim(
+            name="positive model: iff",
+            expected="Gmax adversary set ⇔ weakest exists (both true)",
+            measured=(
+                f"gmax-adv={report.gmax_is_adversary_set}, "
+                f"weakest={'exists' if report.weakest_excluding is not None else 'none'}"
+            ),
+            ok=report.iff_holds and report.gmax_is_adversary_set,
+        )
+    )
+    result.claims.append(
+        Claim(
+            name="positive model: weakest = complement(Gmax)",
+            expected="true (as in the theorem's proof)",
+            measured=str(report.weakest_equals_complement_gmax).lower(),
+            ok=bool(report.weakest_equals_complement_gmax),
+        )
+    )
+    model2, safety2 = theorem44.negative_model()
+    f1, f2 = first_event_adversary_sets(model2, safety2)
+    both_adv = model2.is_adversary_set(
+        f1, model2.lmax, safety2
+    ) and model2.is_adversary_set(f2, model2.lmax, safety2)
+    result.claims.append(
+        Claim(
+            name="negative model: disjoint adversary sets",
+            expected="F1, F2 adversary sets with F1 ∩ F2 = ∅",
+            measured=f"adversary-sets={both_adv}, disjoint={not (f1 & f2)}",
+            ok=both_adv and not (f1 & f2),
+        )
+    )
+    report2 = verify_theorem44(model2, safety2)
+    result.claims.append(
+        Claim(
+            name="negative model: iff",
+            expected="Gmax empty ⇒ no weakest (both false)",
+            measured=(
+                f"gmax-adv={report2.gmax_is_adversary_set}, "
+                f"weakest={'exists' if report2.weakest_excluding is not None else 'none'}"
+            ),
+            ok=report2.iff_holds and not report2.gmax_is_adversary_set,
+        )
+    )
+    result.artifacts["positive"] = report
+    result.artifacts["negative"] = report2
+    return result
+
+
+def run_thm49() -> ExperimentResult:
+    """Lemma 4.8 and Theorem 4.9 on micro models."""
+    result = ExperimentResult(
+        experiment_id="thm49",
+        title="Lemma 4.8 / Theorem 4.9: strongest non-excluding liveness is Lmax",
+    )
+    model, safety = theorem49.positive_model()
+    lemma_ok = all(
+        verify_lemma48(model, impl).holds for impl in model.implementations
+    )
+    result.claims.append(
+        Claim(
+            name="Lemma 4.8 (all implementations)",
+            expected="strongest ensured liveness = Lmax ∪ fair(A_I)",
+            measured="holds" if lemma_ok else "violated",
+            ok=lemma_ok,
+        )
+    )
+    report = verify_theorem49(model, safety)
+    result.claims.append(
+        Claim(
+            name="positive model",
+            expected="strongest non-excluding exists and is Lmax",
+            measured=(
+                f"excludes={report.lmax_excludes_safety}, "
+                f"strongest-is-lmax={report.strongest_is_lmax}"
+            ),
+            ok=report.holds and report.strongest_is_lmax is True,
+        )
+    )
+    model2, safety2 = theorem49.negative_model()
+    report2 = verify_theorem49(model2, safety2)
+    result.claims.append(
+        Claim(
+            name="negative model",
+            expected="Lmax excludes S ⇒ no strongest non-excluding",
+            measured=(
+                f"excludes={report2.lmax_excludes_safety}, "
+                f"strongest={'none' if report2.strongest_non_excluding is None else 'exists'}"
+            ),
+            ok=report2.holds
+            and report2.lmax_excludes_safety
+            and report2.strongest_non_excluding is None,
+        )
+    )
+    result.artifacts["positive"] = report
+    result.artifacts["negative"] = report2
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Lemma 5.4 / Section 5.3
+# ---------------------------------------------------------------------------
+
+
+def run_lem54(
+    n: int = 3, transactions: int = 2, max_steps: int = 400
+) -> ExperimentResult:
+    """Lemma 5.4: I(1,2) ensures S and (1,2)-freedom."""
+    entries = [e for e in tm_registry(n, variables=(0,)) if e.key == "i12"]
+    battery = tm_plays(
+        n, entries, max_steps=max_steps, transactions=transactions
+    )["i12"]
+    safety = counterexample_safety(deep_opacity=True)
+    property_12 = LKFreedom(1, 2)
+    safety_ok = all(safety.permits(history) for history, _s, _l in battery)
+    liveness_ok = all(
+        property_12.evaluate(summary).holds for _h, summary, _l in battery
+    )
+    result = ExperimentResult(
+        experiment_id="lem54",
+        title="Lemma 5.4: Algorithm I(1,2) ensures S and (1,2)-freedom",
+    )
+    result.claims.append(
+        Claim(
+            name="S on all battery plays",
+            expected="opacity + timestamp rule hold",
+            measured="hold" if safety_ok else "violated",
+            ok=safety_ok,
+        )
+    )
+    result.claims.append(
+        Claim(
+            name="(1,2)-freedom on all battery plays",
+            expected="holds",
+            measured="holds" if liveness_ok else "violated",
+            ok=liveness_ok,
+        )
+    )
+    # The timestamp rule in action: three concurrent same-numbered
+    # transactions must all abort (proved lasso via the Section 5.3
+    # adversary).
+    adversary = CounterexampleAdversary((0, 1, 2))
+    run = play(entries[0].make(), adversary, max_steps=5_000)
+    rule_enforced = (
+        not adversary.escaped
+        and run.lasso is not None
+        and all(run.stats[pid].good_responses == 0 for pid in range(3))
+    )
+    result.claims.append(
+        Claim(
+            name="timestamp rule enforcement",
+            expected="3 concurrent t-th transactions abort forever (lasso)",
+            measured=(
+                f"lasso={'yes' if run.lasso else 'no'}, commits="
+                f"{sum(run.stats[p].good_responses for p in range(3))}"
+            ),
+            ok=rule_enforced,
+        )
+    )
+    result.artifacts["battery_size"] = len(battery)
+    return result
+
+
+def run_sec53(
+    n: int = 3, transactions: int = 2, max_steps: int = 240
+) -> ExperimentResult:
+    """Section 5.3: the counterexample property S has no weakest
+    excluding (l,k)-freedom."""
+    safety = counterexample_safety(deep_opacity=True)
+    entries = entries_ensuring(tm_registry(n, variables=(0,)), COUNTEREXAMPLE_S)
+    battery = tm_plays(n, entries, max_steps=max_steps, transactions=transactions)
+    grid = classify_grid(n, safety, battery)
+    result = ExperimentResult(
+        experiment_id="sec53",
+        title="Section 5.3: limits of (l,k)-freedom on the property S",
+    )
+    point_22 = grid.point(2, 2)
+    point_13 = grid.point(1, 3)
+    point_12 = grid.point(1, 2)
+    result.claims.append(
+        Claim(
+            name="(2,2)-freedom vs S",
+            expected="excludes",
+            measured="excludes" if point_22.excludes else "does not exclude",
+            ok=point_22.excludes,
+        )
+    )
+    result.claims.append(
+        Claim(
+            name="(1,3)-freedom vs S",
+            expected="excludes (3-process adversary)",
+            measured="excludes" if point_13.excludes else "does not exclude",
+            ok=point_13.excludes,
+        )
+    )
+    result.claims.append(
+        Claim(
+            name="(1,2)-freedom vs S",
+            expected="does not exclude (I(1,2) implements it)",
+            measured="does not exclude" if not point_12.excludes else "excludes",
+            ok=not point_12.excludes,
+        )
+    )
+    order = LivenessOrder(
+        [LKFreedom(1, 2), LKFreedom(1, 3), LKFreedom(2, 2)],
+        n,
+        progress_requires_steps=False,
+    )
+    weaker_both = order.is_stronger(LKFreedom(1, 3), LKFreedom(1, 2)) and (
+        order.is_stronger(LKFreedom(2, 2), LKFreedom(1, 2))
+    )
+    incomparable = (
+        order.relate(LKFreedom(1, 3), LKFreedom(2, 2)).kind == "incomparable"
+    )
+    result.claims.append(
+        Claim(
+            name="(1,2) weaker than both excluders",
+            expected="true",
+            measured=str(weaker_both).lower(),
+            ok=weaker_both,
+        )
+    )
+    result.claims.append(
+        Claim(
+            name="(1,3) vs (2,2)",
+            expected="incomparable ⇒ no weakest excluding (l,k)-freedom",
+            measured=order.relate(LKFreedom(1, 3), LKFreedom(2, 2)).kind,
+            ok=incomparable,
+        )
+    )
+    result.artifacts["grid"] = grid
+    result.rendered = render_grid(grid, annotate=False)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Section 6 taxonomies
+# ---------------------------------------------------------------------------
+
+
+def run_sec6(n: int = 3) -> ExperimentResult:
+    """Section 6: alternative restricted liveness families."""
+    result = ExperimentResult(
+        experiment_id="sec6",
+        title="Section 6: S-freedom antichain, (n,x)-liveness chain, (l,k) poset",
+    )
+    summaries = enumerate_summaries(n, progress_requires_steps=True)
+    singletons = [SFreedom({size}) for size in range(1, n + 1)]
+    singleton_order = LivenessOrder(
+        singletons, n, progress_requires_steps=True, summaries=summaries
+    )
+    antichain = all(
+        singleton_order.relate(a, b).kind == "incomparable"
+        for i, a in enumerate(singletons)
+        for b in singletons[i + 1:]
+    )
+    result.claims.append(
+        Claim(
+            name="singleton S-freedom",
+            expected="pairwise incomparable (no strongest implementable)",
+            measured="antichain" if antichain else "comparable pair exists",
+            ok=antichain,
+        )
+    )
+    nx_family = [NXLiveness(n, x) for x in range(0, n + 1)]
+    nx_order = LivenessOrder(nx_family, n, progress_requires_steps=False)
+    total = nx_order.is_totally_ordered()
+    result.claims.append(
+        Claim(
+            name="(n,x)-liveness",
+            expected="totally ordered in x",
+            measured="chain" if total else "not a chain",
+            ok=total,
+        )
+    )
+    increasing = all(
+        nx_order.is_stronger(NXLiveness(n, x + 1), NXLiveness(n, x))
+        for x in range(0, n)
+    )
+    result.claims.append(
+        Claim(
+            name="(n,x+1) stronger than (n,x)",
+            expected="true",
+            measured=str(increasing).lower(),
+            ok=increasing,
+        )
+    )
+    lk_family = LKFreedom.grid(n)
+    lk_order = LivenessOrder(lk_family, n, progress_requires_steps=False)
+    partially = not lk_order.is_totally_ordered()
+    result.claims.append(
+        Claim(
+            name="(l,k)-freedom family",
+            expected="partially ordered (incomparable pairs exist)",
+            measured="poset with incomparable pairs" if partially else "chain",
+            ok=partially,
+        )
+    )
+    # Empirical halves of the cited implementability facts, on the
+    # register-consensus battery: S-freedom{1} and (n,0)-liveness
+    # survive every play of commit-adopt (they are the implementable
+    # corners per [36] and [25]), while S-freedom{2} and
+    # (n,1)-liveness fall to the lockstep adversary.
+    battery = consensus_plays(
+        n, consensus_registry(n, registers_only=True), max_steps=20_000
+    )["commit-adopt"]
+    def survives(prop) -> bool:
+        return all(prop.evaluate(summary).holds for _h, summary, _l in battery)
+
+    implementable = [SFreedom({1}), NXLiveness(n, 0)]
+    non_implementable = [SFreedom({2}), NXLiveness(n, 1)]
+    empirically_ok = all(survives(p) for p in implementable) and not any(
+        survives(p) for p in non_implementable
+    )
+    result.claims.append(
+        Claim(
+            name="implementable corners ([36],[25])",
+            expected="S-freedom{1} and (n,0)-liveness survive; "
+            "S-freedom{2} and (n,1)-liveness fall",
+            measured=(
+                f"survive: {[p.name for p in implementable if survives(p)]}, "
+                f"fall: {[p.name for p in non_implementable if not survives(p)]}"
+            ),
+            ok=empirically_ok,
+        )
+    )
+    result.artifacts["lk_order"] = lk_order
+    result.rendered = "\n\n".join(
+        [
+            render_hasse(singleton_order, "singleton S-freedom"),
+            render_hasse(nx_order, "(n,x)-liveness"),
+            render_hasse(lk_order, "(l,k)-freedom"),
+        ]
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A registered experiment."""
+
+    experiment_id: str
+    title: str
+    runner: Callable[..., ExperimentResult]
+
+
+EXPERIMENTS: Dict[str, ExperimentSpec] = {
+    spec.experiment_id: spec
+    for spec in (
+        ExperimentSpec("fig1a", "Figure 1(a) consensus grid", run_fig1a),
+        ExperimentSpec("fig1b", "Figure 1(b) TM grid", run_fig1b),
+        ExperimentSpec("thm52", "Theorem 5.2 extremal consensus freedom", run_thm52),
+        ExperimentSpec("thm53", "Theorem 5.3 extremal TM freedom", run_thm53),
+        ExperimentSpec("cor45", "Corollary 4.5 no weakest (consensus)", run_cor45),
+        ExperimentSpec("cor46", "Corollary 4.6 no weakest (TM)", run_cor46),
+        ExperimentSpec("thm44", "Theorem 4.4 finite models", run_thm44),
+        ExperimentSpec("thm49", "Lemma 4.8 / Theorem 4.9 finite models", run_thm49),
+        ExperimentSpec("lem54", "Lemma 5.4 Algorithm I(1,2)", run_lem54),
+        ExperimentSpec("sec53", "Section 5.3 counterexample property", run_sec53),
+        ExperimentSpec("sec6", "Section 6 liveness taxonomies", run_sec6),
+    )
+}
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
+    """Run a registered experiment by id."""
+    spec = EXPERIMENTS[experiment_id]
+    return spec.runner(**kwargs)

@@ -1,0 +1,95 @@
+"""ASCII rendering of experiment artifacts (Figure 1 panels, claim
+tables, Hasse diagrams).
+
+The benchmark harness prints these renderings so a run of the bench
+suite regenerates the paper's figure panels in the terminal, row for
+row.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.analysis.classification import ClassifiedGrid
+from repro.core.lattice import LivenessOrder
+from repro.core.properties import Certainty
+
+#: Figure 1's point glyphs.
+EXCLUDED = "●"
+IMPLEMENTABLE = "○"
+UNDETERMINED = "?"
+
+
+def render_grid(grid: ClassifiedGrid, annotate: bool = True) -> str:
+    """Render one Figure-1 panel.
+
+    Axis layout matches the paper: ``k`` grows to the right, ``l``
+    grows upward, only points with ``l <= k`` exist, black = excludes,
+    white = does not exclude.
+    """
+    lines: List[str] = []
+    lines.append(f"(l,k)-freedom vs {grid.safety_name}  [semantics={grid.semantics}]")
+    header = "  l\\k " + "".join(f"{k:>4}" for k in range(1, grid.n + 1))
+    lines.append(header)
+    for l in range(grid.n, 0, -1):
+        cells: List[str] = []
+        for k in range(1, grid.n + 1):
+            if l > k:
+                cells.append("    ")
+                continue
+            point = grid.point(l, k)
+            glyph = UNDETERMINED if point.undetermined else (
+                EXCLUDED if point.excludes else IMPLEMENTABLE
+            )
+            marker = "~" if point.certainty is Certainty.HORIZON else " "
+            cells.append(f"{glyph:>3}{marker}")
+        lines.append(f"{l:>5} " + "".join(cells))
+    lines.append(
+        f"  {EXCLUDED} = excludes   {IMPLEMENTABLE} = does not exclude   "
+        "~ = horizon-certainty evidence"
+    )
+    if annotate:
+        for point in grid.points:
+            glyph = EXCLUDED if point.excludes else IMPLEMENTABLE
+            lines.append(f"    {point.label} {glyph}  {point.evidence}")
+    return "\n".join(lines)
+
+
+def render_claims(
+    title: str, claims: Sequence[Tuple[str, str, str, bool]]
+) -> str:
+    """A paper-vs-measured claim table.
+
+    Each claim row is ``(claim, expected, measured, ok)``.
+    """
+    lines = [title, "-" * len(title)]
+    name_width = max((len(c[0]) for c in claims), default=10)
+    expected_width = max((len(c[1]) for c in claims), default=8)
+    measured_width = max((len(c[2]) for c in claims), default=8)
+    header = (
+        f"{'claim':<{name_width}}  {'paper':<{expected_width}}  "
+        f"{'measured':<{measured_width}}  status"
+    )
+    lines.append(header)
+    lines.append("=" * len(header))
+    for claim, expected, measured, ok in claims:
+        status = "OK" if ok else "MISMATCH"
+        lines.append(
+            f"{claim:<{name_width}}  {expected:<{expected_width}}  "
+            f"{measured:<{measured_width}}  {status}"
+        )
+    return "\n".join(lines)
+
+
+def render_hasse(order: LivenessOrder, title: str = "Hasse diagram") -> str:
+    """Covering edges of a liveness order, strongest first."""
+    lines = [title, "-" * len(title)]
+    edges = order.hasse_edges()
+    if not edges:
+        lines.append("(antichain: no comparable pairs)")
+    for stronger, weaker in edges:
+        lines.append(f"{stronger}  >  {weaker}")
+    lines.append(f"maximal: {', '.join(order.maximal_elements())}")
+    lines.append(f"minimal: {', '.join(order.minimal_elements())}")
+    lines.append(f"totally ordered: {order.is_totally_ordered()}")
+    return "\n".join(lines)

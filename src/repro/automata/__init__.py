@@ -1,0 +1,36 @@
+"""Faithful I/O automata model (Section 2)."""
+
+from repro.automata.automaton import Action, IOAutomaton, Signature, State, Transition
+from repro.automata.composition import compatible, compose
+from repro.automata.execution import (
+    Execution,
+    Lasso,
+    enumerate_executions,
+    is_fair_finite,
+    is_fair_lasso,
+    validate_execution,
+)
+from repro.automata.explorer import (
+    find_lasso,
+    reachable_states,
+    shortest_execution_to,
+)
+
+__all__ = [
+    "Action",
+    "IOAutomaton",
+    "Signature",
+    "State",
+    "Transition",
+    "compatible",
+    "compose",
+    "Execution",
+    "Lasso",
+    "enumerate_executions",
+    "is_fair_finite",
+    "is_fair_lasso",
+    "validate_execution",
+    "find_lasso",
+    "reachable_states",
+    "shortest_execution_to",
+]

@@ -1,0 +1,127 @@
+"""I/O automata (Section 2), faithfully.
+
+An I/O automaton is a 4-tuple ``(states, sig, init, trans)`` with the
+action signature partitioning actions into input, output and internal
+actions.  The paper uses them to *define* implementations, executions,
+histories and fairness; this subpackage implements the definitions for
+finite automata so the test suite can check the model-level facts the
+paper relies on — input-enabledness, composition with hiding, the
+crash construction, and fairness of finite and lassoing executions.
+
+States and actions are arbitrary hashable values.  Transitions are a
+set of ``(state, action, state)`` triples; determinism is not assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Set, Tuple
+
+from repro.util.errors import ModelError
+
+State = Hashable
+Action = Hashable
+Transition = Tuple[State, Action, State]
+
+
+@dataclass(frozen=True)
+class Signature:
+    """The action signature ``sig(A) = (in, out, int)``."""
+
+    inputs: FrozenSet[Action]
+    outputs: FrozenSet[Action]
+    internals: FrozenSet[Action] = frozenset()
+
+    def __post_init__(self) -> None:
+        if self.inputs & self.outputs:
+            raise ModelError("input and output actions must be disjoint")
+        if self.internals & (self.inputs | self.outputs):
+            raise ModelError("internal actions must be disjoint from external")
+
+    @property
+    def external(self) -> FrozenSet[Action]:
+        """External actions: inputs and outputs."""
+        return self.inputs | self.outputs
+
+    @property
+    def all_actions(self) -> FrozenSet[Action]:
+        """``acts(A)``."""
+        return self.inputs | self.outputs | self.internals
+
+
+class IOAutomaton:
+    """A finite I/O automaton."""
+
+    def __init__(
+        self,
+        name: str,
+        states: Iterable[State],
+        initial: Iterable[State],
+        signature: Signature,
+        transitions: Iterable[Transition],
+    ):
+        self.name = name
+        self.states: FrozenSet[State] = frozenset(states)
+        self.initial: FrozenSet[State] = frozenset(initial)
+        self.signature = signature
+        self.transitions: FrozenSet[Transition] = frozenset(transitions)
+        if not self.initial <= self.states:
+            raise ModelError(f"{name}: initial states must be states")
+        for source, action, target in self.transitions:
+            if source not in self.states or target not in self.states:
+                raise ModelError(f"{name}: transition endpoints must be states")
+            if action not in self.signature.all_actions:
+                raise ModelError(f"{name}: unknown action {action!r}")
+        self._successors: Dict[Tuple[State, Action], Set[State]] = {}
+        for source, action, target in self.transitions:
+            self._successors.setdefault((source, action), set()).add(target)
+
+    # -- basic queries ------------------------------------------------------------
+
+    def enabled(self, state: State) -> FrozenSet[Action]:
+        """Actions enabled at ``state``."""
+        return frozenset(
+            action
+            for (source, action) in self._successors
+            if source == state
+        )
+
+    def successors(self, state: State, action: Action) -> FrozenSet[State]:
+        """States reachable by one ``action`` step."""
+        return frozenset(self._successors.get((state, action), ()))
+
+    def is_input_enabled(self) -> bool:
+        """Every input action enabled at every state (the model's
+        requirement on implementation automata)."""
+        return all(
+            self.successors(state, action)
+            for state in self.states
+            for action in self.signature.inputs
+        )
+
+    # -- crash augmentation (Section 2) -------------------------------------------
+
+    def with_crash(self, crash_action: Action, crashed_state: State) -> "IOAutomaton":
+        """The paper's crash construction.
+
+        Adds input action ``crash`` and a fresh state ``s_crashed`` at
+        which nothing is enabled, with a crash transition from every
+        other state.
+        """
+        if crashed_state in self.states:
+            raise ModelError("crashed state must be fresh")
+        transitions = set(self.transitions)
+        transitions.update(
+            (state, crash_action, crashed_state) for state in self.states
+        )
+        return IOAutomaton(
+            name=f"{self.name}+crash",
+            states=set(self.states) | {crashed_state},
+            initial=self.initial,
+            signature=Signature(
+                inputs=self.signature.inputs | {crash_action},
+                outputs=self.signature.outputs,
+                internals=self.signature.internals,
+            ),
+            transitions=transitions,
+        )

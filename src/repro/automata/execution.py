@@ -1,0 +1,139 @@
+"""Executions, histories and fairness of I/O automata (Section 2/3.2).
+
+An execution is an alternating sequence ``s0 a1 s1 a2 ...`` with
+``s0`` initial and every ``(s_i, a_{i+1}, s_{i+1})`` a transition; a
+history is its external-action subsequence.  The paper's fairness:
+
+* a finite execution is fair iff no action (other than crash actions)
+  is enabled at its final state;
+* an infinite execution is fair iff every *component* either takes
+  infinitely many actions or is infinitely often at a state where none
+  of its non-crash actions is enabled.
+
+For finite automata we represent infinite executions as lassos
+(``stem + cycle``) and decide the per-component clause on the cycle.
+Component attribution is by an action-ownership function (in the
+paper, actions carry process subscripts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.automata.automaton import Action, IOAutomaton, State
+from repro.util.errors import ModelError
+
+
+@dataclass(frozen=True)
+class Execution:
+    """A finite execution: ``states[0] actions[0] states[1] ...``."""
+
+    states: Tuple[State, ...]
+    actions: Tuple[Action, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.states) != len(self.actions) + 1:
+            raise ModelError("execution must alternate states and actions")
+
+    @property
+    def final_state(self) -> State:
+        return self.states[-1]
+
+    def history(self, automaton: IOAutomaton) -> Tuple[Action, ...]:
+        """The external-action subsequence."""
+        external = automaton.signature.external
+        return tuple(a for a in self.actions if a in external)
+
+
+def validate_execution(automaton: IOAutomaton, execution: Execution) -> None:
+    """Raise :class:`ModelError` unless the execution is legal."""
+    if execution.states[0] not in automaton.initial:
+        raise ModelError("execution must start in an initial state")
+    for i, action in enumerate(execution.actions):
+        if execution.states[i + 1] not in automaton.successors(
+            execution.states[i], action
+        ):
+            raise ModelError(
+                f"illegal step {execution.states[i]!r} --{action!r}--> "
+                f"{execution.states[i + 1]!r}"
+            )
+
+
+def enumerate_executions(
+    automaton: IOAutomaton, max_actions: int
+) -> List[Execution]:
+    """All executions with at most ``max_actions`` actions (DFS)."""
+    results: List[Execution] = []
+
+    def extend(states: List[State], actions: List[Action]) -> None:
+        results.append(Execution(tuple(states), tuple(actions)))
+        if len(actions) >= max_actions:
+            return
+        current = states[-1]
+        for action in sorted(automaton.enabled(current), key=repr):
+            for target in sorted(automaton.successors(current, action), key=repr):
+                extend(states + [target], actions + [action])
+
+    for initial in sorted(automaton.initial, key=repr):
+        extend([initial], [])
+    return results
+
+
+def is_fair_finite(
+    automaton: IOAutomaton,
+    execution: Execution,
+    crash_actions: FrozenSet[Action] = frozenset(),
+) -> bool:
+    """Clause (I): no non-crash action enabled at the final state."""
+    enabled = automaton.enabled(execution.final_state)
+    return not (enabled - crash_actions)
+
+
+@dataclass(frozen=True)
+class Lasso:
+    """An infinite execution ``stem · cycle^ω`` of a finite automaton."""
+
+    stem: Execution
+    cycle_actions: Tuple[Action, ...]
+    cycle_states: Tuple[State, ...]  # states *after* each cycle action
+
+    def __post_init__(self) -> None:
+        if len(self.cycle_actions) != len(self.cycle_states):
+            raise ModelError("cycle actions and states must align")
+        if not self.cycle_actions:
+            raise ModelError("a lasso needs a non-empty cycle")
+        if self.cycle_states[-1] != self.stem.final_state:
+            raise ModelError("cycle must return to the stem's final state")
+
+
+def is_fair_lasso(
+    automaton: IOAutomaton,
+    lasso: Lasso,
+    owner: Callable[[Action], Optional[Hashable]],
+    components: Sequence[Hashable],
+    crash_actions: FrozenSet[Action] = frozenset(),
+) -> bool:
+    """Clause (II) on a lasso.
+
+    A component is treated fairly iff it owns an action occurring in
+    the cycle, or some state visited in the cycle enables none of its
+    non-crash actions.
+    """
+    cycle_visited: List[State] = [lasso.stem.final_state, *lasso.cycle_states]
+    for component in components:
+        acts_in_cycle = any(
+            owner(action) == component for action in lasso.cycle_actions
+        )
+        if acts_in_cycle:
+            continue
+        idle_somewhere = any(
+            not any(
+                owner(action) == component
+                for action in automaton.enabled(state) - crash_actions
+            )
+            for state in cycle_visited
+        )
+        if not idle_somewhere:
+            return False
+    return True

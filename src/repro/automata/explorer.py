@@ -1,0 +1,129 @@
+"""Reachability and lasso enumeration for finite I/O automata.
+
+Utility layer used by the model-level tests: reachable state space,
+reachable cycles (candidate infinite behaviours) and fair-history
+extraction.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.automata.automaton import Action, IOAutomaton, State
+from repro.automata.execution import Execution, Lasso
+
+
+def reachable_states(automaton: IOAutomaton) -> FrozenSet[State]:
+    """States reachable from some initial state."""
+    seen: Set[State] = set(automaton.initial)
+    queue = deque(automaton.initial)
+    while queue:
+        state = queue.popleft()
+        for action in automaton.enabled(state):
+            for target in automaton.successors(state, action):
+                if target not in seen:
+                    seen.add(target)
+                    queue.append(target)
+    return frozenset(seen)
+
+
+def shortest_execution_to(
+    automaton: IOAutomaton, goal: Callable[[State], bool]
+) -> Optional[Execution]:
+    """BFS for a shortest execution reaching a goal state."""
+    parents: Dict[State, Tuple[Optional[State], Optional[Action]]] = {
+        state: (None, None) for state in automaton.initial
+    }
+    queue = deque(automaton.initial)
+    target: Optional[State] = None
+    for state in automaton.initial:
+        if goal(state):
+            target = state
+            break
+    while queue and target is None:
+        state = queue.popleft()
+        for action in sorted(automaton.enabled(state), key=repr):
+            for nxt in sorted(automaton.successors(state, action), key=repr):
+                if nxt in parents:
+                    continue
+                parents[nxt] = (state, action)
+                if goal(nxt):
+                    target = nxt
+                    queue.clear()
+                    break
+                queue.append(nxt)
+            if target is not None:
+                break
+    if target is None:
+        return None
+    states: List[State] = [target]
+    actions: List[Action] = []
+    cursor = target
+    while parents[cursor][0] is not None:
+        previous, action = parents[cursor]
+        states.append(previous)  # type: ignore[arg-type]
+        actions.append(action)  # type: ignore[arg-type]
+        cursor = previous  # type: ignore[assignment]
+    states.reverse()
+    actions.reverse()
+    return Execution(tuple(states), tuple(actions))
+
+
+def find_lasso(
+    automaton: IOAutomaton,
+    through: Optional[Callable[[State], bool]] = None,
+    avoid_actions: FrozenSet[Action] = frozenset(),
+) -> Optional[Lasso]:
+    """Find some lasso (optionally through states satisfying a
+    predicate, avoiding given actions in the cycle)."""
+    candidates = reachable_states(automaton)
+    if through is not None:
+        candidates = frozenset(s for s in candidates if through(s))
+    for anchor in sorted(candidates, key=repr):
+        cycle = _cycle_from(automaton, anchor, avoid_actions)
+        if cycle is None:
+            continue
+        stem = shortest_execution_to(automaton, lambda s: s == anchor)
+        if stem is None:
+            continue
+        actions, states = cycle
+        return Lasso(stem=stem, cycle_actions=actions, cycle_states=states)
+    return None
+
+
+def _cycle_from(
+    automaton: IOAutomaton, anchor: State, avoid_actions: FrozenSet[Action]
+) -> Optional[Tuple[Tuple[Action, ...], Tuple[State, ...]]]:
+    """BFS for a non-empty path anchor -> anchor."""
+    parents: Dict[State, Tuple[Optional[State], Optional[Action]]] = {}
+    queue = deque()
+    for action in sorted(automaton.enabled(anchor) - avoid_actions, key=repr):
+        for target in sorted(automaton.successors(anchor, action), key=repr):
+            if target == anchor:
+                return (action,), (anchor,)
+            if target not in parents:
+                parents[target] = (None, action)  # edge from anchor
+                queue.append(target)
+    while queue:
+        state = queue.popleft()
+        for action in sorted(automaton.enabled(state) - avoid_actions, key=repr):
+            for target in sorted(automaton.successors(state, action), key=repr):
+                if target == anchor:
+                    actions: List[Action] = [action]
+                    states: List[State] = [anchor]
+                    cursor = state
+                    while True:
+                        previous, edge = parents[cursor]
+                        actions.append(edge)  # type: ignore[arg-type]
+                        states.append(cursor)
+                        if previous is None:
+                            break
+                        cursor = previous
+                    actions.reverse()
+                    states.reverse()
+                    return tuple(actions), tuple(states)
+                if target not in parents:
+                    parents[target] = (state, action)
+                    queue.append(target)
+    return None

@@ -1,0 +1,21 @@
+"""Atomic base objects (the model's hardware primitives)."""
+
+from repro.base_objects.base import BaseObject, ObjectPool
+from repro.base_objects.register import AtomicRegister, RegisterArray
+from repro.base_objects.cas import CompareAndSwap
+from repro.base_objects.tas import TestAndSet
+from repro.base_objects.counter import FetchAndIncrement
+from repro.base_objects.snapshot import AtomicSnapshot
+from repro.base_objects.regfile import RegisterFile
+
+__all__ = [
+    "RegisterFile",
+    "BaseObject",
+    "ObjectPool",
+    "AtomicRegister",
+    "RegisterArray",
+    "CompareAndSwap",
+    "TestAndSet",
+    "FetchAndIncrement",
+    "AtomicSnapshot",
+]

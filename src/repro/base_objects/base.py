@@ -1,0 +1,109 @@
+"""Base objects: the atomic hardware primitives of the model (Section 2).
+
+Implementations of high-level shared objects perform *atomic primitives*
+on base objects.  In the simulator each primitive application is one
+indivisible step: the kernel calls :meth:`BaseObject.apply` between two
+scheduler decisions, so no interleaving can observe a half-applied
+primitive — exactly the atomicity granted to base objects by the model.
+
+Every base object exposes:
+
+* ``apply(method, args)`` — execute one primitive and return its result;
+* ``snapshot_state()`` — a hashable fingerprint of the current state,
+  used by the lasso detector to certify infinite executions;
+* ``reset()`` — return to the initial state (fresh runs without
+  reallocation).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Dict, Hashable, Iterable, List, Tuple
+
+from repro.util.errors import SimulationError
+
+
+class BaseObject(ABC):
+    """An atomic base object addressable by name inside a runtime."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    @abstractmethod
+    def methods(self) -> Tuple[str, ...]:
+        """The primitive method names this object accepts."""
+
+    @abstractmethod
+    def apply(self, method: str, args: Tuple[Any, ...]) -> Any:
+        """Atomically execute ``method(*args)`` and return its result."""
+
+    @abstractmethod
+    def snapshot_state(self) -> Hashable:
+        """A hashable fingerprint of the full current state."""
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Restore the initial state."""
+
+    def _reject(self, method: str) -> Any:
+        raise SimulationError(
+            f"base object {self.name!r} ({type(self).__name__}) has no "
+            f"primitive {method!r}; available: {self.methods()}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r} state={self.snapshot_state()!r}>"
+
+
+class ObjectPool:
+    """The set of base objects available to one run of an implementation.
+
+    The pool owns the objects, routes primitive applications by object
+    name, and aggregates fingerprints for the lasso detector.
+    """
+
+    def __init__(self, objects: Iterable[BaseObject] = ()):
+        self._objects: Dict[str, BaseObject] = {}
+        for obj in objects:
+            self.add(obj)
+
+    def add(self, obj: BaseObject) -> None:
+        """Register a base object; names must be unique within the pool."""
+        if obj.name in self._objects:
+            raise SimulationError(f"duplicate base object name {obj.name!r}")
+        self._objects[obj.name] = obj
+
+    def get(self, name: str) -> BaseObject:
+        """Look up a base object by name."""
+        try:
+            return self._objects[name]
+        except KeyError:
+            raise SimulationError(
+                f"unknown base object {name!r}; pool has {sorted(self._objects)}"
+            ) from None
+
+    def apply(self, name: str, method: str, args: Tuple[Any, ...]) -> Any:
+        """Route one atomic primitive application."""
+        return self.get(name).apply(method, args)
+
+    def names(self) -> List[str]:
+        """Names of all registered objects, sorted."""
+        return sorted(self._objects)
+
+    def snapshot_state(self) -> Hashable:
+        """Combined fingerprint of every object in the pool."""
+        return tuple(
+            (name, self._objects[name].snapshot_state())
+            for name in sorted(self._objects)
+        )
+
+    def reset(self) -> None:
+        """Reset every object in the pool."""
+        for obj in self._objects.values():
+            obj.reset()
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._objects

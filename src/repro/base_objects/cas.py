@@ -1,0 +1,67 @@
+"""Compare-and-swap base object.
+
+Algorithm 1 of the paper (``I(1,2)``) uses a single compare-and-swap
+object ``C`` that holds a version number and the values of every
+transactional variable; the AGP TM uses the same object.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Tuple
+
+from repro.base_objects.base import BaseObject
+from repro.util.errors import SimulationError
+
+
+class CompareAndSwap(BaseObject):
+    """A compare-and-swap register.
+
+    Primitives:
+
+    * ``read()`` — current value;
+    * ``write(value)`` — unconditional store;
+    * ``compare_and_swap(expected, new)`` — atomically: if the current
+      value equals ``expected``, store ``new`` and return ``True``;
+      otherwise leave the value unchanged and return ``False``.
+    """
+
+    def __init__(self, name: str, initial: Any = None):
+        super().__init__(name)
+        self._initial = initial
+        self._value = initial
+
+    def methods(self) -> Tuple[str, ...]:
+        return ("read", "write", "compare_and_swap")
+
+    def apply(self, method: str, args: Tuple[Any, ...]) -> Any:
+        if method == "read":
+            if args:
+                raise SimulationError("read takes no arguments")
+            return self._value
+        if method == "write":
+            if len(args) != 1:
+                raise SimulationError("write takes exactly one argument")
+            self._value = args[0]
+            return None
+        if method == "compare_and_swap":
+            if len(args) != 2:
+                raise SimulationError(
+                    "compare_and_swap takes (expected, new)"
+                )
+            expected, new = args
+            if self._value == expected:
+                self._value = new
+                return True
+            return False
+        return self._reject(method)
+
+    def snapshot_state(self) -> Hashable:
+        return ("cas", self._value)
+
+    def reset(self) -> None:
+        self._value = self._initial
+
+    @property
+    def value(self) -> Any:
+        """Current value (test/assertion access, not an atomic step)."""
+        return self._value

@@ -1,0 +1,45 @@
+"""Fetch-and-increment counter base object."""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Tuple
+
+from repro.base_objects.base import BaseObject
+from repro.util.errors import SimulationError
+
+
+class FetchAndIncrement(BaseObject):
+    """An atomic counter.
+
+    Primitives:
+
+    * ``fetch_and_increment()`` — return the current value and add one;
+    * ``read()`` — current value.
+    """
+
+    def __init__(self, name: str, initial: int = 0):
+        super().__init__(name)
+        self._initial = initial
+        self._value = initial
+
+    def methods(self) -> Tuple[str, ...]:
+        return ("fetch_and_increment", "read")
+
+    def apply(self, method: str, args: Tuple[Any, ...]) -> Any:
+        if method == "fetch_and_increment":
+            if args:
+                raise SimulationError("fetch_and_increment takes no arguments")
+            value = self._value
+            self._value += 1
+            return value
+        if method == "read":
+            if args:
+                raise SimulationError("read takes no arguments")
+            return self._value
+        return self._reject(method)
+
+    def snapshot_state(self) -> Hashable:
+        return ("counter", self._value)
+
+    def reset(self) -> None:
+        self._value = self._initial

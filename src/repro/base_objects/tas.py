@@ -1,0 +1,61 @@
+"""Test-and-set base object.
+
+A one-shot synchronization primitive with consensus number 2: it solves
+consensus for two processes but not three.  Used by the two-process
+consensus algorithm and the test-and-set lock.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Tuple
+
+from repro.base_objects.base import BaseObject
+from repro.util.errors import SimulationError
+
+
+class TestAndSet(BaseObject):
+    """A test-and-set bit.
+
+    (``__test__ = False`` below only tells pytest this is not a test
+    class, despite the Test- prefix.)
+
+    Primitives:
+
+    * ``test_and_set()`` — atomically set the bit and return its
+      *previous* value (``False`` exactly once: the winner);
+    * ``read()`` — current value;
+    * ``clear()`` — reset the bit (used by locks for release).
+    """
+
+    __test__ = False
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self._set = False
+
+    def methods(self) -> Tuple[str, ...]:
+        return ("test_and_set", "read", "clear")
+
+    def apply(self, method: str, args: Tuple[Any, ...]) -> Any:
+        if method == "test_and_set":
+            if args:
+                raise SimulationError("test_and_set takes no arguments")
+            previous = self._set
+            self._set = True
+            return previous
+        if method == "read":
+            if args:
+                raise SimulationError("read takes no arguments")
+            return self._set
+        if method == "clear":
+            if args:
+                raise SimulationError("clear takes no arguments")
+            self._set = False
+            return None
+        return self._reject(method)
+
+    def snapshot_state(self) -> Hashable:
+        return ("tas", self._set)
+
+    def reset(self) -> None:
+        self._set = False

@@ -1,0 +1,173 @@
+"""Events of shared-memory histories.
+
+Section 2 of the paper models an implementation as an I/O automaton whose
+external actions are *invocations* ``inv_i`` and *responses* ``res_i``
+(subscripted by process), plus a special ``crash_i`` input action per
+process.  A history is the subsequence of an execution consisting only of
+these external actions.
+
+This module defines the three event kinds as small frozen dataclasses.  They
+are hashable and totally ordered (by a stable sort key) so they can be used
+as alphabet symbols in the finite set-theoretic model (``repro.setmodel``)
+as well as as trace entries in the simulator (``repro.sim``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Tuple, Union
+
+# ---------------------------------------------------------------------------
+# Event kinds
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Invocation:
+    """An invocation action ``inv_i`` of the shared object.
+
+    Attributes
+    ----------
+    process:
+        Identifier of the invoking process ``p_i`` (0-based integer).
+    operation:
+        Operation name drawn from the object type's invocation alphabet,
+        e.g. ``"propose"`` for consensus or ``"tryC"`` for TM.
+    args:
+        Operation arguments; must be hashable.
+    """
+
+    process: int
+    operation: str
+    args: Tuple[Any, ...] = ()
+
+    def sort_key(self) -> Tuple[Any, ...]:
+        """A stable total-order key used by the finite model."""
+        return (0, self.process, self.operation, repr(self.args))
+
+    def __str__(self) -> str:
+        rendered = ", ".join(repr(a) for a in self.args)
+        return f"{self.operation}({rendered})_{self.process}"
+
+
+@dataclass(frozen=True)
+class Response:
+    """A response action ``res_i`` of the shared object.
+
+    Attributes
+    ----------
+    process:
+        Identifier of the responding process ``p_i``.
+    operation:
+        The operation name of the invocation this response completes.  The
+        paper's histories carry only the response value; we additionally
+        record the operation for readability and checking, since in a
+        well-formed history the operation is uniquely determined anyway.
+    value:
+        The response value (must be hashable).  Object types interpret the
+        value: for consensus it is the decided value, for TM it is one of
+        the sentinels in :mod:`repro.objects.tm` (``OK``, ``COMMITTED``,
+        ``ABORTED``) or a read value.
+    """
+
+    process: int
+    operation: str
+    value: Any = None
+
+    def sort_key(self) -> Tuple[Any, ...]:
+        return (1, self.process, self.operation, repr(self.value))
+
+    def __str__(self) -> str:
+        return f"{self.operation}->{self.value!r}_{self.process}"
+
+
+@dataclass(frozen=True)
+class Crash:
+    """The special input action ``crash_i`` (Section 2).
+
+    After ``crash_i`` occurs, process ``p_i`` takes no further steps; a
+    history containing an event of ``p_i`` after ``crash_i`` is ill-formed.
+    """
+
+    process: int
+
+    def sort_key(self) -> Tuple[Any, ...]:
+        return (2, self.process, "", "")
+
+    def __str__(self) -> str:
+        return f"crash_{self.process}"
+
+
+Event = Union[Invocation, Response, Crash]
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+
+def is_invocation(event: Event) -> bool:
+    """Return True if ``event`` is an :class:`Invocation`."""
+    return isinstance(event, Invocation)
+
+
+def is_response(event: Event) -> bool:
+    """Return True if ``event`` is a :class:`Response`."""
+    return isinstance(event, Response)
+
+
+def is_crash(event: Event) -> bool:
+    """Return True if ``event`` is a :class:`Crash`."""
+    return isinstance(event, Crash)
+
+
+def matches(invocation: Invocation, response: Response) -> bool:
+    """Return True if ``response`` may complete ``invocation``.
+
+    In a well-formed history per-process events alternate, so a response
+    matches the immediately preceding invocation of the same process; this
+    predicate additionally checks process and operation agreement, which is
+    useful as a defensive assertion in the simulator.
+    """
+    return (
+        invocation.process == response.process
+        and invocation.operation == response.operation
+    )
+
+
+@dataclass(frozen=True)
+class Operation:
+    """A (possibly pending) operation instance reconstructed from a history.
+
+    ``response`` is ``None`` while the operation is pending.  ``index`` is
+    the position of the invocation event within the source history, which
+    gives operations a stable identity and a real-time order:  operation A
+    precedes operation B iff A's response index is smaller than B's
+    invocation index.
+    """
+
+    invocation: Invocation
+    response: Union[Response, None]
+    index: int
+    response_index: Union[int, None] = field(default=None)
+
+    @property
+    def process(self) -> int:
+        """The invoking process."""
+        return self.invocation.process
+
+    @property
+    def is_pending(self) -> bool:
+        """True while the operation has no response."""
+        return self.response is None
+
+    def precedes(self, other: "Operation") -> bool:
+        """Real-time precedence: this operation completed before ``other``
+        was invoked."""
+        if self.response_index is None:
+            return False
+        return self.response_index < other.index
+
+    def __str__(self) -> str:
+        left = str(self.invocation)
+        right = "pending" if self.response is None else str(self.response)
+        return f"[{left} .. {right}]"

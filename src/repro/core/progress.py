@@ -1,0 +1,143 @@
+"""Progress taxonomy and the alternative liveness families of Section 6.
+
+Section 5.1 classifies progress guarantees along two axes from Herlihy &
+Shavit's "On the nature of progress" [23]:
+
+* **maximal** vs **minimal** — progress for every process vs for some;
+* **dependent** vs **independent** — conditioned on the scheduler or not.
+
+The classification is recorded as metadata on the shipped properties and
+drives the ``sec6`` experiment, which reproduces the paper's concluding
+comparison of three restricted liveness families:
+
+* ``(l,k)``-freedom — partially ordered (Section 5);
+* singleton ``S``-freedom [36] — an antichain, so no strongest
+  implementable member exists;
+* ``(n,x)``-liveness [25] — totally ordered, so the safety-liveness
+  exclusion question has a trivial answer within the family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable
+
+from repro.core.properties import ExecutionSummary, LivenessProperty, Verdict
+
+
+@dataclass(frozen=True)
+class ProgressClass:
+    """Position of a guarantee in the Herlihy–Shavit taxonomy."""
+
+    maximal: bool
+    dependent: bool
+
+    def describe(self) -> str:
+        """Human-readable taxonomy cell, e.g. ``"minimal independent"``."""
+        kind = "maximal" if self.maximal else "minimal"
+        mode = "dependent" if self.dependent else "independent"
+        return f"{kind} {mode}"
+
+
+#: Taxonomy of the named guarantees discussed in Section 5.1.
+TAXONOMY = {
+    "wait-freedom": ProgressClass(maximal=True, dependent=False),
+    "local-progress": ProgressClass(maximal=True, dependent=False),
+    "lock-freedom": ProgressClass(maximal=False, dependent=False),
+    "obstruction-freedom": ProgressClass(maximal=True, dependent=True),
+    "l-lock-freedom": ProgressClass(maximal=False, dependent=False),
+    "k-obstruction-freedom": ProgressClass(maximal=True, dependent=True),
+}
+
+
+class SFreedom(LivenessProperty):
+    """``S``-freedom [36] on execution summaries.
+
+    For every set ``P`` of correct processes with ``|P| ∈ S``, every
+    process in ``P`` makes progress provided it encounters no step
+    contention from outside ``P``.  On the eventual-behaviour abstraction
+    the group that runs without outside contention is exactly the set
+    ``T`` of eventual steppers, so the property reads: if ``|T| ∈ S``
+    then every member of ``T`` makes progress.
+
+    The paper (Section 6, citing [36]) uses the facts that ``S``-freedom
+    is implementable from registers iff ``|S| = 1`` and that singleton
+    ``S``-freedoms are pairwise incomparable; both are reproduced by the
+    ``sec6`` experiment.
+    """
+
+    def __init__(self, sizes: Iterable[int]):
+        self.sizes: FrozenSet[int] = frozenset(sizes)
+        if not self.sizes:
+            raise ValueError("S must be a non-empty set of group sizes")
+        if any(size < 1 for size in self.sizes):
+            raise ValueError("group sizes must be positive")
+        self.name = f"S-freedom{{{','.join(map(str, sorted(self.sizes)))}}}"
+
+    def evaluate(self, summary: ExecutionSummary) -> Verdict:
+        if len(summary.steppers) not in self.sizes:
+            return Verdict.passed(
+                f"group of {len(summary.steppers)} eventual steppers is not "
+                f"in S={sorted(self.sizes)}: nothing is required",
+                certainty=summary.certainty,
+            )
+        lagging = summary.steppers - summary.progressors
+        if lagging:
+            return Verdict.failed(
+                f"contention-free group {sorted(summary.steppers)} has "
+                f"non-progressing members {sorted(lagging)}",
+                witness=summary,
+                certainty=summary.certainty,
+            )
+        return Verdict.passed(
+            "contention-free group fully progresses", certainty=summary.certainty
+        )
+
+
+class NXLiveness(LivenessProperty):
+    """``(n,x)``-liveness [25] on execution summaries.
+
+    Processes ``0 .. x-1`` must be wait-free (progress whenever correct);
+    processes ``x .. n-1`` must be obstruction-free (progress whenever
+    they are the unique eventual stepper).  For fixed ``n`` the family is
+    totally ordered in ``x``: raising ``x`` strengthens the demand on one
+    more process.  The paper (Section 6, citing [25]) notes that with
+    registers, consensus is implementable iff ``x = 0`` — so within this
+    family the strongest implementable property is ``(n,0)``-liveness and
+    the weakest non-implementable one is ``(n,1)``-liveness.
+    """
+
+    def __init__(self, n: int, x: int):
+        if n < 1:
+            raise ValueError("n must be at least 1")
+        if not 0 <= x <= n:
+            raise ValueError("x must lie in [0, n]")
+        self.n = n
+        self.x = x
+        self.name = f"({n},{x})-liveness"
+
+    def evaluate(self, summary: ExecutionSummary) -> Verdict:
+        if summary.n_processes != self.n:
+            raise ValueError(
+                f"{self.name} is defined for systems of {self.n} processes, "
+                f"got {summary.n_processes}"
+            )
+        for pid in range(self.x):
+            if pid in summary.correct and pid not in summary.progressors:
+                return Verdict.failed(
+                    f"wait-free process p{pid} is correct but makes no progress",
+                    witness=summary,
+                    certainty=summary.certainty,
+                )
+        for pid in range(self.x, self.n):
+            if summary.steppers == frozenset({pid}) and pid not in summary.progressors:
+                return Verdict.failed(
+                    f"obstruction-free process p{pid} runs alone eventually "
+                    "but makes no progress",
+                    witness=summary,
+                    certainty=summary.certainty,
+                )
+        return Verdict.passed(
+            "wait-free and obstruction-free obligations satisfied",
+            certainty=summary.certainty,
+        )

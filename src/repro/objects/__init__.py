@@ -1,0 +1,79 @@
+"""High-level shared object types and their safety checkers."""
+
+from repro.objects.consensus import (
+    AgreementValidity,
+    ConsensusSpec,
+    consensus_object_type,
+)
+from repro.objects.register_obj import (
+    WRITE_OK,
+    RegisterSpec,
+    register_object_type,
+)
+from repro.objects.tm import (
+    ABORTED,
+    COMMITTED,
+    OK,
+    STATUS_ABORTED,
+    STATUS_COMMIT_PENDING,
+    STATUS_COMMITTED,
+    STATUS_LIVE,
+    TM_OPERATIONS,
+    Transaction,
+    TransactionCall,
+    committed_transactions,
+    parse_transactions,
+    tm_object_type,
+)
+from repro.objects.opacity import (
+    OpacityChecker,
+    SearchBudgetExceeded,
+    StrictSerializability,
+)
+from repro.objects.linearizability import (
+    LinearizabilityChecker,
+    LinearizabilitySearchExceeded,
+)
+from repro.objects.counterexample_s import (
+    TimestampAbortRule,
+    counterexample_safety,
+)
+from repro.objects.sequential_consistency import SequentialConsistencyChecker
+from repro.objects.set_agreement import (
+    KSetAgreement,
+    OwnValueSetAgreement,
+    set_agreement_object_type,
+)
+
+__all__ = [
+    "AgreementValidity",
+    "ConsensusSpec",
+    "consensus_object_type",
+    "WRITE_OK",
+    "RegisterSpec",
+    "register_object_type",
+    "ABORTED",
+    "COMMITTED",
+    "OK",
+    "STATUS_ABORTED",
+    "STATUS_COMMIT_PENDING",
+    "STATUS_COMMITTED",
+    "STATUS_LIVE",
+    "TM_OPERATIONS",
+    "Transaction",
+    "TransactionCall",
+    "committed_transactions",
+    "parse_transactions",
+    "tm_object_type",
+    "OpacityChecker",
+    "SearchBudgetExceeded",
+    "StrictSerializability",
+    "LinearizabilityChecker",
+    "LinearizabilitySearchExceeded",
+    "TimestampAbortRule",
+    "counterexample_safety",
+    "SequentialConsistencyChecker",
+    "KSetAgreement",
+    "OwnValueSetAgreement",
+    "set_agreement_object_type",
+]

@@ -1,0 +1,133 @@
+"""The Section 5.3 counterexample safety property ``S``.
+
+``S`` = opacity **plus** a timestamp abort rule: for any group of three
+or more pairwise-concurrent transactions ``T_1, T_2, T_3, ...`` executed
+by distinct processes, if
+
+1. there is a number ``t`` such that each ``T_i`` is the ``t``-th
+   transaction of its process, and
+2. each ``T_i`` invokes ``tryC()`` only after at least two *other*
+   transactions of the group have received a response to their
+   ``start()``,
+
+then every ``T_i`` must be aborted.
+
+Prefix closure: once a group satisfies (1) and (2) in a history, it
+satisfies them in every extension (concurrency, per-process transaction
+numbers, and invocation/response positions never change retroactively),
+and commits are permanent — so "some triggered group member committed"
+is violation-monotone, and the rule restricted to finite histories is
+prefix-closed.  A *live* group member does not violate the rule (it can
+still abort later); only a commit does.
+
+The paper uses ``S`` to show the limits of ``(l,k)``-freedom:
+``(2,2)``-freedom excludes ``S`` (it excludes opacity already, and ``S``
+is stronger), ``(1,3)``-freedom excludes ``S`` (the three-process
+adversary of Section 5.3, shipped in
+:mod:`repro.adversaries.counterexample`), yet ``(1,2)``-freedom — which
+is weaker than both — does *not* exclude ``S``: Algorithm 1 (``I(1,2)``)
+implements it.  Hence no weakest-excluding ``(l,k)``-freedom exists for
+``S``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.history import History
+from repro.core.properties import ConjunctionSafety, SafetyProperty, Verdict
+from repro.objects.opacity import OpacityChecker
+from repro.objects.tm import Transaction, parse_transactions
+
+
+class TimestampAbortRule(SafetyProperty):
+    """Requirement (2) of the Section 5.3 property, on its own."""
+
+    name = "timestamp-abort-rule"
+
+    def __init__(self, min_group: int = 3):
+        if min_group < 2:
+            raise ValueError("the rule needs groups of at least 2")
+        self.min_group = min_group
+
+    def check_history(self, history: History) -> Verdict:
+        transactions = parse_transactions(history)
+        offender = self._find_violation(transactions)
+        if offender is None:
+            return Verdict.passed("no triggered group has a committed member")
+        group, committed = offender
+        members = ", ".join(f"p{t.process}#{t.number}" for t in group)
+        return Verdict.failed(
+            f"transactions {{{members}}} trigger the timestamp rule but "
+            f"p{committed.process}#{committed.number} committed",
+            witness=history,
+        )
+
+    # -- rule evaluation ---------------------------------------------------------
+
+    def _find_violation(
+        self, transactions: List[Transaction]
+    ) -> Optional[Tuple[Tuple[Transaction, ...], Transaction]]:
+        by_number: dict = {}
+        for transaction in transactions:
+            by_number.setdefault(transaction.number, []).append(transaction)
+        for number in sorted(by_number):
+            cohort = by_number[number]
+            if len(cohort) < self.min_group:
+                continue
+            for size in range(self.min_group, len(cohort) + 1):
+                for group in itertools.combinations(cohort, size):
+                    if not self._distinct_processes(group):
+                        continue
+                    if not self._pairwise_concurrent(group):
+                        continue
+                    if not self._tryc_after_two_starts(group):
+                        continue
+                    for member in group:
+                        if member.committed:
+                            return group, member
+        return None
+
+    @staticmethod
+    def _distinct_processes(group: Sequence[Transaction]) -> bool:
+        return len({t.process for t in group}) == len(group)
+
+    @staticmethod
+    def _pairwise_concurrent(group: Sequence[Transaction]) -> bool:
+        return all(
+            a.concurrent_with(b) for a, b in itertools.combinations(group, 2)
+        )
+
+    @staticmethod
+    def _tryc_after_two_starts(group: Sequence[Transaction]) -> bool:
+        """Each member invokes tryC after ≥2 other members' start
+        responses.  Members without a tryC invocation disarm the
+        trigger (condition (2) requires *each* T_i to invoke tryC)."""
+        for member in group:
+            tryc = member.tryc_invocation_index
+            if tryc is None:
+                return False
+            answered_before = sum(
+                1
+                for other in group
+                if other is not member
+                and other.start_response_index is not None
+                and other.start_response_index < tryc
+            )
+            if answered_before < 2:
+                return False
+        return True
+
+
+def counterexample_safety(
+    deep_opacity: bool = True, max_nodes: int = 200_000
+) -> ConjunctionSafety:
+    """The full Section 5.3 property ``S`` = opacity ∧ timestamp rule."""
+    return ConjunctionSafety(
+        parts=(
+            OpacityChecker(deep=deep_opacity, max_nodes=max_nodes),
+            TimestampAbortRule(),
+        ),
+        name="S(opacity+timestamp-rule)",
+    )

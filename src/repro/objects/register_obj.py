@@ -1,0 +1,59 @@
+"""Read/write register object type (high level) and its spec.
+
+Used by the generic linearizability checker's tests and by the
+high-level-object examples (implementing a register object on top of
+base registers is the identity construction, but faulty variants make
+the checker's negative tests meaningful).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence, Tuple
+
+from repro.core.object_type import ObjectType, OperationSignature, ProgressMode, SequentialSpec
+from repro.util.errors import SpecificationError
+
+#: Response value of a successful high-level write.
+WRITE_OK = "ok"
+
+
+class RegisterSpec(SequentialSpec):
+    """Sequential read/write register."""
+
+    def __init__(self, initial: Any = 0):
+        self.initial = initial
+
+    def initial_state(self) -> Any:
+        return self.initial
+
+    def apply(self, state: Any, operation: str, args: Tuple[Any, ...]) -> Tuple[Any, Any]:
+        if operation == "read":
+            if args:
+                raise SpecificationError("read takes no arguments")
+            return state, state
+        if operation == "write":
+            if len(args) != 1:
+                raise SpecificationError("write takes one argument")
+            return args[0], WRITE_OK
+        raise SpecificationError(f"register spec has read/write only; got {operation}")
+
+
+def register_object_type(values: Sequence[Any] = (0, 1)) -> ObjectType:
+    """Build the register object type over a finite value domain."""
+    values = tuple(values)
+    return ObjectType(
+        name="register",
+        operations=(
+            OperationSignature(
+                name="read", argument_domains=(), response_domain=values
+            ),
+            OperationSignature(
+                name="write",
+                argument_domains=(values,),
+                response_domain=(WRITE_OK,),
+            ),
+        ),
+        sequential_spec=RegisterSpec(initial=values[0]),
+        good_response=lambda response: True,
+        progress_mode=ProgressMode.REPEATED,
+    )

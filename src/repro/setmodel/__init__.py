@@ -1,0 +1,50 @@
+"""Exact finite set-theoretic models of the paper's Sections 3-4."""
+
+from repro.setmodel.model import FiniteModel, HistorySet, ImplementationModel
+from repro.setmodel.universe import (
+    SILENT,
+    ResponsePolicy,
+    build_model,
+    constant_policy,
+    enumerate_policies,
+    enumerate_universe,
+    lmax_of,
+    safety_is_admissible,
+    silent_policy,
+)
+from repro.setmodel.theorem44 import (
+    Theorem44Report,
+    first_event_adversary_sets,
+    verify_theorem44,
+)
+from repro.setmodel import theorem44, theorem49
+from repro.setmodel.theorem49 import (
+    Lemma48Report,
+    Theorem49Report,
+    verify_lemma48,
+    verify_theorem49,
+)
+
+__all__ = [
+    "FiniteModel",
+    "HistorySet",
+    "ImplementationModel",
+    "SILENT",
+    "ResponsePolicy",
+    "build_model",
+    "constant_policy",
+    "enumerate_policies",
+    "enumerate_universe",
+    "lmax_of",
+    "safety_is_admissible",
+    "silent_policy",
+    "Theorem44Report",
+    "first_event_adversary_sets",
+    "verify_theorem44",
+    "theorem44",
+    "theorem49",
+    "Lemma48Report",
+    "Theorem49Report",
+    "verify_lemma48",
+    "verify_theorem49",
+]

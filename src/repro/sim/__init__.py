@@ -1,0 +1,82 @@
+"""Deterministic discrete-event simulator of asynchronous shared memory."""
+
+from repro.sim.kernel import Algorithm, Implementation, Op, ProcessFrame, ProcessState
+from repro.sim.drivers import (
+    ComposedDriver,
+    CrashDecision,
+    Decision,
+    Driver,
+    InvokeDecision,
+    ScriptedDriver,
+    StepDecision,
+    StopDecision,
+)
+from repro.sim.schedulers import (
+    FixedOrderScheduler,
+    GroupScheduler,
+    LockstepScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+    SoloScheduler,
+)
+from repro.sim.workload import (
+    OneShotWorkload,
+    ScriptedWorkload,
+    TransactionWorkload,
+    Workload,
+    propose_workload,
+)
+from repro.sim.crash import CrashAfterInvocations, CrashAtStep, CrashPlan, NoCrashes
+from repro.sim.record import LassoCertificate, ProcessStats, RunResult
+from repro.sim.lasso import LassoDetector
+from repro.sim.runtime import Runtime, RuntimeView, play
+from repro.sim.explore import (
+    ExplorationReport,
+    ExploredRun,
+    check_all_histories,
+    explore_histories,
+)
+
+__all__ = [
+    "Algorithm",
+    "Implementation",
+    "Op",
+    "ProcessFrame",
+    "ProcessState",
+    "ComposedDriver",
+    "CrashDecision",
+    "Decision",
+    "Driver",
+    "InvokeDecision",
+    "ScriptedDriver",
+    "StepDecision",
+    "StopDecision",
+    "FixedOrderScheduler",
+    "GroupScheduler",
+    "LockstepScheduler",
+    "RandomScheduler",
+    "RoundRobinScheduler",
+    "Scheduler",
+    "SoloScheduler",
+    "OneShotWorkload",
+    "ScriptedWorkload",
+    "TransactionWorkload",
+    "Workload",
+    "propose_workload",
+    "CrashAfterInvocations",
+    "CrashAtStep",
+    "CrashPlan",
+    "NoCrashes",
+    "LassoCertificate",
+    "ProcessStats",
+    "RunResult",
+    "LassoDetector",
+    "Runtime",
+    "RuntimeView",
+    "play",
+    "ExplorationReport",
+    "ExploredRun",
+    "check_all_histories",
+    "explore_histories",
+]

@@ -1,0 +1,201 @@
+"""Exhaustive interleaving exploration: model-checking small workloads.
+
+Random schedules sample the interleaving space; for small workloads the
+space can be *exhausted*.  :func:`explore_histories` enumerates every
+schedule of a fixed invocation plan (each process's operation sequence)
+up to a depth bound, deduplicating configurations by fingerprint so the
+exponential tree collapses to the reachable configuration DAG, and
+yields the history of every maximal run.  :func:`check_all_histories`
+wraps it into a verdict: a safety property holds on *every* reachable
+interleaving, or here is the counterexample schedule.
+
+Like the valency search, exploration is replay-based (generator frames
+cannot be snapshotted): each DAG edge re-executes the run from scratch,
+an O(depth) cost per node that buys exactness.  The fingerprint is the
+same exact-configuration fingerprint the lasso detector uses — sound
+dedup under the determinism contract of :mod:`repro.sim.kernel`.
+
+Used by the test suite to verify, e.g., that *every* interleaving of
+two AGP transactions is opaque and that every interleaving of two
+CAS-consensus proposals decides consistently — exhaustive guarantees no
+battery of random seeds can give.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.history import History
+from repro.core.properties import SafetyProperty, Verdict
+from repro.sim.drivers import InvokeDecision, ScriptedDriver, StepDecision
+from repro.sim.kernel import Implementation
+from repro.sim.runtime import Runtime
+
+#: One process's planned invocations: a list of (operation, args).
+InvocationPlan = Dict[int, List[Tuple[str, Tuple[Any, ...]]]]
+
+#: A schedule is a list of decisions: ("invoke", pid) or ("step", pid).
+Choice = Tuple[str, int]
+
+
+@dataclass
+class ExploredRun:
+    """One maximal run of the exploration."""
+
+    schedule: Tuple[Choice, ...]
+    history: History
+    complete: bool  # all planned invocations issued and completed
+
+
+@dataclass
+class ExplorationReport:
+    """Outcome of checking a safety property over all interleavings."""
+
+    property_name: str
+    runs_checked: int
+    counterexample: Optional[ExploredRun] = None
+
+    @property
+    def holds(self) -> bool:
+        return self.counterexample is None
+
+
+def _replay(
+    implementation_factory: Callable[[], Implementation],
+    plan: InvocationPlan,
+    schedule: Sequence[Choice],
+) -> Tuple[Runtime, "RunState"]:
+    """Execute a schedule from scratch; returns the runtime and state."""
+    implementation = implementation_factory()
+    decisions: List[object] = []
+    cursors = {pid: 0 for pid in plan}
+    for kind, pid in schedule:
+        if kind == "invoke":
+            operation, args = plan[pid][cursors[pid]]
+            cursors[pid] += 1
+            decisions.append(InvokeDecision(pid, operation, args))
+        else:
+            decisions.append(StepDecision(pid))
+    driver = ScriptedDriver(decisions, name="explore-replay")
+    runtime = Runtime(
+        implementation, driver, max_steps=len(decisions) + 1, detect_lasso=False
+    )
+    runtime.run()
+    return runtime, RunState(runtime=runtime, cursors=cursors)
+
+
+@dataclass
+class RunState:
+    """Configuration view after a replay."""
+
+    runtime: Runtime
+    cursors: Dict[int, int]
+
+    def choices(self, plan: InvocationPlan) -> List[Choice]:
+        """Legal next decisions from this configuration."""
+        out: List[Choice] = []
+        for pid in sorted(plan):
+            state = self.runtime.processes[pid]
+            if state.crashed:
+                continue
+            if state.pending:
+                out.append(("step", pid))
+            elif self.cursors[pid] < len(plan[pid]):
+                out.append(("invoke", pid))
+        return out
+
+    def fingerprint(self) -> Hashable:
+        """Dedup key: configuration *and* history.
+
+        The configuration alone is not enough: two interleavings can
+        commute to the same configuration while their histories differ
+        in real-time order (e.g. response-before-invocation vs
+        invocation-before-response), and safety verdicts depend on that
+        order.  Including the event sequence keeps dedup sound — equal
+        history means equal safety obligations, equal configuration
+        means equal futures — while still collapsing the dominant
+        explosion source: permutations of internal steps that emit no
+        events.
+        """
+        return (
+            tuple(sorted(self.cursors.items())),
+            self.runtime.pool.snapshot_state(),
+            tuple(state.fingerprint() for state in self.runtime.processes),
+            tuple(self.runtime.events),
+        )
+
+    def history(self) -> History:
+        return History(self.runtime.events, validate=False)
+
+    def complete(self, plan: InvocationPlan) -> bool:
+        return all(
+            self.cursors[pid] >= len(plan[pid])
+            and not self.runtime.processes[pid].pending
+            for pid in plan
+        )
+
+
+def explore_histories(
+    implementation_factory: Callable[[], Implementation],
+    plan: InvocationPlan,
+    max_depth: int = 64,
+    max_configurations: int = 100_000,
+) -> Iterator[ExploredRun]:
+    """Yield one run per maximal schedule (modulo configuration dedup).
+
+    Deduplication merges schedules that reach the same configuration,
+    so each *configuration* is expanded once; the histories yielded are
+    those of depth-first representatives of maximal runs.  Since safety
+    properties are prefix-closed and history membership depends only on
+    the events (determined by the configuration path), checking the
+    yielded histories covers every reachable interleaving's history up
+    to the dedup equivalence.
+    """
+    seen: set = set()
+    stack: List[Tuple[Choice, ...]] = [()]
+    while stack:
+        schedule = stack.pop()
+        if len(seen) >= max_configurations:
+            raise RuntimeError(
+                f"exploration exceeded {max_configurations} configurations"
+            )
+        _runtime, state = _replay(implementation_factory, plan, schedule)
+        fingerprint = state.fingerprint()
+        if fingerprint in seen:
+            continue
+        seen.add(fingerprint)
+        choices = state.choices(plan)
+        if not choices or len(schedule) >= max_depth:
+            yield ExploredRun(
+                schedule=schedule,
+                history=state.history(),
+                complete=state.complete(plan),
+            )
+            continue
+        for choice in choices:
+            stack.append(schedule + (choice,))
+
+
+def check_all_histories(
+    implementation_factory: Callable[[], Implementation],
+    plan: InvocationPlan,
+    safety: SafetyProperty,
+    max_depth: int = 64,
+    max_configurations: int = 100_000,
+) -> ExplorationReport:
+    """Check a safety property over every reachable interleaving."""
+    runs_checked = 0
+    counterexample: Optional[ExploredRun] = None
+    for run in explore_histories(
+        implementation_factory, plan, max_depth, max_configurations
+    ):
+        runs_checked += 1
+        if not safety.check_history(run.history).holds:
+            counterexample = run
+            break
+    return ExplorationReport(
+        property_name=safety.name,
+        runs_checked=runs_checked,
+        counterexample=counterexample,
+    )

@@ -1,0 +1,199 @@
+"""Simulation kernel primitives: steps, implementations, process frames.
+
+Algorithms are written as Python *generator coroutines*: the algorithm
+for one operation yields :class:`Op` requests (one atomic primitive on a
+named base object per yield) and finally ``return``s the operation's
+response value.  The runtime advances exactly one process per scheduler
+decision, so the interleaving of primitive applications — the only thing
+concurrency can affect in the asynchronous shared-memory model — is
+totally controlled by the driver.
+
+One *step* of a process is: resume the generator with the result of its
+previously issued primitive, run local computation until the next
+primitive request, and apply that primitive atomically.  This matches the
+model's step granularity (local computation is free; shared-memory
+primitives are the atomic unit).
+
+Determinism/lasso contract
+--------------------------
+The lasso detector certifies an infinite execution by fingerprinting the
+global configuration.  A process frame is fingerprinted as
+``(operation, args, primitives_issued, last_result, memory)``; for the
+fingerprint to determine future behaviour, algorithms that opt into
+exact lasso detection must keep all mutable operation-local state in the
+``memory`` mapping (rather than in generator-local variables that
+survive across yields).  All algorithms shipped in
+:mod:`repro.algorithms` follow this contract.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, Hashable, Optional, Tuple
+
+from repro.base_objects.base import ObjectPool
+from repro.core.events import Invocation
+from repro.core.object_type import ObjectType
+from repro.util.errors import SimulationError
+from repro.util.freeze import freeze
+
+#: Type alias for algorithm coroutines.
+Algorithm = Generator["Op", Any, Any]
+
+
+@dataclass(frozen=True)
+class Op:
+    """One atomic primitive request: ``pool[obj].method(*args)``."""
+
+    obj: str
+    method: str
+    args: Tuple[Any, ...] = ()
+
+    def __str__(self) -> str:
+        rendered = ", ".join(repr(a) for a in self.args)
+        return f"{self.obj}.{self.method}({rendered})"
+
+
+class Implementation(ABC):
+    """An implementation ``I = {I_1, ..., I_n}`` of a shared object type.
+
+    Subclasses provide the base objects and the per-process algorithm.
+    One instance describes the *code*; each run gets a fresh
+    :class:`~repro.base_objects.base.ObjectPool` and fresh per-process
+    memories, so an implementation instance may be reused across runs.
+    """
+
+    #: Human-readable name used in reports and registries.
+    name: str = "implementation"
+
+    def __init__(self, object_type: ObjectType, n_processes: int):
+        if n_processes < 1:
+            raise ValueError("n_processes must be at least 1")
+        self.object_type = object_type
+        self.n_processes = n_processes
+
+    @abstractmethod
+    def create_pool(self) -> ObjectPool:
+        """Fresh base objects for one run."""
+
+    @abstractmethod
+    def algorithm(
+        self,
+        pid: int,
+        operation: str,
+        args: Tuple[Any, ...],
+        memory: Dict[str, Any],
+    ) -> Algorithm:
+        """The algorithm ``I_pid`` run for one invocation.
+
+        ``memory`` is the process's persistent local memory: it survives
+        across operations of the same process within a run (Algorithm 1
+        keeps ``timestamp`` there) and is included in fingerprints.
+        """
+
+    def initial_memory(self, pid: int) -> Dict[str, Any]:
+        """Initial persistent local memory of process ``pid``."""
+        return {}
+
+    def liveness_abstraction(
+        self, pool: ObjectPool, memories: Tuple[Dict[str, Any], ...]
+    ) -> Optional[Hashable]:
+        """Optional quotient fingerprint for lasso detection.
+
+        Implementations whose state grows monotonically (round counters,
+        timestamps) can override this to return an abstraction under
+        which the repeating behaviour *is* a repetition of state.  The
+        overriding class is responsible for the abstraction being a
+        bisimulation quotient of the real state w.r.t. the adversary in
+        play; each shipped override documents its argument.  Returning
+        ``None`` (the default) makes the detector use the exact state.
+        """
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r} n={self.n_processes}>"
+
+
+@dataclass
+class ProcessFrame:
+    """Execution state of one in-flight operation of one process."""
+
+    invocation: Invocation
+    generator: Algorithm
+    started: bool = False
+    primitives_issued: int = 0
+    last_result: Any = None
+    pending_op: Optional[Op] = None
+
+    def fingerprint(self) -> Hashable:
+        """Frame part of the global configuration fingerprint."""
+        return (
+            self.invocation.operation,
+            freeze(self.invocation.args),
+            self.primitives_issued,
+            freeze(self.last_result),
+            freeze(self.pending_op.args) if self.pending_op else None,
+            (self.pending_op.obj, self.pending_op.method) if self.pending_op else None,
+        )
+
+
+@dataclass
+class ProcessState:
+    """Runtime state of one simulated process."""
+
+    pid: int
+    memory: Dict[str, Any] = field(default_factory=dict)
+    frame: Optional[ProcessFrame] = None
+    crashed: bool = False
+    steps: int = 0
+    last_step: int = -1
+    good_response_steps: list = field(default_factory=list)
+    response_count: int = 0
+    invocation_count: int = 0
+
+    @property
+    def idle(self) -> bool:
+        """True when the process has no pending operation (and may be
+        invoked, by input-enabledness)."""
+        return self.frame is None and not self.crashed
+
+    @property
+    def pending(self) -> bool:
+        """True when an operation is in flight."""
+        return self.frame is not None and not self.crashed
+
+    def fingerprint(self) -> Hashable:
+        """Process part of the global configuration fingerprint."""
+        return (
+            self.pid,
+            self.crashed,
+            freeze(self.memory),
+            self.frame.fingerprint() if self.frame else None,
+        )
+
+
+def run_step(frame: ProcessFrame, pool: ObjectPool) -> Tuple[bool, Any]:
+    """Advance one frame by one step.
+
+    Returns ``(finished, response_value_or_None)``.  If the generator
+    yields another :class:`Op`, the primitive is applied atomically and
+    its result buffered for the next step; if it returns, the operation
+    is complete.
+    """
+    try:
+        if not frame.started:
+            frame.started = True
+            op = next(frame.generator)
+        else:
+            op = frame.generator.send(frame.last_result)
+    except StopIteration as stop:
+        return True, stop.value
+    if not isinstance(op, Op):
+        raise SimulationError(
+            f"algorithm for {frame.invocation} yielded {op!r}; expected Op"
+        )
+    frame.pending_op = op
+    frame.last_result = pool.apply(op.obj, op.method, op.args)
+    frame.primitives_issued += 1
+    return False, None

@@ -1,0 +1,235 @@
+"""Workloads: what idle processes invoke next.
+
+A workload is the benign half of the environment: it supplies each idle
+process's next invocation.  (Adversaries embed their own input choices
+and implement :class:`~repro.sim.drivers.Driver` directly.)
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from repro.util.rng import DeterministicRng
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.runtime import RuntimeView
+
+InvocationSpec = Tuple[str, Tuple[Any, ...]]
+
+
+class Workload(ABC):
+    """Supplies invocations for idle processes."""
+
+    name: str = "workload"
+
+    @abstractmethod
+    def has_next(self, pid: int, view: "RuntimeView") -> bool:
+        """True if process ``pid`` has another invocation to issue."""
+
+    @abstractmethod
+    def next_invocation(self, pid: int, view: "RuntimeView") -> InvocationSpec:
+        """The next ``(operation, args)`` for ``pid``.
+
+        Only called when :meth:`has_next` is true; consuming the
+        invocation advances the workload's per-process cursor.
+        """
+
+    def fingerprint(self) -> Optional[Hashable]:
+        """Workload state for lasso detection (``None`` disables)."""
+        return None
+
+    def reset(self) -> None:
+        """Return to the initial state."""
+
+
+class OneShotWorkload(Workload):
+    """Each process issues one fixed invocation, once.
+
+    Consensus experiments use this: process ``i`` proposes
+    ``proposals[i]``.
+    """
+
+    def __init__(self, invocations: Sequence[Optional[InvocationSpec]], name: str = "one-shot"):
+        self._invocations = list(invocations)
+        self._issued = [False] * len(invocations)
+        self.name = name
+
+    def has_next(self, pid: int, view: "RuntimeView") -> bool:
+        return (
+            pid < len(self._invocations)
+            and self._invocations[pid] is not None
+            and not self._issued[pid]
+        )
+
+    def next_invocation(self, pid: int, view: "RuntimeView") -> InvocationSpec:
+        self._issued[pid] = True
+        spec = self._invocations[pid]
+        assert spec is not None
+        return spec
+
+    def fingerprint(self) -> Optional[Hashable]:
+        return ("one-shot", tuple(self._issued))
+
+    def reset(self) -> None:
+        self._issued = [False] * len(self._invocations)
+
+
+class ScriptedWorkload(Workload):
+    """Each process replays its own fixed invocation list."""
+
+    def __init__(self, scripts: Dict[int, List[InvocationSpec]], name: str = "scripted"):
+        self._scripts = {pid: list(script) for pid, script in scripts.items()}
+        self._cursors = {pid: 0 for pid in scripts}
+        self.name = name
+
+    def has_next(self, pid: int, view: "RuntimeView") -> bool:
+        return self._cursors.get(pid, 0) < len(self._scripts.get(pid, []))
+
+    def next_invocation(self, pid: int, view: "RuntimeView") -> InvocationSpec:
+        cursor = self._cursors[pid]
+        self._cursors[pid] = cursor + 1
+        return self._scripts[pid][cursor]
+
+    def fingerprint(self) -> Optional[Hashable]:
+        return ("scripted", tuple(sorted(self._cursors.items())))
+
+    def reset(self) -> None:
+        self._cursors = {pid: 0 for pid in self._scripts}
+
+
+def propose_workload(values: Sequence[Any]) -> OneShotWorkload:
+    """Consensus workload: process ``i`` proposes ``values[i]``.
+
+    A ``None`` entry means the process proposes nothing.
+    """
+    return OneShotWorkload(
+        [
+            None if value is None else ("propose", (value,))
+            for value in values
+        ],
+        name="propose",
+    )
+
+
+class TransactionWorkload(Workload):
+    """TM workload: each process runs a stream of read/write transactions.
+
+    Every transaction is the four-call sequence
+    ``start; read(x); write(y, value); tryC`` over variables drawn
+    round-robin (or at random with a seed) from ``variables``.  Aborted
+    transactions are retried up to ``retries_per_tx`` times (``None`` =
+    retry forever), so the workload keeps demanding commits the way the
+    liveness definitions assume.
+
+    The workload inspects the view's last response per process to decide
+    whether the previous transaction step aborted (TM responses use the
+    sentinels from :mod:`repro.objects.tm`).
+    """
+
+    def __init__(
+        self,
+        n_processes: int,
+        transactions_per_process: int,
+        variables: Sequence[int] = (0,),
+        seed: Optional[object] = None,
+        retries_per_tx: Optional[int] = None,
+        name: str = "transactions",
+    ):
+        from repro.objects.tm import ABORTED, COMMITTED  # avoid import cycle
+
+        self._aborted = ABORTED
+        self._committed_sentinel = COMMITTED
+        self.n_processes = n_processes
+        self.transactions_per_process = transactions_per_process
+        self.variables = tuple(variables)
+        self.retries_per_tx = retries_per_tx
+        self.name = name
+        self._seed = seed
+        self._rng = DeterministicRng(seed) if seed is not None else None
+        # Per-process cursors.  ``call`` is the index of the next call in
+        # the 4-call transaction script (0=start, 1=read, 2=write,
+        # 3=tryC); ``seen`` counts the responses already folded into the
+        # cursors, making observation idempotent.
+        self._committed = [0] * n_processes
+        self._call = [0] * n_processes
+        self._retries = [0] * n_processes
+        self._value_counter = [0] * n_processes
+        self._seen = [0] * n_processes
+
+    def _variables_for(self, pid: int) -> Tuple[int, int]:
+        if self._rng is not None:
+            read_var = self._rng.choice(self.variables)
+            write_var = self._rng.choice(self.variables)
+            return read_var, write_var
+        count = self._committed[pid] + self._retries[pid]
+        read_var = self.variables[count % len(self.variables)]
+        write_var = self.variables[(count + pid) % len(self.variables)]
+        return read_var, write_var
+
+    def _sync(self, pid: int, view: "RuntimeView") -> None:
+        """Fold the latest response (if unseen) into the cursors."""
+        seen = view.response_count(pid)
+        if seen == self._seen[pid]:
+            return
+        self._seen[pid] = seen
+        last = view.last_response(pid)
+        if last is None:
+            return
+        if last.value is self._aborted:
+            self._call[pid] = 0
+            self._retries[pid] += 1
+        elif last.operation == "tryC" and last.value is self._committed_sentinel:
+            self._call[pid] = 0
+            self._committed[pid] += 1
+            self._retries[pid] = 0
+
+    def has_next(self, pid: int, view: "RuntimeView") -> bool:
+        if pid >= self.n_processes:
+            return False
+        self._sync(pid, view)
+        if self._committed[pid] >= self.transactions_per_process:
+            return False
+        if (
+            self.retries_per_tx is not None
+            and self._retries[pid] > self.retries_per_tx
+        ):
+            return False
+        return True
+
+    def next_invocation(self, pid: int, view: "RuntimeView") -> InvocationSpec:
+        self._sync(pid, view)
+        call = self._call[pid]
+        read_var, write_var = self._variables_for(pid)
+        if call == 0:
+            self._call[pid] = 1
+            return ("start", ())
+        if call == 1:
+            self._call[pid] = 2
+            return ("read", (read_var,))
+        if call == 2:
+            self._call[pid] = 3
+            self._value_counter[pid] += 1
+            return ("write", (write_var, (pid, self._value_counter[pid])))
+        # call == 3: commit request; _sync resets the cursor on response.
+        return ("tryC", ())
+
+    def committed(self, pid: int) -> int:
+        """Transactions of ``pid`` committed so far (as observed)."""
+        return self._committed[pid]
+
+    def fingerprint(self) -> Optional[Hashable]:
+        # Commit/retry counters grow monotonically; exact lasso detection
+        # over this workload would never fire, and an unsound fingerprint
+        # is worse than none — so disable it (runs under this workload
+        # rely on implementation-provided abstractions or on horizons).
+        return None
+
+    def reset(self) -> None:
+        self._committed = [0] * self.n_processes
+        self._call = [0] * self.n_processes
+        self._retries = [0] * self.n_processes
+        self._value_counter = [0] * self.n_processes
+        self._seen = [0] * self.n_processes
+        if self._seed is not None:
+            self._rng = DeterministicRng(self._seed)

@@ -1,0 +1,21 @@
+"""Small shared utilities: error types, deterministic RNG, id helpers."""
+
+from repro.util.errors import (
+    ReproError,
+    IllFormedHistoryError,
+    SpecificationError,
+    SimulationError,
+    AdversaryError,
+    ModelError,
+)
+from repro.util.rng import DeterministicRng
+
+__all__ = [
+    "ReproError",
+    "IllFormedHistoryError",
+    "SpecificationError",
+    "SimulationError",
+    "AdversaryError",
+    "ModelError",
+    "DeterministicRng",
+]

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the repro library.
+
+Every exception raised on purpose by the library derives from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing programming errors (``TypeError`` etc.).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class IllFormedHistoryError(ReproError):
+    """A history violates well-formedness (Section 2 of the paper).
+
+    Well-formedness requires that the projection of the history onto each
+    process is an alternating sequence of invocations and responses starting
+    with an invocation, and that no event follows a crash of the same
+    process.
+    """
+
+
+class SpecificationError(ReproError):
+    """A sequential specification rejected an operation.
+
+    Raised when an operation is applied to a sequential-specification state
+    that has no transition for it (e.g. a transactional read of a variable
+    outside the declared variable set).
+    """
+
+
+class SimulationError(ReproError):
+    """The simulation kernel was driven into an inconsistent state.
+
+    Examples: scheduling a step for a process with no pending operation,
+    invoking an operation on a pending (non-idle) process in violation of
+    the one-outstanding-operation discipline, or stepping a crashed process.
+    """
+
+
+class AdversaryError(ReproError):
+    """An adversary strategy observed a protocol violation.
+
+    Raised when an implementation hands the adversary a response the
+    adversary's strategy has no transition for (which would indicate the
+    implementation violated the object type's response alphabet).
+    """
+
+
+class ModelError(ReproError):
+    """A finite set-theoretic model (``repro.setmodel``) is inconsistent.
+
+    Examples: a claimed safety property that is not prefix-closed, or an
+    implementation whose history set is not input-enabled.
+    """

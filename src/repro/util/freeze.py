@@ -1,0 +1,27 @@
+"""Recursive freezing of plain data into hashable fingerprints.
+
+The lasso detector fingerprints process-local memories (dicts of plain
+data) and base-object states; :func:`freeze` converts any composition of
+dicts, lists, tuples, sets and hashable leaves into a canonical hashable
+value such that equal structures freeze equal.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+
+def freeze(value: Any) -> Hashable:
+    """Return a canonical hashable form of ``value``.
+
+    Dicts become sorted tuples of frozen items, lists and tuples become
+    tuples, sets become frozensets.  Leaves must already be hashable.
+    """
+    if isinstance(value, dict):
+        return ("dict", tuple(sorted((k, freeze(v)) for k, v in value.items())))
+    if isinstance(value, (list, tuple)):
+        return ("seq", tuple(freeze(v) for v in value))
+    if isinstance(value, (set, frozenset)):
+        return ("set", frozenset(freeze(v) for v in value))
+    hash(value)  # raise early if a leaf is unhashable
+    return value

@@ -1,0 +1,92 @@
+"""Shared fixtures and history-building helpers for the test suite."""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence, Tuple
+
+import pytest
+
+from repro.core.events import Crash, Invocation, Response
+from repro.core.history import History
+from repro.objects.tm import ABORTED, COMMITTED, OK
+
+
+def inv(pid: int, operation: str, *args: Any) -> Invocation:
+    """Shorthand invocation builder."""
+    return Invocation(process=pid, operation=operation, args=tuple(args))
+
+
+def res(pid: int, operation: str, value: Any = None) -> Response:
+    """Shorthand response builder."""
+    return Response(process=pid, operation=operation, value=value)
+
+
+def crash(pid: int) -> Crash:
+    """Shorthand crash builder."""
+    return Crash(process=pid)
+
+
+def tm_events(*script: Tuple) -> List:
+    """Build TM event lists from a compact script.
+
+    Each entry is ``(pid, call, *payload)`` where call is one of:
+    ``start`` / ``start!`` (aborted), ``read`` (var, value),
+    ``write`` (var, value), ``commit``, ``abort`` — each expanding into
+    the invocation/response pair; or ``("i", pid, op, *args)`` /
+    ``("r", pid, op, value)`` for a lone event.
+    """
+    events: List = []
+    for entry in script:
+        if entry[0] == "i":
+            _tag, pid, operation, *args = entry
+            events.append(inv(pid, operation, *args))
+            continue
+        if entry[0] == "r":
+            _tag, pid, operation, value = entry
+            events.append(res(pid, operation, value))
+            continue
+        pid, call, *payload = entry
+        if call == "start":
+            events.extend([inv(pid, "start"), res(pid, "start", OK)])
+        elif call == "start!":
+            events.extend([inv(pid, "start"), res(pid, "start", ABORTED)])
+        elif call == "read":
+            variable, value = payload
+            events.extend(
+                [inv(pid, "read", variable), res(pid, "read", value)]
+            )
+        elif call == "write":
+            variable, value = payload
+            events.extend(
+                [inv(pid, "write", variable, value), res(pid, "write", OK)]
+            )
+        elif call == "write!":
+            variable, value = payload
+            events.extend(
+                [inv(pid, "write", variable, value), res(pid, "write", ABORTED)]
+            )
+        elif call == "commit":
+            events.extend([inv(pid, "tryC"), res(pid, "tryC", COMMITTED)])
+        elif call == "abort":
+            events.extend([inv(pid, "tryC"), res(pid, "tryC", ABORTED)])
+        else:  # pragma: no cover - test-authoring error
+            raise ValueError(f"unknown call {call!r}")
+    return events
+
+
+def tm_history(*script: Tuple) -> History:
+    """A validated TM history from :func:`tm_events` script entries."""
+    return History(tm_events(*script))
+
+
+@pytest.fixture
+def simple_decided_history() -> History:
+    """Two processes propose, both decide 0."""
+    return History(
+        [
+            inv(0, "propose", 0),
+            inv(1, "propose", 1),
+            res(0, "propose", 0),
+            res(1, "propose", 0),
+        ]
+    )

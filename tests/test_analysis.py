@@ -1,0 +1,139 @@
+"""Tests for registries, classification and reporting."""
+
+import pytest
+
+from repro.analysis import (
+    AGREEMENT_VALIDITY,
+    COUNTEREXAMPLE_S,
+    OPACITY,
+    classify_grid,
+    consensus_registry,
+    entries_ensuring,
+    render_claims,
+    render_grid,
+    render_hasse,
+    tm_registry,
+)
+from repro.core.freedom import LKFreedom
+from repro.core.history import History
+from repro.core.lattice import LivenessOrder
+from repro.core.liveness import Lmax, LockFreedom
+from repro.core.properties import Certainty, ExecutionSummary
+from repro.objects.consensus import AgreementValidity
+
+from conftest import inv, res
+
+
+class TestRegistries:
+    def test_register_only_filter(self):
+        entries = consensus_registry(2, registers_only=True)
+        assert {e.key for e in entries} == {"commit-adopt", "silent"}
+        assert all(e.base_objects == "registers-only" for e in entries)
+
+    def test_full_consensus_registry_includes_faulty(self):
+        entries = consensus_registry(2)
+        keys = {e.key for e in entries}
+        assert {"cas", "tas", "stubborn", "inventing"} <= keys
+
+    def test_tas_only_for_two_processes(self):
+        keys = {e.key for e in consensus_registry(3)}
+        assert "tas" not in keys
+
+    def test_tm_registry_safety_declarations(self):
+        entries = tm_registry(3)
+        by_key = {e.key: e for e in entries}
+        assert COUNTEREXAMPLE_S in by_key["i12"].ensures
+        assert COUNTEREXAMPLE_S not in by_key["agp"].ensures
+        assert OPACITY in by_key["global-lock"].ensures
+
+    def test_entries_ensuring(self):
+        entries = tm_registry(2)
+        ensuring = entries_ensuring(entries, COUNTEREXAMPLE_S)
+        assert {e.key for e in ensuring} == {"i12", "trivial"}
+
+    def test_factories_produce_fresh_instances(self):
+        entry = consensus_registry(2)[0]
+        assert entry.make() is not entry.make()
+
+
+class TestClassification:
+    @staticmethod
+    def _plays():
+        """Synthetic battery: implA defeated under contention, implB a
+        clean witness for l=1 points."""
+        starving = ExecutionSummary.of(2, correct=[0, 1], steppers=[0, 1])
+        live = ExecutionSummary.of(
+            2, correct=[0, 1], steppers=[0, 1], progressors=[0, 1]
+        )
+        safe_history = History(
+            [inv(0, "propose", 0), res(0, "propose", 0)]
+        )
+        return {
+            "implA": [(safe_history, starving, "contention")],
+            "implB": [(safe_history, live, "contention")],
+        }
+
+    def test_point_not_excluded_with_witness(self):
+        grid = classify_grid(2, AgreementValidity(), self._plays())
+        point = grid.point(1, 2)
+        assert not point.excludes
+        assert "implB" in point.evidence
+
+    def test_point_excluded_when_all_defeated(self):
+        plays = self._plays()
+        plays["implB"] = plays["implA"]
+        grid = classify_grid(2, AgreementValidity(), plays)
+        assert grid.point(1, 2).excludes
+        assert grid.point(2, 2).excludes
+
+    def test_unsafe_plays_cannot_defeat(self):
+        bad_history = History(
+            [inv(0, "propose", 0), res(0, "propose", 99)]
+        )
+        starving = ExecutionSummary.of(2, correct=[0, 1], steppers=[0, 1])
+        grid = classify_grid(
+            2,
+            AgreementValidity(),
+            {"implA": [(bad_history, starving, "cheating")]},
+        )
+        assert not grid.point(1, 2).excludes
+        assert grid.point(1, 2).undetermined
+
+    def test_matches_predicate(self):
+        grid = classify_grid(2, AgreementValidity(), self._plays())
+        assert grid.matches(lambda l, k: False)
+
+    def test_grid_point_lookup_error(self):
+        grid = classify_grid(2, AgreementValidity(), self._plays())
+        with pytest.raises(KeyError):
+            grid.point(5, 5)
+
+    def test_safety_precomputed_short_circuit(self):
+        plays = self._plays()
+        grid = classify_grid(
+            2,
+            AgreementValidity(),
+            plays,
+            safety_precomputed={"implA": [True], "implB": [True]},
+        )
+        assert not grid.point(1, 1).excludes
+
+
+class TestRendering:
+    def test_render_grid_contains_glyphs_and_axes(self):
+        grid = classify_grid(2, AgreementValidity(), TestClassification._plays())
+        text = render_grid(grid)
+        assert "l\\k" in text
+        assert "○" in text
+
+    def test_render_claims_alignment(self):
+        text = render_claims(
+            "demo", [("short", "a", "b", True), ("a-much-longer-claim", "x", "y", False)]
+        )
+        assert "OK" in text and "MISMATCH" in text
+
+    def test_render_hasse(self):
+        order = LivenessOrder([Lmax(), LockFreedom()], 2)
+        text = render_hasse(order)
+        assert "Lmax" in text
+        assert "totally ordered: True" in text

@@ -1,0 +1,224 @@
+"""Tests for the faithful I/O automata model (Section 2)."""
+
+import pytest
+
+from repro.automata import (
+    Execution,
+    IOAutomaton,
+    Lasso,
+    Signature,
+    compatible,
+    compose,
+    enumerate_executions,
+    find_lasso,
+    is_fair_finite,
+    is_fair_lasso,
+    reachable_states,
+    shortest_execution_to,
+    validate_execution,
+)
+from repro.util.errors import ModelError
+
+
+def toggle_automaton(name="toggle", input_action="flip", output_action="beep"):
+    """Two states; 'flip' toggles, 'beep' is enabled in state 1 only."""
+    return IOAutomaton(
+        name=name,
+        states=[0, 1],
+        initial=[0],
+        signature=Signature(
+            inputs=frozenset({input_action}), outputs=frozenset({output_action})
+        ),
+        transitions=[
+            (0, input_action, 1),
+            (1, input_action, 0),
+            (1, output_action, 1),
+        ],
+    )
+
+
+class TestAutomatonBasics:
+    def test_enabled_actions(self):
+        automaton = toggle_automaton()
+        assert automaton.enabled(0) == frozenset({"flip"})
+        assert automaton.enabled(1) == frozenset({"flip", "beep"})
+
+    def test_successors(self):
+        automaton = toggle_automaton()
+        assert automaton.successors(0, "flip") == frozenset({1})
+        assert automaton.successors(0, "beep") == frozenset()
+
+    def test_input_enabledness_check(self):
+        automaton = toggle_automaton()
+        assert automaton.is_input_enabled()
+        partial = IOAutomaton(
+            name="partial",
+            states=[0, 1],
+            initial=[0],
+            signature=Signature(
+                inputs=frozenset({"go"}), outputs=frozenset()
+            ),
+            transitions=[(0, "go", 1)],  # 'go' not enabled at state 1
+        )
+        assert not partial.is_input_enabled()
+
+    def test_signature_disjointness_enforced(self):
+        with pytest.raises(ModelError):
+            Signature(inputs=frozenset({"x"}), outputs=frozenset({"x"}))
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ModelError):
+            IOAutomaton(
+                name="bad",
+                states=[0],
+                initial=[0],
+                signature=Signature(inputs=frozenset(), outputs=frozenset()),
+                transitions=[(0, "ghost", 0)],
+            )
+
+    def test_crash_construction(self):
+        automaton = toggle_automaton()
+        crashed = automaton.with_crash("crash", "dead")
+        # Crash is an input, enabled from every original state.
+        assert "crash" in crashed.signature.inputs
+        assert crashed.successors(0, "crash") == frozenset({"dead"})
+        assert crashed.successors(1, "crash") == frozenset({"dead"})
+        # Nothing is enabled at the crashed state.
+        assert crashed.enabled("dead") == frozenset()
+
+
+class TestComposition:
+    def test_matched_actions_become_internal(self):
+        """The paper's hiding rule: an output of one component that is
+        an input of the other is internal in the composite."""
+        producer = IOAutomaton(
+            name="producer",
+            states=["idle"],
+            initial=["idle"],
+            signature=Signature(inputs=frozenset(), outputs=frozenset({"msg"})),
+            transitions=[("idle", "msg", "idle")],
+        )
+        consumer = IOAutomaton(
+            name="consumer",
+            states=[0, 1],
+            initial=[0],
+            signature=Signature(inputs=frozenset({"msg"}), outputs=frozenset()),
+            transitions=[(0, "msg", 1), (1, "msg", 1)],
+        )
+        composite = compose(producer, consumer)
+        assert "msg" in composite.signature.internals
+        assert "msg" not in composite.signature.inputs
+        assert composite.successors(("idle", 0), "msg") == frozenset(
+            {("idle", 1)}
+        )
+
+    def test_incompatible_shared_outputs(self):
+        a = toggle_automaton("a")
+        b = toggle_automaton("b")  # same output action 'beep'
+        assert not compatible(a, b)
+        with pytest.raises(ModelError):
+            compose(a, b)
+
+    def test_unshared_actions_interleave(self):
+        a = toggle_automaton("a", "flipA", "beepA")
+        b = toggle_automaton("b", "flipB", "beepB")
+        composite = compose(a, b)
+        # a's action moves only a's component.
+        assert composite.successors((0, 0), "flipA") == frozenset({(1, 0)})
+        assert composite.successors((0, 0), "flipB") == frozenset({(0, 1)})
+
+
+class TestExecutions:
+    def test_validate_execution(self):
+        automaton = toggle_automaton()
+        execution = Execution(states=(0, 1, 0), actions=("flip", "flip"))
+        validate_execution(automaton, execution)
+        bad = Execution(states=(0, 0), actions=("flip",))
+        with pytest.raises(ModelError):
+            validate_execution(automaton, bad)
+
+    def test_history_is_external_subsequence(self):
+        internal = IOAutomaton(
+            name="internal",
+            states=[0, 1, 2],
+            initial=[0],
+            signature=Signature(
+                inputs=frozenset({"in"}),
+                outputs=frozenset({"out"}),
+                internals=frozenset({"tau"}),
+            ),
+            transitions=[(0, "in", 1), (1, "tau", 2), (2, "out", 2)],
+        )
+        execution = Execution(states=(0, 1, 2, 2), actions=("in", "tau", "out"))
+        assert execution.history(internal) == ("in", "out")
+
+    def test_enumerate_executions_bounded(self):
+        automaton = toggle_automaton()
+        executions = enumerate_executions(automaton, max_actions=2)
+        assert Execution(states=(0,), actions=()) in executions
+        assert Execution(states=(0, 1, 0), actions=("flip", "flip")) in executions
+
+    def test_finite_fairness(self):
+        automaton = toggle_automaton()
+        # State 0 enables 'flip' (an input): per the paper, finite
+        # fairness requires NO action enabled other than crashes.
+        at_zero = Execution(states=(0,), actions=())
+        assert not is_fair_finite(automaton, at_zero)
+        dead_end = IOAutomaton(
+            name="dead-end",
+            states=[0, 1],
+            initial=[0],
+            signature=Signature(inputs=frozenset(), outputs=frozenset({"go"})),
+            transitions=[(0, "go", 1)],
+        )
+        final = Execution(states=(0, 1), actions=("go",))
+        assert is_fair_finite(dead_end, final)
+
+
+class TestLassos:
+    def test_find_lasso_and_fairness(self):
+        automaton = toggle_automaton()
+        lasso = find_lasso(automaton)
+        assert lasso is not None
+        owner = lambda action: "component"
+        assert is_fair_lasso(automaton, lasso, owner, ["component"])
+
+    def test_unfair_lasso_detected(self):
+        """A lasso in which a component never acts while always enabled
+        is unfair (clause II)."""
+        automaton = IOAutomaton(
+            name="two-parts",
+            states=[0],
+            initial=[0],
+            signature=Signature(
+                inputs=frozenset(),
+                outputs=frozenset({"left", "right"}),
+            ),
+            transitions=[(0, "left", 0), (0, "right", 0)],
+        )
+        lasso = Lasso(
+            stem=Execution(states=(0,), actions=()),
+            cycle_actions=("left",),
+            cycle_states=(0,),
+        )
+        owner = lambda action: action  # 'left' owned by left, etc.
+        assert not is_fair_lasso(automaton, lasso, owner, ["left", "right"])
+        # With only the left component it is fair.
+        assert is_fair_lasso(automaton, lasso, owner, ["left"])
+
+    def test_find_lasso_respects_avoid_actions(self):
+        automaton = toggle_automaton()
+        lasso = find_lasso(automaton, avoid_actions=frozenset({"flip"}))
+        assert lasso is not None
+        assert set(lasso.cycle_actions) == {"beep"}
+
+    def test_reachability(self):
+        automaton = toggle_automaton()
+        assert reachable_states(automaton) == frozenset({0, 1})
+
+    def test_shortest_execution_to(self):
+        automaton = toggle_automaton()
+        execution = shortest_execution_to(automaton, lambda s: s == 1)
+        assert execution is not None
+        assert execution.final_state == 1
+        assert len(execution.actions) == 1

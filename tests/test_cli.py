@@ -1,0 +1,45 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import _parse_params, main
+
+
+class TestParams:
+    def test_int_coercion(self):
+        assert _parse_params(["n=4", "max_steps=100"]) == {
+            "n": 4,
+            "max_steps": 100,
+        }
+
+    def test_string_values_kept(self):
+        assert _parse_params(["semantics=union"]) == {"semantics": "union"}
+
+    def test_malformed_pair_rejected(self):
+        with pytest.raises(SystemExit):
+            _parse_params(["oops"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1a" in out and "thm44" in out
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["run", "thm44"]) == 0
+        out = capsys.readouterr().out
+        assert "ALL OK" in out
+
+    def test_run_with_params(self, capsys):
+        assert main(["run", "fig1a", "--param", "n=2"]) == 0
+        out = capsys.readouterr().out
+        assert "[fig1a] ALL OK" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "fig9z"]) == 2
+
+    def test_run_multiple(self, capsys):
+        assert main(["run", "thm44", "thm49"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("ALL OK") == 2

@@ -1,0 +1,153 @@
+"""Integration tests for the consensus implementations."""
+
+import pytest
+
+from repro.algorithms.consensus import (
+    CasConsensus,
+    CommitAdoptConsensus,
+    InventingConsensus,
+    SilentConsensus,
+    StubbornConsensus,
+    TasConsensus,
+)
+from repro.core.object_type import ProgressMode
+from repro.objects.consensus import AgreementValidity
+from repro.sim import (
+    ComposedDriver,
+    GroupScheduler,
+    LockstepScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    SoloScheduler,
+    play,
+    propose_workload,
+)
+
+
+def run(impl, scheduler, proposals, max_steps=20_000):
+    return play(
+        impl,
+        ComposedDriver(scheduler, propose_workload(proposals)),
+        max_steps=max_steps,
+    )
+
+
+def decisions(result):
+    return {e.process: e.value for e in result.history.responses()}
+
+
+class TestCommitAdopt:
+    def test_solo_run_decides_own_value(self):
+        result = run(CommitAdoptConsensus(3), SoloScheduler(1), [None, 7, None])
+        assert decisions(result) == {1: 7}
+        assert result.fairness_complete
+
+    def test_sequential_runs_agree(self):
+        # p0 decides alone; later p1 runs alone and must adopt p0's value.
+        from repro.sim import Runtime
+
+        impl = CommitAdoptConsensus(2)
+        runtime = Runtime(
+            impl,
+            ComposedDriver(SoloScheduler(0), propose_workload([4, None])),
+            max_steps=1000,
+        )
+        result_a = runtime.run()
+        assert [e.value for e in result_a.history.responses()] == [4]
+        # Continue in the same runtime: p1 proposes and must decide 4.
+        runtime.driver = ComposedDriver(
+            SoloScheduler(1), propose_workload([None, 9])
+        )
+        runtime.max_steps += 1000
+        result_b = runtime.run()
+        assert decisions(result_b)[1] == 4
+
+    def test_agreement_validity_under_random_schedules(self):
+        safety = AgreementValidity()
+        for seed in range(12):
+            result = run(
+                CommitAdoptConsensus(3),
+                RandomScheduler(seed=seed),
+                [10, 20, 30],
+                max_steps=30_000,
+            )
+            assert safety.check_history(result.history).holds, seed
+
+    def test_lockstep_contention_never_decides(self):
+        result = run(CommitAdoptConsensus(2), LockstepScheduler([0, 1]), [0, 1])
+        assert result.stop_reason == "lasso"
+        assert decisions(result) == {}
+
+    def test_group_of_two_with_distinct_values_loops(self):
+        result = run(
+            CommitAdoptConsensus(3), GroupScheduler([0, 2]), [0, None, 1]
+        )
+        assert result.stop_reason == "lasso"
+
+    def test_uses_registers_only(self):
+        pool = CommitAdoptConsensus(2).create_pool()
+        from repro.base_objects.regfile import RegisterFile
+        from repro.base_objects.register import AtomicRegister
+
+        for name in pool.names():
+            assert isinstance(pool.get(name), (RegisterFile, AtomicRegister))
+
+
+class TestCasConsensus:
+    def test_wait_free_under_any_schedule(self):
+        for seed in range(8):
+            result = run(
+                CasConsensus(3), RandomScheduler(seed=seed), [1, 2, 3]
+            )
+            assert result.fairness_complete
+            assert len(decisions(result)) == 3
+            assert AgreementValidity().check_history(result.history).holds
+
+    def test_lockstep_cannot_prevent_decision(self):
+        result = run(CasConsensus(2), LockstepScheduler([0, 1]), [0, 1])
+        assert len(decisions(result)) == 2
+
+    def test_first_cas_wins(self):
+        result = run(CasConsensus(2), SoloScheduler(0), [5, None])
+        assert decisions(result)[0] == 5
+
+
+class TestTasConsensus:
+    def test_two_process_only(self):
+        with pytest.raises(ValueError):
+            TasConsensus(3)
+
+    def test_decides_under_all_interleavings(self):
+        for seed in range(8):
+            result = run(TasConsensus(2), RandomScheduler(seed=seed), [3, 4])
+            assert AgreementValidity().check_history(result.history).holds
+            assert len(decisions(result)) == 2
+
+    def test_winner_takes_own_value(self):
+        result = run(TasConsensus(2), SoloScheduler(1), [None, 9])
+        assert decisions(result)[1] == 9
+
+
+class TestFaultyImplementations:
+    def test_stubborn_violates_agreement(self):
+        result = run(StubbornConsensus(2), RoundRobinScheduler(), [1, 2])
+        assert not AgreementValidity().check_history(result.history).holds
+
+    def test_inventing_violates_validity(self):
+        result = run(InventingConsensus(2), RoundRobinScheduler(), [1, 2])
+        verdict = AgreementValidity().check_history(result.history)
+        assert not verdict.holds
+        assert "validity" in verdict.reason
+
+    def test_silent_never_responds_and_lassos(self):
+        result = run(SilentConsensus(2), RoundRobinScheduler(), [1, 2])
+        assert result.stop_reason == "lasso"
+        assert decisions(result) == {}
+        # Vacuously safe.
+        assert AgreementValidity().check_history(result.history).holds
+
+    def test_silent_summary_starves_everyone(self):
+        result = run(SilentConsensus(2), RoundRobinScheduler(), [1, 2])
+        summary = result.summary(ProgressMode.EVENTUAL)
+        assert summary.progressors == frozenset()
+        assert summary.steppers == frozenset({0, 1})

@@ -1,0 +1,87 @@
+"""Unit tests for consensus agreement & validity."""
+
+from repro.core.history import History
+from repro.objects.consensus import AgreementValidity
+
+from conftest import crash, inv, res
+
+
+def check(events):
+    return AgreementValidity().check_history(History(events))
+
+
+class TestAgreement:
+    def test_single_decision(self):
+        assert check([inv(0, "propose", 1), res(0, "propose", 1)]).holds
+
+    def test_matching_decisions(self):
+        assert check(
+            [
+                inv(0, "propose", 1),
+                inv(1, "propose", 2),
+                res(0, "propose", 2),
+                res(1, "propose", 2),
+            ]
+        ).holds
+
+    def test_disagreement_detected(self):
+        verdict = check(
+            [
+                inv(0, "propose", 1),
+                inv(1, "propose", 2),
+                res(0, "propose", 1),
+                res(1, "propose", 2),
+            ]
+        )
+        assert not verdict.holds
+        assert "agreement" in verdict.reason
+
+
+class TestValidity:
+    def test_decided_value_must_be_proposed(self):
+        verdict = check([inv(0, "propose", 1), res(0, "propose", 9)])
+        assert not verdict.holds
+        assert "validity" in verdict.reason
+
+    def test_value_proposed_by_other_process_is_valid(self):
+        assert check(
+            [
+                inv(0, "propose", 1),
+                inv(1, "propose", 2),
+                res(0, "propose", 2),
+                res(1, "propose", 2),
+            ]
+        ).holds
+
+    def test_decision_before_any_matching_proposal_invalid(self):
+        # p0 decides 2 before anyone proposed 2.
+        verdict = check(
+            [
+                inv(0, "propose", 1),
+                res(0, "propose", 2),
+                inv(1, "propose", 2),
+            ]
+        )
+        assert not verdict.holds
+
+
+class TestEdgeCases:
+    def test_empty_history_safe(self):
+        assert check([]).holds
+
+    def test_pending_proposals_safe(self):
+        assert check([inv(0, "propose", 1), inv(1, "propose", 2)]).holds
+
+    def test_crashes_do_not_affect_safety(self):
+        assert check([inv(0, "propose", 1), crash(0)]).holds
+
+    def test_prefix_closed(self):
+        history = History(
+            [
+                inv(0, "propose", 1),
+                inv(1, "propose", 2),
+                res(0, "propose", 1),
+                res(1, "propose", 2),
+            ]
+        )
+        assert AgreementValidity().check_prefix_closure(history).holds

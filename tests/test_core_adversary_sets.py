@@ -1,0 +1,99 @@
+"""Unit tests for core adversary-set machinery (Definition 4.3 pieces)."""
+
+import pytest
+
+from repro.core.adversary import (
+    FiniteAdversarySet,
+    PredicateAdversarySet,
+    certify_disjoint_by_first_event,
+    intersect_all,
+)
+from repro.core.history import History
+from repro.objects.consensus import AgreementValidity
+
+from conftest import inv, res
+
+
+def h(*events):
+    return History(events)
+
+
+F1_SAMPLE = h(inv(0, "propose", 0), inv(1, "propose", 1))
+F2_SAMPLE = h(inv(1, "propose", 1), inv(0, "propose", 0))
+
+
+class TestFiniteAdversarySet:
+    def test_membership(self):
+        adversary_set = FiniteAdversarySet([F1_SAMPLE], name="F1")
+        assert adversary_set.contains(F1_SAMPLE)
+        assert not adversary_set.contains(F2_SAMPLE)
+
+    def test_non_empty_required(self):
+        with pytest.raises(ValueError):
+            FiniteAdversarySet([])
+
+    def test_intersection_and_disjointness(self):
+        a = FiniteAdversarySet([F1_SAMPLE, F2_SAMPLE], name="A")
+        b = FiniteAdversarySet([F2_SAMPLE], name="B")
+        assert a.intersection(b) == frozenset({F2_SAMPLE})
+        assert not a.is_disjoint_from(b)
+        c = FiniteAdversarySet([F1_SAMPLE], name="C")
+        assert b.is_disjoint_from(c)
+
+    def test_safety_side_audit(self):
+        adversary_set = FiniteAdversarySet([F1_SAMPLE], name="F1")
+        verdict = adversary_set.check_safety_side(
+            AgreementValidity(), [F1_SAMPLE, F2_SAMPLE]
+        )
+        assert verdict.holds
+
+    def test_safety_side_audit_catches_unsafe_member(self):
+        bad = h(inv(0, "propose", 0), res(0, "propose", 99))
+        adversary_set = FiniteAdversarySet([bad], name="bad")
+        verdict = adversary_set.check_safety_side(AgreementValidity(), [bad])
+        assert not verdict.holds
+
+
+class TestPredicateAdversarySet:
+    def test_predicate_membership(self):
+        starts_with_p0 = PredicateAdversarySet(
+            lambda history: len(history) > 0 and history[0].process == 0,
+            name="starts-with-p0",
+        )
+        assert starts_with_p0.contains(F1_SAMPLE)
+        assert not starts_with_p0.contains(F2_SAMPLE)
+
+
+class TestDisjointnessCertificate:
+    def test_first_event_argument(self):
+        f1 = FiniteAdversarySet([F1_SAMPLE], name="F1")
+        f2 = FiniteAdversarySet([F2_SAMPLE], name="F2")
+        certificate = certify_disjoint_by_first_event(f1, f2, 0, 1)
+        assert certificate.disjoint
+        assert certificate.gmax_is_empty
+        assert "p0" in certificate.separating_feature
+        assert certificate.sample_left is not None
+
+    def test_shape_violation_detected(self):
+        f1 = FiniteAdversarySet([F2_SAMPLE], name="F1")  # starts with p1!
+        f2 = FiniteAdversarySet([F2_SAMPLE], name="F2")
+        certificate = certify_disjoint_by_first_event(f1, f2, 0, 1)
+        assert "shape check failed" in certificate.separating_feature
+
+    def test_overlapping_sets_not_disjoint(self):
+        shared = F1_SAMPLE
+        f1 = FiniteAdversarySet([shared], name="F1")
+        f2 = FiniteAdversarySet([shared], name="F2")
+        certificate = certify_disjoint_by_first_event(f1, f2, 0, 0)
+        assert not certificate.disjoint
+
+
+class TestIntersectAll:
+    def test_gmax_arithmetic(self):
+        f1 = FiniteAdversarySet([F1_SAMPLE, F2_SAMPLE], name="F1")
+        f2 = FiniteAdversarySet([F2_SAMPLE], name="F2")
+        assert intersect_all([f1, f2]) == frozenset({F2_SAMPLE})
+
+    def test_empty_family_rejected(self):
+        with pytest.raises(ValueError):
+            intersect_all([])

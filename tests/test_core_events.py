@@ -1,0 +1,91 @@
+"""Unit tests for repro.core.events."""
+
+from repro.core.events import (
+    Crash,
+    Invocation,
+    Operation,
+    Response,
+    is_crash,
+    is_invocation,
+    is_response,
+    matches,
+)
+
+from conftest import inv, res
+
+
+class TestEventBasics:
+    def test_invocation_fields(self):
+        event = Invocation(process=2, operation="propose", args=(7,))
+        assert event.process == 2
+        assert event.operation == "propose"
+        assert event.args == (7,)
+
+    def test_events_are_hashable_and_equal_by_value(self):
+        assert inv(0, "a", 1) == inv(0, "a", 1)
+        assert hash(inv(0, "a", 1)) == hash(inv(0, "a", 1))
+        assert inv(0, "a", 1) != inv(1, "a", 1)
+        assert res(0, "a", 1) != res(0, "a", 2)
+
+    def test_kind_predicates(self):
+        assert is_invocation(inv(0, "a"))
+        assert not is_invocation(res(0, "a"))
+        assert is_response(res(0, "a"))
+        assert not is_response(Crash(0))
+        assert is_crash(Crash(0))
+        assert not is_crash(inv(0, "a"))
+
+    def test_sort_keys_are_total(self):
+        events = [Crash(0), res(0, "a", 1), inv(0, "a", 1), inv(1, "a")]
+        ordered = sorted(events, key=lambda e: e.sort_key())
+        # invocations (tag 0) < responses (tag 1) < crashes (tag 2)
+        assert is_invocation(ordered[0])
+        assert is_crash(ordered[-1])
+
+    def test_str_renders_process_subscript(self):
+        assert str(inv(1, "propose", 5)) == "propose(5)_1"
+        assert "crash_3" == str(Crash(3))
+
+
+class TestMatching:
+    def test_matches_same_process_and_operation(self):
+        assert matches(inv(0, "read"), res(0, "read", 4))
+
+    def test_mismatch_on_process(self):
+        assert not matches(inv(0, "read"), res(1, "read", 4))
+
+    def test_mismatch_on_operation(self):
+        assert not matches(inv(0, "read"), res(0, "write", 4))
+
+
+class TestOperation:
+    def test_pending_operation(self):
+        op = Operation(invocation=inv(0, "a"), response=None, index=0)
+        assert op.is_pending
+        assert op.process == 0
+
+    def test_completed_operation(self):
+        op = Operation(
+            invocation=inv(0, "a"),
+            response=res(0, "a", 1),
+            index=0,
+            response_index=3,
+        )
+        assert not op.is_pending
+
+    def test_precedes_uses_response_and_invocation_indices(self):
+        first = Operation(inv(0, "a"), res(0, "a", 1), index=0, response_index=1)
+        second = Operation(inv(1, "a"), res(1, "a", 1), index=2, response_index=3)
+        assert first.precedes(second)
+        assert not second.precedes(first)
+
+    def test_pending_operation_precedes_nothing(self):
+        pending = Operation(inv(0, "a"), None, index=0)
+        later = Operation(inv(1, "a"), res(1, "a", 1), index=5, response_index=6)
+        assert not pending.precedes(later)
+
+    def test_concurrent_operations_do_not_precede(self):
+        first = Operation(inv(0, "a"), res(0, "a", 1), index=0, response_index=2)
+        second = Operation(inv(1, "a"), res(1, "a", 1), index=1, response_index=3)
+        assert not first.precedes(second)
+        assert not second.precedes(first)

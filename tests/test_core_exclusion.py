@@ -1,0 +1,102 @@
+"""Unit tests for exclusion reports (repro.core.exclusion)."""
+
+from repro.core.exclusion import (
+    build_exclusion_report,
+    build_non_exclusion_report,
+)
+from repro.core.freedom import LKFreedom
+from repro.core.history import History
+from repro.core.liveness import Lmax
+from repro.core.properties import Certainty, ExecutionSummary
+from repro.objects.consensus import AgreementValidity
+
+from conftest import inv, res
+
+
+SAFE_STARVING = (
+    History([inv(0, "propose", 0), inv(1, "propose", 1)]),
+    ExecutionSummary.of(2, correct=[0, 1], steppers=[0, 1]),
+)
+SAFE_LIVE = (
+    History(
+        [
+            inv(0, "propose", 0),
+            res(0, "propose", 0),
+            inv(1, "propose", 1),
+            res(1, "propose", 0),
+        ]
+    ),
+    ExecutionSummary.of(2, correct=[0, 1], progressors=[0, 1], finite=True),
+)
+UNSAFE = (
+    History([inv(0, "propose", 0), res(0, "propose", 42)]),
+    ExecutionSummary.of(2, correct=[0, 1], steppers=[0, 1]),
+)
+
+
+class TestExclusionReport:
+    def test_full_defeat(self):
+        report = build_exclusion_report(
+            AgreementValidity(),
+            Lmax(),
+            [("implA", *SAFE_STARVING), ("implB", *SAFE_STARVING)],
+        )
+        assert report.holds
+        assert report.undefeated() == []
+        assert "EXCLUDES" in report.describe()
+
+    def test_surviving_implementation_blocks_exclusion(self):
+        report = build_exclusion_report(
+            AgreementValidity(),
+            Lmax(),
+            [("implA", *SAFE_STARVING), ("implB", *SAFE_LIVE)],
+        )
+        assert not report.holds
+        assert report.undefeated() == ["implB"]
+
+    def test_unsafe_play_is_not_a_defeat(self):
+        report = build_exclusion_report(
+            AgreementValidity(), Lmax(), [("implA", *UNSAFE)]
+        )
+        assert not report.holds
+
+    def test_empty_report_does_not_hold(self):
+        report = build_exclusion_report(AgreementValidity(), Lmax(), [])
+        assert not report.holds
+
+    def test_certainty_propagates(self):
+        horizon_summary = SAFE_STARVING[1].with_certainty(Certainty.HORIZON)
+        report = build_exclusion_report(
+            AgreementValidity(),
+            Lmax(),
+            [("implA", SAFE_STARVING[0], horizon_summary)],
+        )
+        assert report.certainty is Certainty.HORIZON
+
+
+class TestNonExclusionReport:
+    def test_witness_stands(self):
+        report = build_non_exclusion_report(
+            AgreementValidity(), LKFreedom(1, 1), "implB", [SAFE_LIVE]
+        )
+        assert report.holds
+        assert report.violations() == []
+
+    def test_witness_falls_on_liveness_violation(self):
+        report = build_non_exclusion_report(
+            AgreementValidity(), Lmax(), "implA", [SAFE_STARVING]
+        )
+        assert not report.holds
+        assert len(report.violations()) == 1
+
+    def test_witness_falls_on_safety_violation(self):
+        report = build_non_exclusion_report(
+            AgreementValidity(), LKFreedom(1, 1), "implC", [UNSAFE]
+        )
+        assert not report.holds
+
+    def test_describe_mentions_implementation(self):
+        report = build_non_exclusion_report(
+            AgreementValidity(), LKFreedom(1, 1), "implB", [SAFE_LIVE]
+        )
+        assert "implB" in report.describe()

@@ -1,0 +1,159 @@
+"""Unit tests for repro.core.history."""
+
+import pytest
+
+from repro.core.events import Crash
+from repro.core.history import EMPTY_HISTORY, History, history_of
+from repro.util.errors import IllFormedHistoryError
+
+from conftest import crash, inv, res
+
+
+class TestWellFormedness:
+    def test_empty_history_is_well_formed(self):
+        assert len(EMPTY_HISTORY) == 0
+
+    def test_alternating_history_is_well_formed(self):
+        History([inv(0, "a"), res(0, "a", 1), inv(0, "b"), res(0, "b", 2)])
+
+    def test_response_without_invocation_rejected(self):
+        with pytest.raises(IllFormedHistoryError):
+            History([res(0, "a", 1)])
+
+    def test_double_invocation_rejected(self):
+        with pytest.raises(IllFormedHistoryError):
+            History([inv(0, "a"), inv(0, "b")])
+
+    def test_mismatched_response_operation_rejected(self):
+        with pytest.raises(IllFormedHistoryError):
+            History([inv(0, "a"), res(0, "b", 1)])
+
+    def test_event_after_crash_rejected(self):
+        with pytest.raises(IllFormedHistoryError):
+            History([crash(0), inv(0, "a")])
+
+    def test_crash_resolves_pending_invocation(self):
+        history = History([inv(0, "a"), crash(0)])
+        assert not history.is_pending(0)
+        assert history.crashed_processes() == {0}
+
+    def test_interleaving_across_processes_allowed(self):
+        History([inv(0, "a"), inv(1, "a"), res(1, "a", 0), res(0, "a", 0)])
+
+    def test_is_well_formed_predicate(self):
+        assert History.is_well_formed([inv(0, "a")])
+        assert not History.is_well_formed([res(0, "a", 1)])
+
+
+class TestViews:
+    def test_projection_keeps_only_one_process(self):
+        history = History([inv(0, "a"), inv(1, "a"), res(0, "a", 1)])
+        projected = history.project(0)
+        assert list(projected) == [inv(0, "a"), res(0, "a", 1)]
+
+    def test_processes_sorted(self):
+        history = History([inv(2, "a"), inv(0, "a"), inv(1, "a")])
+        assert history.processes == (0, 1, 2)
+
+    def test_pending_invocations(self):
+        history = History([inv(0, "a"), inv(1, "a"), res(0, "a", 1)])
+        pending = history.pending_invocations()
+        assert set(pending) == {1}
+        assert pending[1] == inv(1, "a")
+
+    def test_correct_vs_crashed(self):
+        history = History([inv(0, "a"), crash(0), inv(1, "a")])
+        assert history.crashed_processes() == {0}
+        assert history.correct_processes() == {1}
+
+    def test_operations_pair_invocations_with_responses(self):
+        history = History(
+            [inv(0, "a"), inv(1, "a"), res(1, "a", 9), res(0, "a", 8)]
+        )
+        operations = history.operations()
+        assert len(operations) == 2
+        by_pid = {op.process: op for op in operations}
+        assert by_pid[1].response.value == 9
+        assert by_pid[0].response.value == 8
+        # p1 completed before p0 but does not precede it (overlapping).
+        assert not by_pid[1].precedes(by_pid[0])
+
+    def test_operations_mark_crash_cut_operations_pending(self):
+        history = History([inv(0, "a"), crash(0)])
+        (operation,) = history.operations()
+        assert operation.is_pending
+
+    def test_operations_filtered_by_pid(self):
+        history = History([inv(0, "a"), res(0, "a", 1), inv(1, "a")])
+        assert len(history.operations(0)) == 1
+        assert len(history.operations(1)) == 1
+        assert history.operations(1)[0].is_pending
+
+
+class TestStructuralOps:
+    def test_append_validates_incrementally(self):
+        history = History([inv(0, "a")])
+        extended = history.append(res(0, "a", 1))
+        assert len(extended) == 2
+        with pytest.raises(IllFormedHistoryError):
+            extended.append(res(0, "a", 1))
+
+    def test_append_rejects_events_after_crash(self):
+        history = History([crash(0)])
+        with pytest.raises(IllFormedHistoryError):
+            history.append(inv(0, "a"))
+
+    def test_append_does_not_mutate_original(self):
+        history = History([inv(0, "a")])
+        history.append(res(0, "a", 1))
+        assert len(history) == 1
+
+    def test_extend(self):
+        history = EMPTY_HISTORY.extend([inv(0, "a"), res(0, "a", 1)])
+        assert len(history) == 2
+
+    def test_prefix_relation(self):
+        history = History([inv(0, "a"), res(0, "a", 1)])
+        assert History([inv(0, "a")]).is_prefix_of(history)
+        assert history.is_prefix_of(history)
+        assert not history.is_prefix_of(History([inv(0, "a")]))
+        assert not History([inv(1, "a")]).is_prefix_of(history)
+
+    def test_prefixes_enumerates_all(self):
+        history = History([inv(0, "a"), res(0, "a", 1)])
+        prefixes = list(history.prefixes())
+        assert len(prefixes) == 3
+        assert prefixes[0] == EMPTY_HISTORY
+        assert prefixes[-1] == history
+
+    def test_slicing_returns_history(self):
+        history = History([inv(0, "a"), res(0, "a", 1), inv(1, "a")])
+        assert isinstance(history[:2], History)
+        assert len(history[:2]) == 2
+
+    def test_drop_crashes(self):
+        history = History([inv(0, "a"), crash(0), inv(1, "a")])
+        assert all(not isinstance(e, Crash) for e in history.drop_crashes())
+
+    def test_without_pending_keeps_only_completed_operations(self):
+        history = History(
+            [inv(0, "a"), inv(1, "a"), res(0, "a", 1), crash(1)]
+        )
+        cleaned = history.without_pending()
+        assert list(cleaned) == [inv(0, "a"), res(0, "a", 1)]
+
+    def test_concat_revalidates(self):
+        left = History([inv(0, "a")])
+        right = History([inv(0, "a")])
+        with pytest.raises(IllFormedHistoryError):
+            left.concat(right)
+
+    def test_history_of_convenience(self):
+        assert len(history_of(inv(0, "a"), res(0, "a", 0))) == 2
+
+    def test_equality_and_hash(self):
+        a = History([inv(0, "a")])
+        b = History([inv(0, "a")])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != History([inv(1, "a")])

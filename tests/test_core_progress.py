@@ -1,0 +1,94 @@
+"""Unit tests for the Section 6 liveness families and the taxonomy."""
+
+import pytest
+
+from repro.core.lattice import LivenessOrder
+from repro.core.liveness import enumerate_summaries
+from repro.core.progress import NXLiveness, ProgressClass, SFreedom, TAXONOMY
+from repro.core.properties import ExecutionSummary
+
+
+def summary(n=3, correct=(), steppers=(), progressors=()):
+    return ExecutionSummary.of(
+        n, correct=correct, steppers=steppers, progressors=progressors
+    )
+
+
+class TestTaxonomy:
+    def test_known_classifications(self):
+        assert TAXONOMY["wait-freedom"] == ProgressClass(maximal=True, dependent=False)
+        assert TAXONOMY["lock-freedom"] == ProgressClass(maximal=False, dependent=False)
+        assert TAXONOMY["obstruction-freedom"].dependent
+
+    def test_describe(self):
+        assert TAXONOMY["lock-freedom"].describe() == "minimal independent"
+        assert TAXONOMY["obstruction-freedom"].describe() == "maximal dependent"
+
+
+class TestSFreedom:
+    def test_requires_group_progress_when_size_matches(self):
+        prop = SFreedom({2})
+        assert not prop.evaluate(
+            summary(correct=[0, 1], steppers=[0, 1], progressors=[0])
+        ).holds
+        assert prop.evaluate(
+            summary(correct=[0, 1], steppers=[0, 1], progressors=[0, 1])
+        ).holds
+
+    def test_vacuous_when_size_differs(self):
+        prop = SFreedom({2})
+        assert prop.evaluate(summary(correct=[0, 1, 2], steppers=[0, 1, 2])).holds
+
+    def test_singletons_form_an_antichain(self):
+        """Section 6 (from [36]): no singleton S-freedom is comparable
+        to another, so no strongest implementable member exists."""
+        summaries = enumerate_summaries(3, progress_requires_steps=True)
+        singletons = [SFreedom({s}) for s in (1, 2, 3)]
+        order = LivenessOrder(
+            singletons, 3, progress_requires_steps=True, summaries=summaries
+        )
+        for i, a in enumerate(singletons):
+            for b in singletons[i + 1:]:
+                assert order.relate(a, b).kind == "incomparable"
+
+    def test_rejects_empty_or_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            SFreedom(set())
+        with pytest.raises(ValueError):
+            SFreedom({0})
+
+
+class TestNXLiveness:
+    def test_wait_free_prefix_processes(self):
+        prop = NXLiveness(3, 2)
+        # p1 < x is correct but makes no progress: violated.
+        assert not prop.evaluate(
+            summary(correct=[0, 1, 2], steppers=[0, 1, 2], progressors=[0, 2])
+        ).holds
+
+    def test_obstruction_free_suffix_processes(self):
+        prop = NXLiveness(3, 1)
+        # p2 >= x is the unique eventual stepper and stalls: violated.
+        assert not prop.evaluate(summary(correct=[2], steppers=[2])).holds
+        # Under contention p2 owes nothing.
+        assert prop.evaluate(
+            summary(correct=[1, 2], steppers=[1, 2], progressors=[1])
+        ).holds
+
+    def test_family_is_a_chain(self):
+        """Section 6 (from [25]): (n,x)-liveness is totally ordered."""
+        n = 3
+        order = LivenessOrder([NXLiveness(n, x) for x in range(n + 1)], n)
+        assert order.is_totally_ordered()
+        for x in range(n):
+            assert order.is_stronger(NXLiveness(n, x + 1), NXLiveness(n, x))
+
+    def test_system_size_must_match(self):
+        with pytest.raises(ValueError):
+            NXLiveness(3, 1).evaluate(summary(n=2, correct=[0]))
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            NXLiveness(0, 0)
+        with pytest.raises(ValueError):
+            NXLiveness(2, 3)

@@ -1,0 +1,140 @@
+"""Unit tests for the Section 5.3 safety property S."""
+
+from repro.core.history import History
+from repro.objects.counterexample_s import TimestampAbortRule, counterexample_safety
+from repro.objects.tm import ABORTED, COMMITTED, OK
+
+from conftest import inv, res
+
+
+def concurrent_trio(outcomes):
+    """Three processes start concurrently, then all tryC concurrently
+    with the given outcomes (each COMMITTED or ABORTED)."""
+    events = []
+    for pid in range(3):
+        events.append(inv(pid, "start"))
+    for pid in range(3):
+        events.append(res(pid, "start", OK))
+    for pid in range(3):
+        events.append(inv(pid, "tryC"))
+    for pid, outcome in enumerate(outcomes):
+        events.append(res(pid, "tryC", outcome))
+    return History(events)
+
+
+class TestTimestampAbortRule:
+    def test_triggered_group_must_abort(self):
+        rule = TimestampAbortRule()
+        assert rule.check_history(concurrent_trio([ABORTED] * 3)).holds
+
+    def test_commit_in_triggered_group_violates(self):
+        rule = TimestampAbortRule()
+        verdict = rule.check_history(
+            concurrent_trio([COMMITTED, ABORTED, ABORTED])
+        )
+        assert not verdict.holds
+        assert "timestamp" in verdict.reason or "trigger" in verdict.reason
+
+    def test_two_concurrent_transactions_do_not_trigger(self):
+        events = [
+            inv(0, "start"), inv(1, "start"),
+            res(0, "start", OK), res(1, "start", OK),
+            inv(0, "tryC"), inv(1, "tryC"),
+            res(0, "tryC", COMMITTED), res(1, "tryC", ABORTED),
+        ]
+        assert TimestampAbortRule().check_history(History(events)).holds
+
+    def test_early_tryc_disarms_the_trigger(self):
+        """If a transaction invokes tryC before two other start
+        responses, condition (2) fails and commits are allowed."""
+        events = [
+            inv(0, "start"), res(0, "start", OK),
+            inv(0, "tryC"),  # tryC before the others even start
+            inv(1, "start"), inv(2, "start"),
+            res(1, "start", OK), res(2, "start", OK),
+            res(0, "tryC", COMMITTED),
+            inv(1, "tryC"), inv(2, "tryC"),
+            res(1, "tryC", ABORTED), res(2, "tryC", ABORTED),
+        ]
+        assert TimestampAbortRule().check_history(History(events)).holds
+
+    def test_different_transaction_numbers_do_not_trigger(self):
+        """The group must share a per-process transaction number t."""
+        events = [
+            # p0 runs one quick transaction first: its next is #2.
+            inv(0, "start"), res(0, "start", OK),
+            inv(0, "tryC"), res(0, "tryC", ABORTED),
+            # Now a concurrent trio, but p0's member is its 2nd tx.
+            inv(0, "start"), inv(1, "start"), inv(2, "start"),
+            res(0, "start", OK), res(1, "start", OK), res(2, "start", OK),
+            inv(0, "tryC"), inv(1, "tryC"), inv(2, "tryC"),
+            res(0, "tryC", COMMITTED),
+            res(1, "tryC", ABORTED), res(2, "tryC", ABORTED),
+        ]
+        assert TimestampAbortRule().check_history(History(events)).holds
+
+    def test_non_concurrent_group_does_not_trigger(self):
+        events = [
+            inv(0, "start"), res(0, "start", OK),
+            inv(0, "tryC"), res(0, "tryC", COMMITTED),  # completes first
+            inv(1, "start"), inv(2, "start"),
+            res(1, "start", OK), res(2, "start", OK),
+            inv(1, "tryC"), inv(2, "tryC"),
+            res(1, "tryC", ABORTED), res(2, "tryC", ABORTED),
+        ]
+        assert TimestampAbortRule().check_history(History(events)).holds
+
+    def test_live_member_does_not_violate_yet(self):
+        """Prefix closure: a triggered group with a still-live member
+        is fine — it can still abort."""
+        events = [
+            inv(0, "start"), inv(1, "start"), inv(2, "start"),
+            res(0, "start", OK), res(1, "start", OK), res(2, "start", OK),
+            inv(0, "tryC"), inv(1, "tryC"), inv(2, "tryC"),
+            res(1, "tryC", ABORTED), res(2, "tryC", ABORTED),
+            # p0's tryC still pending
+        ]
+        assert TimestampAbortRule().check_history(History(events)).holds
+
+    def test_prefix_closed_on_violation(self):
+        rule = TimestampAbortRule()
+        history = concurrent_trio([COMMITTED, ABORTED, ABORTED])
+        assert rule.check_prefix_closure(history).holds
+
+    def test_groups_larger_than_three(self):
+        events = []
+        for pid in range(4):
+            events.append(inv(pid, "start"))
+        for pid in range(4):
+            events.append(res(pid, "start", OK))
+        for pid in range(4):
+            events.append(inv(pid, "tryC"))
+        events.append(res(0, "tryC", COMMITTED))
+        for pid in range(1, 4):
+            events.append(res(pid, "tryC", ABORTED))
+        assert not TimestampAbortRule().check_history(History(events)).holds
+
+
+class TestFullPropertyS:
+    def test_s_combines_opacity_and_rule(self):
+        safety = counterexample_safety()
+        # Opaque + rule-respecting: fine.
+        assert safety.check_history(concurrent_trio([ABORTED] * 3)).holds
+        # Rule violation caught.
+        assert not safety.check_history(
+            concurrent_trio([COMMITTED, ABORTED, ABORTED])
+        ).holds
+
+    def test_s_catches_opacity_violation_too(self):
+        safety = counterexample_safety()
+        bad_read = History(
+            [
+                inv(0, "start"), res(0, "start", OK),
+                inv(0, "read", 0), res(0, "read", 99),
+                inv(0, "tryC"), res(0, "tryC", COMMITTED),
+            ]
+        )
+        assert not safety.check_history(bad_read).holds
+
+    def test_s_name_mentions_both_parts(self):
+        assert "opacity" in counterexample_safety().name

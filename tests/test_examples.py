@@ -1,0 +1,28 @@
+"""The examples must stay runnable: each is executed as a subprocess."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_at_least_five_examples_exist():
+    assert len(EXAMPLES) >= 5
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=[script.stem for script in EXAMPLES]
+)
+def test_example_runs_cleanly(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "examples must narrate what they show"

@@ -1,0 +1,110 @@
+"""Tests for exhaustive interleaving exploration (model checking)."""
+
+import pytest
+
+from repro.algorithms.consensus import (
+    CasConsensus,
+    StubbornConsensus,
+    TasConsensus,
+)
+from repro.algorithms.tm import AgpTransactionalMemory, I12TransactionalMemory
+from repro.objects.consensus import AgreementValidity
+from repro.objects.opacity import OpacityChecker, StrictSerializability
+from repro.sim import check_all_histories, explore_histories
+
+PROPOSE_PLAN = {0: [("propose", (0,))], 1: [("propose", (1,))]}
+TM_PLAN = {
+    0: [("start", ()), ("write", (0, 1)), ("tryC", ())],
+    1: [("start", ()), ("read", (0,)), ("tryC", ())],
+}
+
+
+class TestExploration:
+    def test_yields_only_complete_runs_for_finite_plans(self):
+        runs = list(
+            explore_histories(lambda: CasConsensus(2), PROPOSE_PLAN)
+        )
+        assert runs
+        assert all(run.complete for run in runs)
+
+    def test_distinct_histories(self):
+        runs = list(
+            explore_histories(lambda: CasConsensus(2), PROPOSE_PLAN)
+        )
+        histories = [run.history for run in runs]
+        assert len(set(histories)) == len(histories)
+
+    def test_covers_both_race_outcomes(self):
+        """Exhaustiveness in action: some interleaving decides 0,
+        another decides 1."""
+        runs = list(
+            explore_histories(lambda: CasConsensus(2), PROPOSE_PLAN)
+        )
+        decided_values = set()
+        for run in runs:
+            decided_values |= {e.value for e in run.history.responses()}
+        assert decided_values == {0, 1}
+
+    def test_depth_bound_truncates(self):
+        runs = list(
+            explore_histories(
+                lambda: CasConsensus(2), PROPOSE_PLAN, max_depth=2
+            )
+        )
+        assert all(len(run.schedule) <= 2 for run in runs)
+        assert any(not run.complete for run in runs)
+
+    def test_configuration_budget_enforced(self):
+        with pytest.raises(RuntimeError):
+            list(
+                explore_histories(
+                    lambda: AgpTransactionalMemory(2, variables=(0,)),
+                    TM_PLAN,
+                    max_configurations=5,
+                )
+            )
+
+
+class TestModelChecking:
+    def test_cas_consensus_safe_on_every_interleaving(self):
+        report = check_all_histories(
+            lambda: CasConsensus(2), PROPOSE_PLAN, AgreementValidity()
+        )
+        assert report.holds
+        assert report.runs_checked >= 2
+
+    def test_tas_consensus_safe_on_every_interleaving(self):
+        report = check_all_histories(
+            lambda: TasConsensus(2), PROPOSE_PLAN, AgreementValidity()
+        )
+        assert report.holds
+
+    def test_stubborn_consensus_counterexample_found(self):
+        report = check_all_histories(
+            lambda: StubbornConsensus(2), PROPOSE_PLAN, AgreementValidity()
+        )
+        assert not report.holds
+        assert report.counterexample is not None
+        # The counterexample is a genuine violating history.
+        assert not AgreementValidity().check_history(
+            report.counterexample.history
+        ).holds
+
+    def test_agp_opaque_on_every_interleaving(self):
+        """Exhaustive opacity: every schedule of one writer and one
+        reader transaction."""
+        report = check_all_histories(
+            lambda: AgpTransactionalMemory(2, variables=(0,)),
+            TM_PLAN,
+            OpacityChecker(),
+        )
+        assert report.holds
+        assert report.runs_checked > 100  # genuinely many interleavings
+
+    def test_i12_strictly_serializable_on_every_interleaving(self):
+        report = check_all_histories(
+            lambda: I12TransactionalMemory(2, variables=(0,)),
+            TM_PLAN,
+            StrictSerializability(),
+        )
+        assert report.holds

@@ -1,0 +1,132 @@
+"""Failure injection: crashes at adversarial moments, everywhere.
+
+Safety must survive any crash pattern; liveness accounting must treat
+crashed processes as faulty (exempt) rather than starving.  These tests
+sweep crash points across implementations and check both.
+"""
+
+import pytest
+
+from repro.algorithms.consensus import CasConsensus, CommitAdoptConsensus
+from repro.algorithms.tm import AgpTransactionalMemory, I12TransactionalMemory
+from repro.core.freedom import LKFreedom
+from repro.core.liveness import Lmax
+from repro.core.object_type import ProgressMode
+from repro.objects.consensus import AgreementValidity
+from repro.objects.opacity import OpacityChecker
+from repro.sim import (
+    ComposedDriver,
+    CrashAtStep,
+    RandomScheduler,
+    RoundRobinScheduler,
+    TransactionWorkload,
+    play,
+    propose_workload,
+)
+
+
+class TestConsensusUnderCrashes:
+    @pytest.mark.parametrize("crash_step", [1, 3, 5, 9, 15])
+    def test_commit_adopt_safety_survives_any_crash_point(self, crash_step):
+        driver = ComposedDriver(
+            RoundRobinScheduler(),
+            propose_workload([0, 1]),
+            crash_plan=CrashAtStep({crash_step: 1}),
+        )
+        result = play(CommitAdoptConsensus(2), driver, max_steps=5_000)
+        assert 1 in result.crashed()
+        assert AgreementValidity().check_history(result.history).holds
+
+    @pytest.mark.parametrize("crash_step", [1, 3, 5, 9, 15])
+    def test_survivor_decides_after_crash(self, crash_step):
+        """After the rival crashes, the survivor runs contention-free
+        and must decide — obstruction-freedom with real crash faults,
+        not just quiet schedules."""
+        driver = ComposedDriver(
+            RoundRobinScheduler(),
+            propose_workload([0, 1]),
+            crash_plan=CrashAtStep({crash_step: 1}),
+        )
+        result = play(CommitAdoptConsensus(2), driver, max_steps=5_000)
+        assert result.stats[0].responses == 1
+        summary = result.summary(ProgressMode.EVENTUAL)
+        # The crashed process is exempt: Lmax quantifies over correct
+        # processes only.
+        assert Lmax().evaluate(summary).holds
+
+    def test_cas_consensus_crash_of_winner_before_publishing(self):
+        """p0 crashes right after winning the CAS: the decision value
+        is already durable, p1 still decides p0's value."""
+        driver = ComposedDriver(
+            RandomScheduler(seed=2),
+            propose_workload([7, 8]),
+            crash_plan=CrashAtStep({3: 0}),
+        )
+        result = play(CasConsensus(2), driver, max_steps=5_000)
+        assert AgreementValidity().check_history(result.history).holds
+
+    def test_all_processes_crash(self):
+        driver = ComposedDriver(
+            RoundRobinScheduler(),
+            propose_workload([0, 1]),
+            crash_plan=CrashAtStep({2: 0, 4: 1}),
+        )
+        result = play(CommitAdoptConsensus(2), driver, max_steps=5_000)
+        assert result.crashed() == {0, 1}
+        summary = result.summary(ProgressMode.EVENTUAL)
+        assert summary.correct == frozenset()
+        # Vacuous liveness: nothing is demanded of an all-crashed run.
+        assert Lmax().evaluate(summary).holds
+
+
+class TestTmUnderCrashes:
+    @pytest.mark.parametrize("crash_step", [2, 5, 8, 13, 21])
+    def test_agp_opacity_survives_any_crash_point(self, crash_step):
+        driver = ComposedDriver(
+            RoundRobinScheduler(),
+            TransactionWorkload(2, 2, variables=(0,)),
+            crash_plan=CrashAtStep({crash_step: 0}),
+        )
+        result = play(AgpTransactionalMemory(2, variables=(0,)), driver, max_steps=5_000)
+        assert OpacityChecker().check_history(result.history).holds
+
+    @pytest.mark.parametrize("crash_step", [2, 5, 8, 13, 21])
+    def test_i12_counterexample_safety_survives_crashes(self, crash_step):
+        from repro.objects.counterexample_s import counterexample_safety
+
+        driver = ComposedDriver(
+            RoundRobinScheduler(),
+            TransactionWorkload(3, 1, variables=(0,)),
+            crash_plan=CrashAtStep({crash_step: 1}),
+        )
+        result = play(
+            I12TransactionalMemory(3, variables=(0,)), driver, max_steps=600,
+        )
+        assert counterexample_safety().check_history(result.history).holds
+
+    def test_crash_during_commit_leaves_consistent_state(self):
+        """Crash exactly around the commit CAS: the cell either holds
+        the old or the new snapshot, never a torn value — the survivor's
+        transactions stay opaque."""
+        for crash_step in range(6, 14):
+            driver = ComposedDriver(
+                RoundRobinScheduler(),
+                TransactionWorkload(2, 2, variables=(0,)),
+                crash_plan=CrashAtStep({crash_step: 1}),
+            )
+            result = play(
+                AgpTransactionalMemory(2, variables=(0,)), driver, max_steps=5_000
+            )
+            verdict = OpacityChecker().check_history(result.history)
+            assert verdict.holds, f"crash at {crash_step}: {verdict.reason}"
+
+    def test_crashed_process_is_exempt_from_lk_freedom(self):
+        driver = ComposedDriver(
+            RoundRobinScheduler(),
+            TransactionWorkload(2, 2, variables=(0,)),
+            crash_plan=CrashAtStep({4: 1}),
+        )
+        result = play(AgpTransactionalMemory(2, variables=(0,)), driver, max_steps=5_000)
+        summary = result.summary(ProgressMode.REPEATED)
+        assert 1 not in summary.correct
+        assert LKFreedom(1, 2).evaluate(summary).holds

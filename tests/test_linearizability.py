@@ -1,0 +1,134 @@
+"""Unit tests for the generic linearizability checker."""
+
+import pytest
+
+from repro.core.history import History
+from repro.objects.linearizability import LinearizabilityChecker
+from repro.objects.register_obj import WRITE_OK, RegisterSpec
+from repro.objects.consensus import ConsensusSpec
+
+from conftest import crash, inv, res
+
+
+def register_checker():
+    return LinearizabilityChecker(RegisterSpec(initial=0))
+
+
+class TestRegisterHistories:
+    def test_sequential_history(self):
+        history = History(
+            [
+                inv(0, "write", 5), res(0, "write", WRITE_OK),
+                inv(1, "read"), res(1, "read", 5),
+            ]
+        )
+        assert register_checker().check_history(history).holds
+
+    def test_stale_read_after_completed_write_rejected(self):
+        history = History(
+            [
+                inv(0, "write", 5), res(0, "write", WRITE_OK),
+                inv(1, "read"), res(1, "read", 0),
+            ]
+        )
+        assert not register_checker().check_history(history).holds
+
+    def test_concurrent_write_read_both_orders_allowed(self):
+        base = [
+            inv(0, "write", 5),
+            inv(1, "read"),
+        ]
+        for read_value in (0, 5):
+            history = History(
+                base
+                + [res(1, "read", read_value), res(0, "write", WRITE_OK)]
+            )
+            assert register_checker().check_history(history).holds, read_value
+
+    def test_pending_write_may_take_effect(self):
+        # The write never completes, yet a read may observe it
+        # (linearized before the read).
+        history = History(
+            [inv(0, "write", 7), inv(1, "read"), res(1, "read", 7)]
+        )
+        assert register_checker().check_history(history).holds
+
+    def test_pending_write_may_be_dropped(self):
+        history = History(
+            [inv(0, "write", 7), inv(1, "read"), res(1, "read", 0)]
+        )
+        assert register_checker().check_history(history).holds
+
+    def test_new_old_inversion_rejected(self):
+        """Two sequential reads observing new-then-old values."""
+        history = History(
+            [
+                inv(0, "write", 1), res(0, "write", WRITE_OK),
+                inv(1, "read"), res(1, "read", 1),
+                inv(1, "read"), res(1, "read", 0),
+            ]
+        )
+        assert not register_checker().check_history(history).holds
+
+    def test_crashed_operations_treated_as_pending(self):
+        history = History(
+            [inv(0, "write", 3), crash(0), inv(1, "read"), res(1, "read", 3)]
+        )
+        assert register_checker().check_history(history).holds
+
+    def test_find_linearization_returns_witness_order(self):
+        history = History(
+            [
+                inv(0, "write", 5), res(0, "write", WRITE_OK),
+                inv(1, "read"), res(1, "read", 5),
+            ]
+        )
+        order = register_checker().find_linearization(history)
+        assert order is not None
+        assert [op.invocation.operation for op in order] == ["write", "read"]
+
+    def test_find_linearization_none_when_impossible(self):
+        history = History(
+            [
+                inv(0, "write", 5), res(0, "write", WRITE_OK),
+                inv(1, "read"), res(1, "read", 9),
+            ]
+        )
+        assert register_checker().find_linearization(history) is None
+
+
+class TestConsensusHistories:
+    def test_consensus_linearizability_matches_first_wins_spec(self):
+        checker = LinearizabilityChecker(ConsensusSpec())
+        history = History(
+            [
+                inv(0, "propose", 3), res(0, "propose", 3),
+                inv(1, "propose", 8), res(1, "propose", 3),
+            ]
+        )
+        assert checker.check_history(history).holds
+
+    def test_consensus_disagreement_not_linearizable(self):
+        checker = LinearizabilityChecker(ConsensusSpec())
+        history = History(
+            [
+                inv(0, "propose", 3), res(0, "propose", 3),
+                inv(1, "propose", 8), res(1, "propose", 8),
+            ]
+        )
+        assert not checker.check_history(history).holds
+
+
+class TestPrefixClosure:
+    def test_checker_is_prefix_closed_on_violating_history(self):
+        checker = register_checker()
+        history = History(
+            [
+                inv(0, "write", 1), res(0, "write", WRITE_OK),
+                inv(1, "read"), res(1, "read", 0),
+            ]
+        )
+        assert checker.check_prefix_closure(history).holds
+
+    def test_empty_history_linearizable(self):
+        assert register_checker().check_history(History([])).holds

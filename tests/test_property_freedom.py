@@ -1,0 +1,123 @@
+"""Property-based tests for the liveness lattice and the finite model."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.freedom import LKFreedom
+from repro.core.liveness import Lmax, enumerate_summaries
+from repro.core.properties import ExecutionSummary
+from repro.setmodel.theorem44 import _micro_type
+from repro.setmodel.universe import (
+    enumerate_universe,
+    lmax_of,
+    silent_policy,
+)
+
+SPACE_3 = enumerate_summaries(3)
+GRID_3 = LKFreedom.grid(3)
+
+
+@st.composite
+def lk_params(draw, n=3):
+    k = draw(st.integers(min_value=1, max_value=n))
+    l = draw(st.integers(min_value=1, max_value=k))
+    return l, k
+
+
+@st.composite
+def abstract_summary(draw, n=3):
+    correct = draw(st.sets(st.integers(0, n - 1)))
+    steppers = draw(st.sets(st.sampled_from(sorted(correct)) if correct else st.nothing()))
+    progressors = draw(
+        st.sets(st.sampled_from(sorted(correct)) if correct else st.nothing())
+    )
+    return ExecutionSummary.of(
+        n, correct=correct, steppers=steppers, progressors=progressors
+    )
+
+
+class TestOrderLaws:
+    @given(lk_params(), lk_params())
+    @settings(max_examples=100)
+    def test_parameter_dominance_implies_semantic_strength(self, p, q):
+        a = LKFreedom(*p)
+        b = LKFreedom(*q)
+        if p[0] >= q[0] and p[1] >= q[1]:
+            assert a.admits(SPACE_3) <= b.admits(SPACE_3)
+
+    @given(lk_params())
+    @settings(max_examples=50)
+    def test_every_member_weakens_lmax(self, p):
+        assert Lmax().admits(SPACE_3) <= LKFreedom(*p).admits(SPACE_3)
+
+    @given(lk_params())
+    @settings(max_examples=50)
+    def test_union_and_conditional_agree(self, p):
+        conditional = LKFreedom(*p, semantics="conditional")
+        union = LKFreedom(*p, semantics="union", of_consequent="correct")
+        assert conditional.admits(SPACE_3) == union.admits(SPACE_3)
+
+    @given(abstract_summary())
+    @settings(max_examples=200)
+    def test_monotone_in_progressors(self, summary):
+        """Adding progressors never turns a satisfied (l,k) property
+        unsatisfied."""
+        grown = ExecutionSummary.of(
+            summary.n_processes,
+            correct=summary.correct,
+            steppers=summary.steppers,
+            progressors=summary.correct,  # everyone progresses
+        )
+        for prop in GRID_3:
+            if prop.evaluate(summary).holds and not prop.evaluate(grown).holds:
+                raise AssertionError(
+                    f"{prop.name} lost by adding progressors"
+                )
+
+
+class TestFiniteModelClosures:
+    @given(st.integers(min_value=1, max_value=2), st.integers(min_value=1, max_value=2))
+    @settings(max_examples=10, deadline=None)
+    def test_universe_prefix_closed_and_bounded(self, n_processes, ops):
+        object_type = _micro_type((0,))
+        universe = enumerate_universe(
+            object_type, list(range(n_processes)), per_process_ops=ops
+        )
+        for history in universe:
+            assert len(history.invocations()) <= ops * n_processes
+            for prefix in history.prefixes():
+                assert prefix in universe
+
+    @given(st.integers(min_value=1, max_value=2))
+    @settings(max_examples=5, deadline=None)
+    def test_lmax_is_liveness_base(self, n_processes):
+        """Every finite history extends to an Lmax member (the liveness
+        condition of Definition 3.2 holds for our bounded Lmax): for
+        each universe history, some extension within a larger universe
+        completes every invocation."""
+        object_type = _micro_type((0,))
+        processes = list(range(n_processes))
+        universe = enumerate_universe(object_type, processes, per_process_ops=1)
+        lmax = lmax_of(object_type, universe)
+        for history in universe:
+            has_extension = any(
+                history.is_prefix_of(candidate) for candidate in lmax
+            ) or any(
+                history.is_prefix_of(candidate)
+                for candidate in universe
+                if candidate in lmax
+            )
+            # Histories with pending invocations extend by responding.
+            if not has_extension:
+                extended = history
+                for pid, invocation in history.pending_invocations().items():
+                    from repro.core.events import Response
+
+                    extended = extended.append(Response(pid, invocation.operation, 0))
+                assert extended in lmax
+
+    def test_silent_policy_fair_set_is_response_free(self):
+        object_type = _micro_type((0,))
+        universe = enumerate_universe(object_type, [0, 1], per_process_ops=1)
+        impl = silent_policy().as_implementation(universe)
+        for history in impl.fair:
+            assert not history.responses()

@@ -1,0 +1,115 @@
+"""Property-based tests (hypothesis) for histories and events.
+
+Strategy: generate arbitrary *legal* event sequences by simulating the
+well-formedness state machine, then check structural invariants.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.events import Crash, Invocation, Response, is_crash
+from repro.core.history import History
+from repro.util.errors import IllFormedHistoryError
+
+
+@st.composite
+def well_formed_events(draw, n_processes=3, max_len=14):
+    """A well-formed event sequence, built action by legal action."""
+    length = draw(st.integers(min_value=0, max_value=max_len))
+    events = []
+    pending = {}
+    crashed = set()
+    operations = ("a", "b")
+    for _ in range(length):
+        choices = []
+        for pid in range(n_processes):
+            if pid in crashed:
+                continue
+            if pid in pending:
+                choices.append(("respond", pid))
+            else:
+                choices.append(("invoke", pid))
+            choices.append(("crash", pid))
+        if not choices:
+            break
+        kind, pid = draw(st.sampled_from(choices))
+        if kind == "invoke":
+            operation = draw(st.sampled_from(operations))
+            argument = draw(st.integers(min_value=0, max_value=2))
+            event = Invocation(pid, operation, (argument,))
+            pending[pid] = event
+        elif kind == "respond":
+            value = draw(st.integers(min_value=0, max_value=2))
+            event = Response(pid, pending.pop(pid).operation, value)
+        else:
+            event = Crash(pid)
+            pending.pop(pid, None)
+            crashed.add(pid)
+        events.append(event)
+    return events
+
+
+class TestHistoryInvariants:
+    @given(well_formed_events())
+    @settings(max_examples=150)
+    def test_generated_sequences_validate(self, events):
+        History(events)  # must not raise
+
+    @given(well_formed_events())
+    @settings(max_examples=150)
+    def test_every_prefix_is_well_formed(self, events):
+        history = History(events)
+        for prefix in history.prefixes():
+            prefix.check_well_formed()
+
+    @given(well_formed_events())
+    @settings(max_examples=150)
+    def test_projection_partition(self, events):
+        """Projections partition the events: their lengths sum to the
+        total, and each projection alternates inv/res."""
+        history = History(events)
+        total = sum(len(history.project(p)) for p in range(3))
+        assert total == len(history)
+
+    @given(well_formed_events())
+    @settings(max_examples=150)
+    def test_append_equals_batch_construction(self, events):
+        incremental = History([])
+        for event in events:
+            incremental = incremental.append(event)
+        assert incremental == History(events)
+
+    @given(well_formed_events())
+    @settings(max_examples=150)
+    def test_operations_cover_all_invocations(self, events):
+        history = History(events)
+        operations = history.operations()
+        assert len(operations) == len(history.invocations())
+        completed = [op for op in operations if not op.is_pending]
+        assert len(completed) == len(history.responses())
+
+    @given(well_formed_events())
+    @settings(max_examples=150)
+    def test_without_pending_is_complete_and_well_formed(self, events):
+        cleaned = History(events).without_pending()
+        cleaned.check_well_formed()
+        assert not cleaned.pending_invocations()
+        assert not any(is_crash(e) for e in cleaned)
+
+    @given(well_formed_events(), well_formed_events())
+    @settings(max_examples=100)
+    def test_prefix_relation_is_a_partial_order(self, left_events, right_events):
+        left = History(left_events)
+        right = History(right_events)
+        if left.is_prefix_of(right) and right.is_prefix_of(left):
+            assert left == right
+
+    @given(well_formed_events())
+    @settings(max_examples=100)
+    def test_real_time_precedence_is_acyclic(self, events):
+        operations = History(events).operations()
+        # precedes is a strict partial order: irreflexive + antisymmetric.
+        for a in operations:
+            assert not a.precedes(a)
+            for b in operations:
+                if a is not b and a.precedes(b):
+                    assert not b.precedes(a)

@@ -1,0 +1,132 @@
+"""Tests for the sequential consistency checker and its separation from
+linearizability."""
+
+from repro.core.history import History
+from repro.objects import LinearizabilityChecker, SequentialConsistencyChecker
+from repro.objects.register_obj import WRITE_OK, RegisterSpec
+
+from conftest import inv, res
+
+
+def sc():
+    return SequentialConsistencyChecker(RegisterSpec(initial=0))
+
+
+def lin():
+    return LinearizabilityChecker(RegisterSpec(initial=0))
+
+
+class TestSequentialConsistency:
+    def test_sequential_history_accepted(self):
+        history = History(
+            [
+                inv(0, "write", 5), res(0, "write", WRITE_OK),
+                inv(1, "read"), res(1, "read", 5),
+            ]
+        )
+        assert sc().check_history(history).holds
+
+    def test_sc_but_not_linearizable(self):
+        """The classic separation: a completed write followed in real
+        time by a stale read is sequentially consistent (reorder across
+        processes) but not linearizable."""
+        history = History(
+            [
+                inv(0, "write", 1), res(0, "write", WRITE_OK),
+                inv(1, "read"), res(1, "read", 0),
+            ]
+        )
+        assert sc().check_history(history).holds
+        assert not lin().check_history(history).holds
+
+    def test_linearizable_implies_sc(self):
+        corpus = [
+            History([inv(0, "write", 1), res(0, "write", WRITE_OK)]),
+            History(
+                [
+                    inv(0, "write", 1),
+                    inv(1, "read"),
+                    res(1, "read", 1),
+                    res(0, "write", WRITE_OK),
+                ]
+            ),
+            History([inv(0, "read"), res(0, "read", 0)]),
+        ]
+        for history in corpus:
+            if lin().check_history(history).holds:
+                assert sc().check_history(history).holds
+
+    def test_program_order_still_enforced(self):
+        """A single process's own operations cannot be reordered: read
+        after own completed write must see it (no other writers)."""
+        history = History(
+            [
+                inv(0, "write", 1), res(0, "write", WRITE_OK),
+                inv(0, "read"), res(0, "read", 0),
+            ]
+        )
+        assert not sc().check_history(history).holds
+
+    def test_impossible_value_rejected(self):
+        history = History([inv(0, "read"), res(0, "read", 42)])
+        assert not sc().check_history(history).holds
+
+    def test_cross_process_reorder_is_allowed_both_ways(self):
+        """p1's read may be ordered before p0's overlapping write even
+        when it responds after it (and vice versa)."""
+        history = History(
+            [
+                inv(0, "write", 9),
+                inv(1, "read"),
+                res(0, "write", WRITE_OK),
+                res(1, "read", 0),
+            ]
+        )
+        assert sc().check_history(history).holds
+
+
+class TestRealTmHistories:
+    def test_simulated_register_histories_are_sc(self):
+        """Histories of an actual atomic register implementation are
+        linearizable, hence sequentially consistent."""
+        from repro.base_objects import AtomicRegister, ObjectPool
+        from repro.objects.register_obj import register_object_type
+        from repro.sim import (
+            ComposedDriver,
+            Implementation,
+            Op,
+            RandomScheduler,
+            ScriptedWorkload,
+            play,
+        )
+
+        class DirectRegister(Implementation):
+            name = "direct-register"
+
+            def __init__(self, n):
+                super().__init__(register_object_type(values=(0, 1, 2)), n)
+
+            def create_pool(self):
+                return ObjectPool([AtomicRegister("r", initial=0)])
+
+            def algorithm(self, pid, operation, args, memory):
+                return self._run(operation, args)
+
+            @staticmethod
+            def _run(operation, args):
+                value = yield Op("r", operation, args)
+                return value if operation == "read" else WRITE_OK
+
+        workload = ScriptedWorkload(
+            {
+                0: [("write", (1,)), ("read", ()), ("write", (2,))],
+                1: [("read", ()), ("write", (2,)), ("read", ())],
+            }
+        )
+        result = play(
+            DirectRegister(2),
+            ComposedDriver(RandomScheduler(seed=3), workload),
+            max_steps=1_000,
+        )
+        assert lin().check_history(result.history).holds
+        assert sc().check_history(result.history).holds

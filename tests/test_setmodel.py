@@ -1,0 +1,241 @@
+"""Tests for the finite set-theoretic model (Sections 3-4, exactly)."""
+
+import pytest
+
+from repro.core.history import EMPTY_HISTORY, History
+from repro.setmodel import (
+    FiniteModel,
+    ImplementationModel,
+    build_model,
+    constant_policy,
+    enumerate_policies,
+    enumerate_universe,
+    lmax_of,
+    safety_is_admissible,
+    silent_policy,
+    theorem44,
+    theorem49,
+    verify_lemma48,
+    verify_theorem44,
+    verify_theorem49,
+)
+from repro.setmodel.theorem44 import _micro_type, first_event_adversary_sets
+from repro.util.errors import ModelError
+
+from conftest import inv, res
+
+
+class TestUniverseEnumeration:
+    def test_one_process_universe(self):
+        object_type = _micro_type((0, 1))
+        universe = enumerate_universe(object_type, [0], per_process_ops=1)
+        # empty, a, a.0, a.1
+        assert len(universe) == 4
+        assert EMPTY_HISTORY in universe
+
+    def test_universe_is_prefix_closed(self):
+        object_type = _micro_type((0,))
+        universe = enumerate_universe(object_type, [0, 1], per_process_ops=1)
+        for history in universe:
+            for prefix in history.prefixes():
+                assert prefix in universe
+
+    def test_two_ops_per_process(self):
+        object_type = _micro_type((0,))
+        universe = enumerate_universe(object_type, [0], per_process_ops=2)
+        longest = max(universe, key=len)
+        assert len(longest) == 4  # a.0.a.0
+
+    def test_lmax_of_requires_completion_and_goodness(self):
+        object_type = _micro_type((0, 1))
+        universe = enumerate_universe(object_type, [0], per_process_ops=1)
+        lmax = lmax_of(object_type, universe)
+        assert EMPTY_HISTORY in lmax
+        assert History([inv(0, "a")]) not in lmax
+        assert History([inv(0, "a"), res(0, "a", 0)]) in lmax
+
+
+class TestPolicies:
+    def test_silent_policy_has_no_responses(self):
+        object_type = _micro_type((0, 1))
+        universe = enumerate_universe(object_type, [0], per_process_ops=1)
+        impl = silent_policy().as_implementation(universe)
+        assert all(not h.responses() for h in impl.histories)
+        # Pending histories are fair for the silent implementation.
+        assert History([inv(0, "a")]) in impl.fair
+
+    def test_constant_policy_responds_immediately(self):
+        object_type = _micro_type((0, 1))
+        universe = enumerate_universe(object_type, [0], per_process_ops=1)
+        impl = constant_policy(0).as_implementation(universe)
+        assert History([inv(0, "a"), res(0, "a", 0)]) in impl.histories
+        assert History([inv(0, "a"), res(0, "a", 1)]) not in impl.histories
+        # A pending invocation is NOT fair here: the response is enabled.
+        assert History([inv(0, "a")]) not in impl.fair
+
+    def test_policy_enumeration_counts(self):
+        object_type = _micro_type((0,))
+        universe = enumerate_universe(object_type, [0, 1], per_process_ops=1)
+        policies = enumerate_policies(object_type, [0, 1], universe)
+        # 4 contexts x 2 choices (respond-0 / silent) = 16.
+        assert len(policies) == 16
+
+    def test_policy_enumeration_guard(self):
+        object_type = _micro_type((0, 1))
+        universe = enumerate_universe(object_type, [0, 1], per_process_ops=1)
+        with pytest.raises(ModelError):
+            enumerate_policies(
+                object_type, [0, 1], universe, max_policies=2
+            )
+
+
+class TestFiniteModel:
+    def test_prefix_closure_enforced(self):
+        bad = frozenset({History([inv(0, "a"), res(0, "a", 0)])})
+        with pytest.raises(ModelError):
+            FiniteModel(
+                universe=bad,
+                lmax=bad,
+                implementations=(),
+            )
+
+    def test_liveness_enumeration_contains_lmax_and_universe(self):
+        model, _safety = theorem44.positive_model()
+        properties = list(model.liveness_properties())
+        assert model.lmax in properties
+        assert model.universe in properties
+        assert len(properties) == 2 ** len(model.universe - model.lmax)
+
+    def test_exclusion_relative_to_family(self):
+        model, safety = theorem44.positive_model()
+        # Lmax excludes S in this model (the family is only the silent
+        # implementation, whose fair pending history is outside Lmax).
+        assert model.excludes(model.lmax, safety)
+        # The full universe (trivial liveness) excludes nothing.
+        assert not model.excludes(model.universe, safety)
+
+    def test_adversary_set_conditions(self):
+        model, safety = theorem44.positive_model()
+        pending = frozenset(
+            h for h in model.universe if h.pending_invocations()
+        )
+        assert model.is_adversary_set(pending, model.lmax, safety)
+        assert not model.is_adversary_set(frozenset(), model.lmax, safety)
+        # A set containing an Lmax history fails condition (2).
+        with_good = pending | {EMPTY_HISTORY}
+        assert not model.is_adversary_set(with_good, model.lmax, safety)
+
+    def test_admissibility_checker(self):
+        object_type = _micro_type((0,))
+        universe = enumerate_universe(object_type, [0, 1], per_process_ops=1)
+        assert safety_is_admissible(object_type, [0, 1], universe)
+        no_responses = frozenset(h for h in universe if not h.responses())
+        assert not safety_is_admissible(object_type, [0, 1], no_responses)
+
+
+class TestTheorem44:
+    def test_positive_branch(self):
+        model, safety = theorem44.positive_model()
+        report = verify_theorem44(model, safety)
+        assert report.iff_holds
+        assert report.gmax_is_adversary_set
+        assert report.weakest_excluding is not None
+        assert report.weakest_equals_complement_gmax
+
+    def test_negative_branch(self):
+        model, safety = theorem44.negative_model()
+        report = verify_theorem44(model, safety)
+        assert report.iff_holds
+        assert not report.gmax_is_adversary_set
+        assert report.weakest_excluding is None
+        assert report.gmax == frozenset()
+
+    def test_first_event_sets_are_adversary_sets(self):
+        model, safety = theorem44.negative_model()
+        f1, f2 = first_event_adversary_sets(model, safety)
+        assert model.is_adversary_set(f1, model.lmax, safety)
+        assert model.is_adversary_set(f2, model.lmax, safety)
+        assert not (f1 & f2)
+
+    def test_iff_sweep_over_all_safety_properties(self):
+        """Theorem 4.4's biconditional, for every prefix-closed safety
+        property of the positive micro model that satisfies Section
+        3.1's standing assumptions (prefix closure + implementability
+        within the family)."""
+        import itertools
+
+        checked = 0
+        for model, _ignored in (theorem44.positive_model(), theorem49.positive_model()):
+            histories = sorted(model.universe, key=lambda h: (len(h), repr(h)))
+            for r in range(1, len(histories) + 1):
+                for combo in itertools.combinations(histories, r):
+                    safety = frozenset(combo)
+                    if EMPTY_HISTORY not in safety:
+                        continue
+                    if any(
+                        len(h) > 0 and h[: len(h) - 1] not in safety
+                        for h in safety
+                    ):
+                        continue  # not prefix-closed
+                    if not model.safety_is_implementable(safety):
+                        continue  # violates the Section 3.1 assumption
+                    report = verify_theorem44(model, safety)
+                    assert report.iff_holds, f"iff fails for S={combo}"
+                    checked += 1
+        assert checked >= 4  # the sweep actually covered several properties
+
+    def test_unimplementable_safety_breaks_the_easy_equivalence(self):
+        """Regression exhibit for why Section 3.1's implementability
+        assumption matters: S = {ε} is excluded by everything yet
+        admits no adversary set."""
+        model, _ = theorem44.positive_model()
+        safety = frozenset({EMPTY_HISTORY})
+        assert not model.safety_is_implementable(safety)
+        assert model.excludes(model.lmax, safety)
+        assert model.adversary_sets(model.lmax, safety) == []
+
+
+class TestLemma48AndTheorem49:
+    def test_lemma48_for_every_policy_of_positive_model(self):
+        model, _safety = theorem49.positive_model()
+        for impl in model.implementations:
+            report = verify_lemma48(model, impl)
+            assert report.holds, impl.name
+
+    def test_theorem49_positive(self):
+        model, safety = theorem49.positive_model()
+        report = verify_theorem49(model, safety)
+        assert report.holds
+        assert report.strongest_is_lmax
+
+    def test_theorem49_negative(self):
+        model, safety = theorem49.negative_model()
+        report = verify_theorem49(model, safety)
+        assert report.holds
+        assert report.lmax_excludes_safety
+        assert report.strongest_non_excluding is None
+
+    def test_negative_model_safety_is_admissible(self):
+        """Theorem 4.9 relies on Section 3.1's admissibility assumption;
+        the negative model must satisfy it."""
+        model, safety = theorem49.negative_model()
+        assert safety_is_admissible(_micro_type((0,)), [0, 1], safety)
+
+    def test_inadmissible_safety_breaks_theorem49(self):
+        """Regression exhibit: with an inadmissible S ('no responses at
+        all') and a restricted family, a strongest non-excluding
+        liveness exists and is NOT Lmax — the standing assumption is
+        load-bearing."""
+        object_type = _micro_type((0, 1))
+        model = build_model(
+            object_type,
+            processes=[0],
+            policies=[silent_policy()],
+            per_process_ops=1,
+            name="inadmissible",
+        )
+        safety = frozenset(h for h in model.universe if not h.responses())
+        assert not safety_is_admissible(object_type, [0], safety)
+        report = verify_theorem49(model, safety)
+        assert report.strongest_non_excluding is not None
+        assert report.strongest_is_lmax is False

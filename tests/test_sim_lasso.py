@@ -1,0 +1,120 @@
+"""Tests for lasso detection and summary semantics of runs."""
+
+from repro.algorithms.consensus import CommitAdoptConsensus, SilentConsensus
+from repro.core.object_type import ProgressMode
+from repro.core.properties import Certainty
+from repro.sim import (
+    ComposedDriver,
+    LockstepScheduler,
+    RoundRobinScheduler,
+    SoloScheduler,
+    play,
+    propose_workload,
+)
+from repro.sim.lasso import LassoDetector
+
+
+class TestLassoDetector:
+    def test_exact_repeat_detected(self):
+        detector = LassoDetector()
+        assert detector.observe(1, "state-a", None) is None
+        assert detector.observe(2, "state-b", None) is None
+        certificate = detector.observe(3, "state-a", None)
+        assert certificate is not None
+        assert certificate.cycle_start == 1
+        assert certificate.cycle_end == 3
+        assert certificate.fingerprint_kind == "exact"
+
+    def test_abstract_repeat_detected_separately(self):
+        detector = LassoDetector()
+        detector.observe(1, None, "abs-a")
+        certificate = detector.observe(2, None, "abs-a")
+        assert certificate is not None
+        assert certificate.fingerprint_kind == "abstract"
+
+    def test_stride_skips_observations(self):
+        detector = LassoDetector(check_every=2)
+        assert detector.observe(1, "x", None) is None  # skipped
+        assert detector.observe(2, "x", None) is None  # stored
+        assert detector.observe(3, "x", None) is None  # skipped
+        assert detector.observe(4, "x", None) is not None
+
+    def test_reset_forgets(self):
+        detector = LassoDetector()
+        detector.observe(1, "x", None)
+        detector.reset()
+        assert detector.observe(2, "x", None) is None
+
+
+class TestLassoRuns:
+    def test_lockstep_commit_adopt_lassos_with_no_decision(self):
+        """The (1,2)-exclusion witness: contention prevents any decision,
+        and the certificate makes the verdict PROVED."""
+        result = play(
+            CommitAdoptConsensus(2),
+            ComposedDriver(LockstepScheduler([0, 1]), propose_workload([0, 1])),
+            max_steps=10_000,
+        )
+        assert result.stop_reason == "lasso"
+        assert result.lasso is not None
+        summary = result.summary(ProgressMode.EVENTUAL)
+        assert summary.certainty is Certainty.PROVED
+        assert summary.steppers == frozenset({0, 1})
+        assert summary.progressors == frozenset()
+
+    def test_round_robin_three_proposers_also_lasso(self):
+        result = play(
+            CommitAdoptConsensus(3),
+            ComposedDriver(RoundRobinScheduler(), propose_workload([0, 1, 2])),
+            max_steps=10_000,
+        )
+        assert result.stop_reason == "lasso"
+        assert result.summary(ProgressMode.EVENTUAL).steppers == frozenset({0, 1, 2})
+
+    def test_silent_consensus_lassos_immediately(self):
+        result = play(
+            SilentConsensus(2),
+            ComposedDriver(SoloScheduler(0), propose_workload([0, None])),
+            max_steps=1_000,
+        )
+        assert result.stop_reason == "lasso"
+        summary = result.summary(ProgressMode.EVENTUAL)
+        assert summary.steppers == frozenset({0})
+        assert summary.progressors == frozenset()
+
+    def test_solo_commit_adopt_terminates_instead(self):
+        result = play(
+            CommitAdoptConsensus(2),
+            ComposedDriver(SoloScheduler(1), propose_workload([None, 9])),
+            max_steps=1_000,
+        )
+        assert result.fairness_complete
+        assert result.lasso is None
+        summary = result.summary(ProgressMode.EVENTUAL)
+        assert summary.finite
+        assert 1 in summary.progressors
+
+    def test_lasso_disabled_runs_to_budget(self):
+        result = play(
+            CommitAdoptConsensus(2),
+            ComposedDriver(LockstepScheduler([0, 1]), propose_workload([0, 1])),
+            max_steps=500,
+            detect_lasso=False,
+        )
+        assert result.stop_reason == "max-steps"
+        summary = result.summary(ProgressMode.EVENTUAL)
+        assert summary.certainty is Certainty.HORIZON
+
+    def test_lockstep_decided_when_values_equal(self):
+        """Equal proposals give no contention on values: commit-adopt
+        decides even in lockstep — the adversary needs distinct values,
+        exactly as the paper's F1 requires."""
+        result = play(
+            CommitAdoptConsensus(2),
+            ComposedDriver(LockstepScheduler([0, 1]), propose_workload([5, 5])),
+            max_steps=10_000,
+        )
+        assert result.stats[0].responses == 1
+        assert result.stats[1].responses == 1
+        values = {e.value for e in result.history.responses()}
+        assert values == {5}

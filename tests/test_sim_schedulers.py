@@ -1,0 +1,193 @@
+"""Unit tests for schedulers, workloads and crash plans."""
+
+import pytest
+
+from repro.algorithms.consensus import CommitAdoptConsensus
+from repro.sim import (
+    ComposedDriver,
+    CrashAfterInvocations,
+    CrashAtStep,
+    FixedOrderScheduler,
+    GroupScheduler,
+    LockstepScheduler,
+    NoCrashes,
+    OneShotWorkload,
+    RandomScheduler,
+    RoundRobinScheduler,
+    ScriptedWorkload,
+    SoloScheduler,
+    play,
+    propose_workload,
+)
+from repro.util.errors import SimulationError
+
+
+class FakeView:
+    """Minimal stand-in for RuntimeView in scheduler unit tests."""
+
+    def __init__(self, n=4, step=0):
+        self.n_processes = n
+        self.step = step
+        self._crashed = set()
+        self._pending = set()
+
+    def is_crashed(self, pid):
+        return pid in self._crashed
+
+    def is_pending(self, pid):
+        return pid in self._pending
+
+    def invocation_count(self, pid):
+        return 0
+
+
+class TestRoundRobin:
+    def test_cycles_in_pid_order(self):
+        scheduler = RoundRobinScheduler()
+        view = FakeView()
+        picks = [scheduler.pick([0, 1, 2, 3], view) for _ in range(6)]
+        assert picks == [0, 1, 2, 3, 0, 1]
+
+    def test_skips_ineligible(self):
+        scheduler = RoundRobinScheduler()
+        view = FakeView()
+        assert scheduler.pick([2, 3], view) == 2
+        assert scheduler.pick([1], view) == 1
+
+    def test_reset(self):
+        scheduler = RoundRobinScheduler()
+        view = FakeView()
+        scheduler.pick([0, 1], view)
+        scheduler.reset()
+        assert scheduler.pick([0, 1], view) == 0
+
+
+class TestRandomScheduler:
+    def test_deterministic_with_seed(self):
+        view = FakeView()
+        a = RandomScheduler(seed=7)
+        b = RandomScheduler(seed=7)
+        picks_a = [a.pick([0, 1, 2], view) for _ in range(20)]
+        picks_b = [b.pick([0, 1, 2], view) for _ in range(20)]
+        assert picks_a == picks_b
+
+    def test_reset_replays_stream(self):
+        view = FakeView()
+        scheduler = RandomScheduler(seed=3)
+        first = [scheduler.pick([0, 1], view) for _ in range(10)]
+        scheduler.reset()
+        assert [scheduler.pick([0, 1], view) for _ in range(10)] == first
+
+
+class TestRestrictedSchedulers:
+    def test_solo_admissibility(self):
+        scheduler = SoloScheduler(2)
+        assert scheduler.admissible(2)
+        assert not scheduler.admissible(0)
+
+    def test_solo_rejects_wrong_pick(self):
+        with pytest.raises(SimulationError):
+            SoloScheduler(2).pick([0, 1], FakeView())
+
+    def test_group_round_robins_within_group(self):
+        scheduler = GroupScheduler([1, 3])
+        view = FakeView()
+        picks = [scheduler.pick([0, 1, 2, 3], view) for _ in range(4)]
+        assert picks == [1, 3, 1, 3]
+        assert not scheduler.admissible(0)
+
+    def test_lockstep_strict_alternation(self):
+        scheduler = LockstepScheduler([0, 1])
+        view = FakeView()
+        picks = [scheduler.pick([0, 1], view) for _ in range(4)]
+        assert picks == [0, 1, 0, 1]
+
+    def test_lockstep_skips_only_when_member_ineligible(self):
+        scheduler = LockstepScheduler([0, 1])
+        view = FakeView()
+        assert scheduler.pick([1], view) == 1
+
+    def test_fixed_order_replays_and_validates(self):
+        scheduler = FixedOrderScheduler([1, 0])
+        view = FakeView()
+        assert scheduler.pick([0, 1], view) == 1
+        assert scheduler.pick([0, 1], view) == 0
+        with pytest.raises(SimulationError):
+            scheduler.pick([0, 1], view)  # exhausted
+
+    def test_fixed_order_rejects_ineligible_script(self):
+        scheduler = FixedOrderScheduler([2])
+        with pytest.raises(SimulationError):
+            scheduler.pick([0, 1], FakeView())
+
+
+class TestWorkloads:
+    def test_one_shot_issues_once(self):
+        workload = OneShotWorkload([("op", (1,)), None])
+        view = FakeView()
+        assert workload.has_next(0, view)
+        assert workload.next_invocation(0, view) == ("op", (1,))
+        assert not workload.has_next(0, view)
+        assert not workload.has_next(1, view)
+
+    def test_propose_workload(self):
+        workload = propose_workload([5, None, 7])
+        view = FakeView()
+        assert workload.next_invocation(0, view) == ("propose", (5,))
+        assert not workload.has_next(1, view)
+        assert workload.next_invocation(2, view) == ("propose", (7,))
+
+    def test_scripted_workload_per_process_scripts(self):
+        workload = ScriptedWorkload({0: [("a", ()), ("b", ())]})
+        view = FakeView()
+        assert workload.next_invocation(0, view) == ("a", ())
+        assert workload.next_invocation(0, view) == ("b", ())
+        assert not workload.has_next(0, view)
+        assert not workload.has_next(1, view)
+
+    def test_reset_restores_scripts(self):
+        workload = OneShotWorkload([("op", ())])
+        view = FakeView()
+        workload.next_invocation(0, view)
+        workload.reset()
+        assert workload.has_next(0, view)
+
+
+class TestCrashPlans:
+    def test_no_crashes(self):
+        assert NoCrashes().next_crash(FakeView()) is None
+
+    def test_crash_at_step_fires_once(self):
+        plan = CrashAtStep({3: 1})
+        early = FakeView(step=2)
+        due = FakeView(step=3)
+        assert plan.next_crash(early) is None
+        assert plan.next_crash(due) == 1
+        assert plan.next_crash(due) is None  # already fired
+
+    def test_crash_at_step_skips_crashed(self):
+        plan = CrashAtStep({0: 1})
+        view = FakeView(step=0)
+        view._crashed.add(1)
+        assert plan.next_crash(view) is None
+
+    def test_crash_after_invocations(self):
+        plan = CrashAfterInvocations({0: 2})
+
+        class View(FakeView):
+            def invocation_count(self, pid):
+                return 2 if pid == 0 else 0
+
+        assert plan.next_crash(View()) == 0
+        assert plan.next_crash(View()) is None
+
+    def test_crash_integrates_with_runtime(self):
+        driver = ComposedDriver(
+            RoundRobinScheduler(),
+            propose_workload([0, 1]),
+            crash_plan=CrashAtStep({4: 1}),
+        )
+        result = play(CommitAdoptConsensus(2), driver, max_steps=2000)
+        assert 1 in result.crashed()
+        # The survivor runs alone after the crash and decides.
+        assert result.stats[0].responses == 1

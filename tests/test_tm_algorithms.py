@@ -1,0 +1,263 @@
+"""Integration tests for the TM implementations."""
+
+import pytest
+
+from repro.algorithms.tm import (
+    AgpTransactionalMemory,
+    GlobalLockTransactionalMemory,
+    I12TransactionalMemory,
+    IntentTransactionalMemory,
+    TrivialTransactionalMemory,
+)
+from repro.core.freedom import LKFreedom
+from repro.core.liveness import LocalProgress, LockFreedom
+from repro.core.object_type import ProgressMode
+from repro.objects.counterexample_s import counterexample_safety
+from repro.objects.opacity import OpacityChecker
+from repro.objects.tm import COMMITTED, committed_transactions
+from repro.sim import (
+    ComposedDriver,
+    CrashAfterInvocations,
+    GroupScheduler,
+    LockstepScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    SoloScheduler,
+    TransactionWorkload,
+    play,
+)
+
+
+def tm_run(impl, scheduler, n, txs=2, max_steps=5_000, crash_plan=None,
+           variables=(0, 1)):
+    workload = TransactionWorkload(n, txs, variables=variables)
+    driver = ComposedDriver(scheduler, workload, crash_plan=crash_plan)
+    return play(impl, driver, max_steps=max_steps)
+
+
+class TestAgp:
+    def test_round_robin_commits_and_is_opaque(self):
+        result = tm_run(AgpTransactionalMemory(2), RoundRobinScheduler(), 2)
+        assert result.fairness_complete
+        assert len(committed_transactions(result.history)) == 4
+        assert OpacityChecker().check_history(result.history).holds
+
+    def test_random_schedules_stay_opaque(self):
+        for seed in range(6):
+            result = tm_run(
+                AgpTransactionalMemory(3), RandomScheduler(seed=seed), 3
+            )
+            assert OpacityChecker().check_history(result.history).holds, seed
+
+    def test_lock_freedom_under_contention(self):
+        """Someone always commits: CAS failure implies another commit."""
+        result = tm_run(
+            AgpTransactionalMemory(3), RandomScheduler(seed=1), 3, txs=3,
+            max_steps=20_000,
+        )
+        summary = result.summary(ProgressMode.REPEATED)
+        assert LockFreedom().evaluate(summary).holds
+
+    def test_crash_mid_transaction_harms_nobody(self):
+        result = tm_run(
+            AgpTransactionalMemory(2),
+            RoundRobinScheduler(),
+            2,
+            crash_plan=CrashAfterInvocations({1: 2}),
+        )
+        assert 1 in result.crashed()
+        assert OpacityChecker().check_history(result.history).holds
+        # Survivor still commits its workload.
+        assert result.stats[0].good_responses >= 1
+
+    def test_read_your_own_writes(self):
+        from repro.sim import ScriptedDriver
+        from repro.sim.drivers import InvokeDecision, StepDecision
+
+        impl = AgpTransactionalMemory(1)
+        script = [InvokeDecision(0, "start", ()), StepDecision(0), StepDecision(0),
+                  InvokeDecision(0, "write", (0, 42)), StepDecision(0),
+                  InvokeDecision(0, "read", (0,)), StepDecision(0),
+                  InvokeDecision(0, "tryC", ()), StepDecision(0), StepDecision(0)]
+        result = play(impl, ScriptedDriver(script), max_steps=100)
+        reads = [e for e in result.history.responses() if e.operation == "read"]
+        assert reads[0].value == 42
+
+
+class TestI12:
+    def test_pairwise_schedules_commit_and_satisfy_s(self):
+        safety = counterexample_safety()
+        result = tm_run(
+            I12TransactionalMemory(3), GroupScheduler([0, 1]), 3, txs=2
+        )
+        assert safety.check_history(result.history).holds
+        assert result.stats[0].good_responses + result.stats[1].good_responses >= 2
+
+    def test_symmetric_three_way_contention_aborts_everything(self):
+        """All three processes carry the same timestamp: the count>=3
+        rule aborts every commit attempt, forever."""
+        result = tm_run(
+            I12TransactionalMemory(3), RoundRobinScheduler(), 3, txs=1,
+            max_steps=2_000,
+        )
+        assert all(result.stats[p].good_responses == 0 for p in range(3))
+
+    def test_12_freedom_on_two_process_executions(self):
+        result = tm_run(
+            I12TransactionalMemory(2), RoundRobinScheduler(), 2, txs=3
+        )
+        summary = result.summary(ProgressMode.REPEATED)
+        assert LKFreedom(1, 2).evaluate(summary).holds
+
+    def test_timestamps_persist_across_transactions(self):
+        impl = I12TransactionalMemory(2)
+        result = tm_run(impl, SoloScheduler(0), 2, txs=3)
+        # Three transactions committed solo; no aborts.
+        assert result.stats[0].good_responses == 3
+
+
+class TestTrivial:
+    def test_everything_aborts(self):
+        result = tm_run(
+            TrivialTransactionalMemory(2),
+            RoundRobinScheduler(),
+            2,
+            max_steps=200,
+        )
+        assert all(s.good_responses == 0 for s in result.stats.values())
+
+    def test_vacuously_safe(self):
+        result = tm_run(
+            TrivialTransactionalMemory(2),
+            RoundRobinScheduler(),
+            2,
+            max_steps=200,
+        )
+        assert OpacityChecker().check_history(result.history[:40]).holds
+        assert counterexample_safety().check_history(result.history[:40]).holds
+
+    def test_violates_local_progress(self):
+        result = tm_run(
+            TrivialTransactionalMemory(2),
+            RoundRobinScheduler(),
+            2,
+            max_steps=200,
+        )
+        summary = result.summary(ProgressMode.REPEATED)
+        assert not LocalProgress().evaluate(summary).holds
+
+
+class TestGlobalLock:
+    def test_serialises_and_commits(self):
+        result = tm_run(
+            GlobalLockTransactionalMemory(2), RoundRobinScheduler(), 2
+        )
+        assert len(committed_transactions(result.history)) == 4
+        assert OpacityChecker().check_history(result.history).holds
+
+    def test_crash_inside_transaction_blocks_everyone(self):
+        """The blocking boundary: one crash while holding the lock
+        starves every other process — which no crash can do to the
+        non-blocking TMs."""
+        result = tm_run(
+            GlobalLockTransactionalMemory(2),
+            RoundRobinScheduler(),
+            2,
+            crash_plan=CrashAfterInvocations({0: 2}),
+            max_steps=2_000,
+        )
+        assert 0 in result.crashed()
+        summary = result.summary(ProgressMode.REPEATED)
+        assert not LKFreedom(1, 1).evaluate(summary).holds
+
+    def test_same_crash_does_not_block_agp(self):
+        result = tm_run(
+            AgpTransactionalMemory(2),
+            RoundRobinScheduler(),
+            2,
+            crash_plan=CrashAfterInvocations({0: 2}),
+            max_steps=2_000,
+        )
+        summary = result.summary(ProgressMode.REPEATED)
+        assert LKFreedom(1, 1).evaluate(summary).holds
+
+
+class TestIntentTM:
+    def test_solo_transactions_commit(self):
+        result = tm_run(IntentTransactionalMemory(2), SoloScheduler(0), 2, txs=2)
+        assert result.stats[0].good_responses == 2
+
+    def test_livelock_under_lockstep(self):
+        """Obstruction-free but not lock-free: mutual intent sightings
+        abort both forever."""
+        result = tm_run(
+            IntentTransactionalMemory(2),
+            LockstepScheduler([0, 1]),
+            2,
+            txs=1,
+            max_steps=3_000,
+        )
+        summary = result.summary(ProgressMode.REPEATED)
+        assert not LockFreedom().evaluate(summary).holds
+
+    def test_agp_does_not_livelock_on_same_schedule(self):
+        result = tm_run(
+            AgpTransactionalMemory(2),
+            LockstepScheduler([0, 1]),
+            2,
+            txs=1,
+            max_steps=3_000,
+        )
+        summary = result.summary(ProgressMode.REPEATED)
+        assert LockFreedom().evaluate(summary).holds
+
+    def test_opaque_under_random_schedules(self):
+        for seed in range(4):
+            result = tm_run(
+                IntentTransactionalMemory(2),
+                RandomScheduler(seed=seed),
+                2,
+                max_steps=3_000,
+            )
+            assert OpacityChecker().check_history(result.history).holds, seed
+
+
+class TestProtocolGuards:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: AgpTransactionalMemory(1),
+            lambda: I12TransactionalMemory(1),
+            lambda: GlobalLockTransactionalMemory(1),
+            lambda: IntentTransactionalMemory(1),
+        ],
+    )
+    def test_read_outside_transaction_rejected(self, factory):
+        from repro.sim import ScriptedDriver
+        from repro.sim.drivers import InvokeDecision, StepDecision
+        from repro.util.errors import SimulationError
+
+        impl = factory()
+        driver = ScriptedDriver(
+            [InvokeDecision(0, "read", (0,)), StepDecision(0)]
+        )
+        with pytest.raises(SimulationError):
+            play(impl, driver, max_steps=10)
+
+    def test_unknown_variable_rejected(self):
+        from repro.sim import ScriptedDriver
+        from repro.sim.drivers import InvokeDecision, StepDecision
+        from repro.util.errors import SimulationError
+
+        impl = AgpTransactionalMemory(1, variables=(0,))
+        driver = ScriptedDriver(
+            [
+                InvokeDecision(0, "start", ()),
+                StepDecision(0),
+                StepDecision(0),
+                InvokeDecision(0, "read", (99,)),
+                StepDecision(0),
+            ]
+        )
+        with pytest.raises(SimulationError):
+            play(impl, driver, max_steps=10)

@@ -1,0 +1,168 @@
+"""Unit tests for TM transaction parsing (repro.objects.tm)."""
+
+import pytest
+
+from repro.core.history import History
+from repro.objects.tm import (
+    ABORTED,
+    COMMITTED,
+    OK,
+    STATUS_ABORTED,
+    STATUS_COMMIT_PENDING,
+    STATUS_COMMITTED,
+    STATUS_LIVE,
+    committed_transactions,
+    parse_transactions,
+    tm_object_type,
+)
+from repro.util.errors import IllFormedHistoryError
+
+from conftest import crash, inv, res, tm_history
+
+
+class TestParsing:
+    def test_committed_transaction(self):
+        history = tm_history((0, "start"), (0, "write", 0, 5), (0, "commit"))
+        (transaction,) = parse_transactions(history)
+        assert transaction.status == STATUS_COMMITTED
+        assert transaction.committed
+        assert transaction.write_set() == {0: 5}
+
+    def test_aborted_at_tryc(self):
+        history = tm_history((0, "start"), (0, "abort"))
+        (transaction,) = parse_transactions(history)
+        assert transaction.status == STATUS_ABORTED
+
+    def test_aborted_mid_transaction(self):
+        history = tm_history((0, "start"), (0, "write!", 0, 5))
+        (transaction,) = parse_transactions(history)
+        assert transaction.aborted
+        assert transaction.write_set() == {}
+
+    def test_aborted_at_start(self):
+        history = tm_history((0, "start!"))
+        (transaction,) = parse_transactions(history)
+        assert transaction.aborted
+
+    def test_live_transaction(self):
+        history = tm_history((0, "start"), (0, "read", 0, 0))
+        (transaction,) = parse_transactions(history)
+        assert transaction.status == STATUS_LIVE
+        assert not transaction.completed
+
+    def test_commit_pending(self):
+        history = History(
+            [*tm_history((0, "start")), inv(0, "tryC")]
+        )
+        (transaction,) = parse_transactions(history)
+        assert transaction.status == STATUS_COMMIT_PENDING
+
+    def test_per_process_numbering(self):
+        history = tm_history(
+            (0, "start"), (0, "commit"),
+            (1, "start"), (1, "abort"),
+            (0, "start"), (0, "abort"),
+        )
+        transactions = parse_transactions(history)
+        numbers = [(t.process, t.number) for t in transactions]
+        assert numbers == [(0, 1), (1, 1), (0, 2)]
+
+    def test_crash_leaves_transaction_live(self):
+        history = History([*tm_history((0, "start")), crash(0)])
+        (transaction,) = parse_transactions(history)
+        assert transaction.status == STATUS_LIVE
+
+    def test_call_outside_transaction_rejected(self):
+        with pytest.raises(IllFormedHistoryError):
+            parse_transactions(
+                History([inv(0, "read", 0)])
+            )
+
+    def test_nested_start_rejected(self):
+        events = tm_history((0, "start")).events + (inv(0, "start"),)
+        with pytest.raises(IllFormedHistoryError):
+            parse_transactions(History(events))
+
+    def test_committed_transactions_helper(self):
+        history = tm_history(
+            (0, "start"), (0, "commit"), (1, "start"), (1, "abort")
+        )
+        assert len(committed_transactions(history)) == 1
+
+
+class TestTransactionViews:
+    def test_reads_exclude_own_writes(self):
+        history = tm_history(
+            (0, "start"),
+            (0, "read", 0, 7),
+            (0, "write", 0, 9),
+            (0, "read", 0, 9),
+            (0, "commit"),
+        )
+        (transaction,) = parse_transactions(history)
+        assert transaction.reads() == [(0, 7)]
+        assert transaction.own_write_violation() is None
+
+    def test_own_write_violation_detected(self):
+        history = tm_history(
+            (0, "start"),
+            (0, "write", 0, 9),
+            (0, "read", 0, 3),  # contradicts own write
+        )
+        (transaction,) = parse_transactions(history)
+        assert transaction.own_write_violation() == (0, 9, 3)
+
+    def test_real_time_order(self):
+        history = tm_history(
+            (0, "start"), (0, "commit"),
+            (1, "start"), (1, "commit"),
+        )
+        first, second = parse_transactions(history)
+        assert first.precedes(second)
+        assert not second.precedes(first)
+        assert not first.concurrent_with(second)
+
+    def test_concurrency(self):
+        history = History(
+            [
+                inv(0, "start"), inv(1, "start"),
+                res(0, "start", OK), res(1, "start", OK),
+                inv(0, "tryC"), res(0, "tryC", COMMITTED),
+                inv(1, "tryC"), res(1, "tryC", COMMITTED),
+            ]
+        )
+        first, second = parse_transactions(history)
+        assert first.concurrent_with(second)
+
+    def test_start_response_and_tryc_indices(self):
+        history = tm_history((0, "start"), (0, "commit"))
+        (transaction,) = parse_transactions(history)
+        assert transaction.start_response_index == 1
+        assert transaction.tryc_invocation_index == 2
+
+    def test_write_set_keeps_last_write(self):
+        history = tm_history(
+            (0, "start"),
+            (0, "write", 0, 1),
+            (0, "write", 0, 2),
+            (0, "commit"),
+        )
+        (transaction,) = parse_transactions(history)
+        assert transaction.write_set() == {0: 2}
+
+
+class TestObjectType:
+    def test_good_responses_are_commits_only(self):
+        object_type = tm_object_type()
+        assert object_type.is_good(res(0, "tryC", COMMITTED))
+        assert not object_type.is_good(res(0, "tryC", ABORTED))
+        assert not object_type.is_good(res(0, "read", 5))
+
+    def test_sentinels_are_singletons(self):
+        import copy
+
+        assert copy.deepcopy(COMMITTED) is COMMITTED
+        assert copy.copy(ABORTED) is ABORTED
+        assert repr(OK) == "OK"
+        assert repr(COMMITTED) == "C"
+        assert repr(ABORTED) == "A"

@@ -1,0 +1,62 @@
+"""Tests for the mechanised CIL schedule search."""
+
+import pytest
+
+from repro.adversaries.valency import ScheduleWitness, find_nondeciding_schedule
+from repro.algorithms.consensus import (
+    CasConsensus,
+    CommitAdoptConsensus,
+    TasConsensus,
+)
+
+
+class TestScheduleWitness:
+    def test_unrolled(self):
+        witness = ScheduleWitness(stem=(0, 1), cycle=(1, 0), deciders=())
+        assert witness.unrolled(2) == (0, 1, 1, 0, 1, 0)
+
+
+class TestSearch:
+    def test_register_consensus_has_nondeciding_schedule(self):
+        """The CIL claim, mechanised: some schedule starves the pair."""
+        witness = find_nondeciding_schedule(
+            lambda: CommitAdoptConsensus(2), proposals=(0, 1), max_configs=3_000
+        )
+        assert witness is not None
+        assert len(witness.cycle) >= 1
+        # The witness was verified internally; double-check the cycle
+        # alternates at least one step of some process.
+        assert set(witness.cycle) <= {0, 1}
+
+    def test_equal_proposals_admit_no_witness(self):
+        """With equal proposals commit-adopt always converges: the
+        contention argument genuinely needs different values."""
+        witness = find_nondeciding_schedule(
+            lambda: CommitAdoptConsensus(2), proposals=(5, 5), max_configs=3_000
+        )
+        assert witness is None
+
+    def test_cas_consensus_admits_no_witness(self):
+        witness = find_nondeciding_schedule(
+            lambda: CasConsensus(2), proposals=(0, 1), max_configs=3_000
+        )
+        assert witness is None
+
+    def test_tas_consensus_admits_no_witness(self):
+        witness = find_nondeciding_schedule(
+            lambda: TasConsensus(2), proposals=(0, 1), max_configs=3_000
+        )
+        assert witness is None
+
+    def test_witness_replays_without_deciding(self):
+        """Re-execute stem + 3 cycles through the public replay helper:
+        still no pair decision."""
+        from repro.adversaries.valency import _replay
+
+        factory = lambda: CommitAdoptConsensus(2)
+        witness = find_nondeciding_schedule(factory, proposals=(0, 1))
+        assert witness is not None
+        _fp, deciders, all_decided = _replay(
+            factory, (0, 1), witness.unrolled(3)
+        )
+        assert not all_decided
