@@ -10,7 +10,7 @@ excluding liveness exists.
 
 from repro.analysis.experiments import run_cor45
 
-from conftest import record_experiment
+from _harness import record_experiment
 
 
 def test_benchmark_cor45(benchmark):

@@ -9,7 +9,7 @@ argument (start_0 vs start_1) — hence Gmax = ∅.
 
 from repro.analysis.experiments import run_cor46
 
-from conftest import record_experiment
+from _harness import record_experiment
 
 
 def test_benchmark_cor46(benchmark):

@@ -9,7 +9,7 @@ point's witness is commit-adopt consensus surviving the full battery.
 
 from repro.analysis.experiments import run_fig1a
 
-from conftest import record_experiment
+from _harness import record_experiment
 
 
 def test_benchmark_fig1a(benchmark):

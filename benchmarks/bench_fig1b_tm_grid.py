@@ -9,7 +9,7 @@ group contention).
 
 from repro.analysis.experiments import run_fig1b
 
-from conftest import record_experiment
+from _harness import record_experiment
 
 
 def test_benchmark_fig1b(benchmark):

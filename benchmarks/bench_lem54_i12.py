@@ -10,7 +10,7 @@ all-abort lasso.
 
 from repro.analysis.experiments import run_lem54
 
-from conftest import record_experiment
+from _harness import record_experiment
 
 
 def test_benchmark_lem54(benchmark):

@@ -10,7 +10,7 @@ exists for S.
 
 from repro.analysis.experiments import run_sec53
 
-from conftest import record_experiment
+from _harness import record_experiment
 
 
 def test_benchmark_sec53(benchmark):

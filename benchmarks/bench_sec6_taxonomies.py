@@ -8,7 +8,7 @@ partial order.  All three Hasse diagrams are printed.
 
 from repro.analysis.experiments import run_sec6
 
-from conftest import record_experiment
+from _harness import record_experiment
 
 
 def test_benchmark_sec6(benchmark):

@@ -10,7 +10,7 @@ adversary sets force Gmax = ∅).
 
 from repro.analysis.experiments import run_thm44
 
-from conftest import record_experiment
+from _harness import record_experiment
 
 
 def test_benchmark_thm44(benchmark):

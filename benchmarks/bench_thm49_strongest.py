@@ -10,7 +10,7 @@ excludes S and no strongest non-excluding property exists.
 
 from repro.analysis.experiments import run_thm49
 
-from conftest import record_experiment
+from _harness import record_experiment
 
 
 def test_benchmark_thm49(benchmark):

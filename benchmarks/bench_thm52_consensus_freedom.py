@@ -9,7 +9,7 @@ for the CAS control.
 
 from repro.analysis.experiments import run_thm52
 
-from conftest import record_experiment
+from _harness import record_experiment
 
 
 def test_benchmark_thm52(benchmark):

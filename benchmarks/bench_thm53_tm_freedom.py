@@ -5,7 +5,7 @@ implementable and (2,2)-freedom the weakest non-implementable
 
 from repro.analysis.experiments import run_thm53
 
-from conftest import record_experiment
+from _harness import record_experiment
 
 
 def test_benchmark_thm53(benchmark):

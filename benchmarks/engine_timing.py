@@ -1,0 +1,164 @@
+"""Record engine-mode timings for the exhaustive workloads.
+
+Runs every ``bench_exhaustive`` workload once per engine mode
+(``replay`` — the seed's O(depth)-per-edge re-execution — and
+``snapshot`` — the engine's incremental snapshot/restore), asserts that
+both modes explore *identical history sets* (the parity claim, checked
+on the real benchmark workloads), and writes the timings plus speedups
+to ``BENCH_engine.json`` at the repository root.
+
+Two timings are recorded per workload: the exploration phase alone —
+the part the engine modes differ on, and the number the
+``MIN_AGGREGATE_SPEEDUP`` assertion applies to — and the end-to-end
+model-checking time including the (mode-independent) safety check,
+reported for context.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/engine_timing.py [output.json]
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.algorithms.consensus import CasConsensus
+from repro.algorithms.tm import AgpTransactionalMemory, I12TransactionalMemory
+from repro.objects.consensus import AgreementValidity
+from repro.objects.opacity import OpacityChecker
+from repro.sim import explore_histories
+
+#: The replay baseline must stay at least this much slower in aggregate.
+MIN_AGGREGATE_SPEEDUP = 2.0
+
+TM_PLAN = {
+    0: [("start", ()), ("write", (0, 1)), ("tryC", ())],
+    1: [("start", ()), ("read", (0,)), ("tryC", ())],
+}
+
+#: The scaling ablation: a second transaction for p0 roughly doubles
+#: the schedule depth, which is exactly where replay's O(depth)-per-edge
+#: cost pulls away from snapshot restore (~79k configurations).
+TM_DEEP_PLAN = {
+    0: [("start", ()), ("write", (0, 1)), ("tryC", ()), ("start", ()), ("tryC", ())],
+    1: [("start", ()), ("read", (0,)), ("tryC", ())],
+}
+
+#: (name, implementation factory, plan, safety factory, repetitions);
+#: the best time across repetitions is recorded.
+WORKLOADS = [
+    (
+        "cas-consensus",
+        lambda: CasConsensus(2),
+        {0: [("propose", (0,))], 1: [("propose", (1,))]},
+        AgreementValidity,
+        2,
+    ),
+    (
+        "agp-opacity",
+        lambda: AgpTransactionalMemory(2, variables=(0,)),
+        TM_PLAN,
+        OpacityChecker,
+        2,
+    ),
+    (
+        "i12-opacity",
+        lambda: I12TransactionalMemory(2, variables=(0,)),
+        TM_PLAN,
+        OpacityChecker,
+        2,
+    ),
+    (
+        "agp-opacity-deep",
+        lambda: AgpTransactionalMemory(2, variables=(0,)),
+        TM_DEEP_PLAN,
+        OpacityChecker,
+        1,
+    ),
+]
+
+
+def time_exploration(factory, plan, mode: str, repetitions: int):
+    """Best exploration time across repetitions, plus the explored runs."""
+    best = None
+    runs = None
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        runs = list(explore_histories(factory, plan, mode=mode))
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best, runs
+
+
+def main(output: Path) -> int:
+    record = {
+        "benchmark": "bench_exhaustive engine modes",
+        "python": platform.python_version(),
+        "min_aggregate_speedup": MIN_AGGREGATE_SPEEDUP,
+        "speedup_basis": "exploration phase (the part the modes differ on)",
+        "workloads": [],
+    }
+    totals = {"replay": 0.0, "snapshot": 0.0}
+    for name, factory, plan, safety_factory, repetitions in WORKLOADS:
+        entry = {"workload": name}
+        histories = {}
+        for mode in ("replay", "snapshot"):
+            elapsed, runs = time_exploration(factory, plan, mode, repetitions)
+            entry[f"explore_{mode}_seconds"] = round(elapsed, 4)
+            totals[mode] += elapsed
+            histories[mode] = {run.history for run in runs}
+        if histories["replay"] != histories["snapshot"]:
+            print(
+                f"FAIL: engine modes explored different history sets on "
+                f"{name}", file=sys.stderr,
+            )
+            return 1
+        safety = safety_factory()
+        check_start = time.perf_counter()
+        holds = all(
+            safety.check_history(history).holds
+            for history in histories["snapshot"]
+        )
+        entry["safety_check_seconds"] = round(
+            time.perf_counter() - check_start, 4
+        )
+        entry["interleavings"] = len(histories["snapshot"])
+        entry["holds"] = holds
+        entry["speedup"] = round(
+            entry["explore_replay_seconds"]
+            / max(entry["explore_snapshot_seconds"], 1e-9),
+            2,
+        )
+        record["workloads"].append(entry)
+        print(
+            f"{name}: explore replay={entry['explore_replay_seconds']:.3f}s "
+            f"snapshot={entry['explore_snapshot_seconds']:.3f}s "
+            f"speedup={entry['speedup']:.2f}x "
+            f"({entry['interleavings']} interleavings, "
+            f"safety check {entry['safety_check_seconds']:.3f}s shared)"
+        )
+    aggregate = totals["replay"] / max(totals["snapshot"], 1e-9)
+    record["aggregate_speedup"] = round(aggregate, 2)
+    record["explore_replay_total_seconds"] = round(totals["replay"], 4)
+    record["explore_snapshot_total_seconds"] = round(totals["snapshot"], 4)
+    output.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"aggregate exploration speedup: {aggregate:.2f}x -> {output}")
+    if aggregate < MIN_AGGREGATE_SPEEDUP:
+        print(
+            f"FAIL: aggregate snapshot speedup {aggregate:.2f}x is below "
+            f"{MIN_AGGREGATE_SPEEDUP}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    target = Path(sys.argv[1]) if len(sys.argv) > 1 else (
+        Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+    )
+    raise SystemExit(main(target))

@@ -11,13 +11,17 @@ state), and a non-deciding infinite schedule is exactly a cycle in the
 sub-graph of configurations where the adversary's target has not
 decided.
 
-:func:`find_nondeciding_schedule` performs that search by *replay*:
-generator frames cannot be snapshotted, so a configuration is
-identified with the schedule (pid sequence) that reaches it, and each
-edge re-executes the run from scratch.  The cost is quadratic in the
-explored schedule length — fine at these sizes — and the payoff is a
-machine-found witness schedule, verified by replaying it and checking
-the fingerprint actually repeats with no new decisions.
+:func:`find_nondeciding_schedule` delegates the graph construction to
+the unified exploration engine (:class:`repro.engine.KernelExplorer`):
+a BFS over configurations reachable by stepping only group members,
+deduplicated on the implementation's liveness abstraction, with fully
+decided configurations pruned (they can never lie on a witness cycle).
+In the default ``snapshot`` mode each edge restores an incremental
+configuration snapshot; ``mode="replay"`` reproduces the seed's
+quadratic re-execution, and ``mode="parity"`` runs both and fails on
+any divergence.  Whatever the mode, a found witness is independently
+*verified by replay*: the schedule is re-executed from scratch and the
+fingerprint must repeat with no new decisions.
 
 For implementations the impossibility does *not* apply to (CAS- or
 TAS-based consensus), the search exhausts the reachable graph and
@@ -26,11 +30,12 @@ returns ``None`` — the experiments use that as the positive control.
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
-from repro.sim.drivers import InvokeDecision, ScriptedDriver, StepDecision, StopDecision
+from repro.engine.config import KernelConfig
+from repro.engine.explorer import KernelExplorer
+from repro.sim.drivers import InvokeDecision, ScriptedDriver, StepDecision
 from repro.sim.kernel import Implementation
 from repro.sim.runtime import Runtime
 from repro.util.errors import AdversaryError, SimulationError
@@ -54,19 +59,48 @@ class ScheduleWitness:
         return self.stem + self.cycle * repetitions
 
 
+def _proposal_decisions(proposals: Sequence[Any]) -> List[InvokeDecision]:
+    return [
+        InvokeDecision(pid, "propose", (value,))
+        for pid, value in enumerate(proposals)
+        if value is not None
+    ]
+
+
+def _abstraction_fingerprint(config: KernelConfig) -> Hashable:
+    """The valency dedup key: liveness abstraction (or exact state),
+    pending operations, and who has decided."""
+    runtime = config.runtime
+    implementation = config.implementation
+    abstraction = implementation.liveness_abstraction(
+        runtime.pool, tuple(state.memory for state in runtime.processes)
+    )
+    if abstraction is None:
+        abstraction = (
+            runtime.pool.snapshot_state(),
+            tuple(state.fingerprint() for state in runtime.processes),
+        )
+    pending = tuple(
+        state.frame.invocation.operation if state.frame is not None else None
+        for state in runtime.processes
+    )
+    return (abstraction, pending, config.deciders())
+
+
 def _replay(
     implementation_factory: Callable[[], Implementation],
     proposals: Sequence[Any],
     schedule: Sequence[int],
 ) -> Tuple[Optional[Hashable], Tuple[int, ...], bool]:
     """Run proposals then ``schedule``; return (fingerprint, deciders,
-    all_decided)."""
+    all_decided).
+
+    Witness verification deliberately bypasses the engine's snapshot
+    machinery: re-executing from scratch is an independent code path, so
+    a verified witness certifies the search result regardless of mode.
+    """
     implementation = implementation_factory()
-    decisions: List[object] = [
-        InvokeDecision(pid, "propose", (value,))
-        for pid, value in enumerate(proposals)
-        if value is not None
-    ]
+    decisions: List[object] = list(_proposal_decisions(proposals))
     decisions.extend(StepDecision(pid) for pid in schedule)
     driver = ScriptedDriver(decisions, name="valency-replay")
     runtime = Runtime(implementation, driver, max_steps=len(decisions) + 1,
@@ -110,45 +144,53 @@ def find_nondeciding_schedule(
     proposals: Sequence[Any] = (0, 1),
     group: Sequence[int] = (0, 1),
     max_configs: int = 5_000,
+    mode: str = "snapshot",
 ) -> Optional[ScheduleWitness]:
     """Search for an infinite schedule on which the group never fully
     decides.
 
     BFS over configurations reached by scheduling only ``group``
-    members; a configuration whose fingerprint was already seen on the
-    path closes a cycle, and any cycle among not-all-decided
-    configurations is a witness.  Returns ``None`` when the reachable
-    graph is exhausted without finding one (wait-free implementations).
+    members; an edge into an already-visited fingerprint closes a
+    cycle, and any cycle among not-all-decided configurations is a
+    witness.  Returns ``None`` when the reachable graph is exhausted
+    without finding one (wait-free implementations).  Soundness rests
+    on the fingerprint being a complete configuration (the same
+    bisimulation contract the lasso detector uses): then the successor
+    fingerprints of a node are independent of which schedule reached it.
     """
     group = tuple(group)
-    root_fp, _root_deciders, root_done = _replay(implementation_factory, proposals, ())
-    if root_done or root_fp is None:
-        return None
-    # Phase 1: BFS the configuration graph by replay.  Soundness rests on
-    # the fingerprint being a complete configuration (the same
-    # bisimulation contract the lasso detector uses): then the successor
-    # fingerprints of a node are independent of which schedule reached it.
-    schedules: Dict[Hashable, Tuple[int, ...]] = {root_fp: ()}
+    proposers = [pid for pid, value in enumerate(proposals) if value is not None]
+
+    def successors(config: KernelConfig):
+        return [
+            (pid, StepDecision(pid)) for pid in group if config.is_pending(pid)
+        ]
+
+    def all_decided(config: KernelConfig) -> bool:
+        return all(config.responses_of(pid) > 0 for pid in proposers)
+
+    # Phase 1: build the not-all-decided configuration graph.
+    explorer = KernelExplorer(
+        implementation_factory,
+        successors,
+        root_decisions=_proposal_decisions(proposals),
+        mode=mode,
+        strategy="bfs",
+        fingerprint=_abstraction_fingerprint,
+        prune=all_decided,
+        max_configurations=max_configs,
+        on_budget="stop",
+        record_edges=True,
+    )
+    schedules: Dict[Hashable, Tuple[int, ...]] = {}
     deciders_at: Dict[Hashable, Tuple[int, ...]] = {}
-    edges: Dict[Hashable, Dict[int, Hashable]] = {}
-    queue = deque([root_fp])
-    while queue and len(schedules) < max_configs:
-        node = queue.popleft()
-        edges[node] = {}
-        for pid in group:
-            extended = schedules[node] + (pid,)
-            fingerprint, deciders, all_decided = _replay(
-                implementation_factory, proposals, extended
-            )
-            if fingerprint is None:
-                continue  # stepping a finished process: not a real step
-            if all_decided:
-                continue  # decided configurations cannot be on a witness
-            edges[node][pid] = fingerprint
-            deciders_at[fingerprint] = deciders
-            if fingerprint not in schedules:
-                schedules[fingerprint] = extended
-                queue.append(fingerprint)
+    for visit in explorer.run():
+        schedules[visit.fingerprint] = visit.schedule
+        deciders_at[visit.fingerprint] = visit.config.deciders()
+    if not schedules:
+        return None  # the root itself was fully decided
+    edges = explorer.edges
+
     # Phase 2: find any cycle in the explored graph (iterative DFS with
     # colour marking; the pid labels along the cycle form the schedule).
     WHITE, GREY, BLACK = 0, 1, 2

@@ -56,6 +56,7 @@ from repro.core.lattice import LivenessOrder
 from repro.core.liveness import enumerate_summaries
 from repro.core.progress import NXLiveness, SFreedom
 from repro.core.properties import Certainty, ExecutionSummary
+from repro.engine.batch import PlayTask, run_play_batch
 from repro.objects.consensus import AgreementValidity
 from repro.objects.counterexample_s import counterexample_safety
 from repro.objects.opacity import OpacityChecker
@@ -63,6 +64,7 @@ from repro.setmodel import theorem44, theorem49
 from repro.setmodel.theorem44 import first_event_adversary_sets, verify_theorem44
 from repro.setmodel.theorem49 import verify_lemma48, verify_theorem49
 from repro.sim.drivers import ComposedDriver
+from repro.sim.record import RunResult
 from repro.sim.runtime import play
 from repro.sim.schedulers import (
     GroupScheduler,
@@ -112,49 +114,69 @@ class ExperimentResult:
 # ---------------------------------------------------------------------------
 
 
+def _assemble_battery(
+    entries: Sequence[RegistryEntry],
+    tasks: Sequence[PlayTask],
+    results: Sequence[RunResult],
+) -> Dict[str, List[Play]]:
+    """Group batch results back into per-implementation play lists."""
+    battery: Dict[str, List[Play]] = {entry.key: [] for entry in entries}
+    modes = {
+        entry.key: entry.make().object_type.progress_mode for entry in entries
+    }
+    for task, result in zip(tasks, results):
+        battery[task.key].append(
+            (result.history, result.summary(modes[task.key]), task.label)
+        )
+    return battery
+
+
 def consensus_plays(
     n: int,
     entries: Sequence[RegistryEntry],
     max_steps: int = 20_000,
+    processes: Optional[int] = None,
 ) -> Dict[str, List[Play]]:
-    """The consensus schedule battery (see module docstring)."""
-    battery: Dict[str, List[Play]] = {}
+    """The consensus schedule battery (see module docstring).
+
+    All plays are built as :class:`~repro.engine.batch.PlayTask`\\ s and
+    executed through the engine's batch runner — serially by default,
+    or on a process pool under ``processes`` /
+    ``REPRO_ENGINE_PARALLEL``.
+    """
+    tasks: List[PlayTask] = []
+
+    def add(entry: RegistryEntry, label: str, scheduler_factory, proposals) -> None:
+        tasks.append(
+            PlayTask(
+                key=entry.key,
+                label=label,
+                implementation_factory=entry.make,
+                driver_factory=lambda sf=scheduler_factory, p=tuple(proposals): (
+                    ComposedDriver(sf(), propose_workload(list(p)))
+                ),
+                max_steps=max_steps,
+            )
+        )
+
     for entry in entries:
-        plays: List[Play] = []
-        mode = entry.make().object_type.progress_mode
         for pid in range(n):
             proposals: List[Optional[int]] = [None] * n
             proposals[pid] = pid
-            result = play(
-                entry.make(),
-                ComposedDriver(SoloScheduler(pid), propose_workload(proposals)),
-                max_steps=max_steps,
-            )
-            plays.append((result.history, result.summary(mode), f"solo(p{pid})"))
+            add(entry, f"solo(p{pid})", lambda pid=pid: SoloScheduler(pid), proposals)
         for a in range(n):
             for b in range(a + 1, n):
                 proposals = [None] * n
                 proposals[a], proposals[b] = 0, 1
-                result = play(
-                    entry.make(),
-                    ComposedDriver(
-                        LockstepScheduler([a, b]), propose_workload(proposals)
-                    ),
-                    max_steps=max_steps,
+                add(
+                    entry,
+                    f"lockstep(p{a},p{b})",
+                    lambda a=a, b=b: LockstepScheduler([a, b]),
+                    proposals,
                 )
-                plays.append(
-                    (result.history, result.summary(mode), f"lockstep(p{a},p{b})")
-                )
-        result = play(
-            entry.make(),
-            ComposedDriver(
-                RoundRobinScheduler(), propose_workload(list(range(n)))
-            ),
-            max_steps=max_steps,
-        )
-        plays.append((result.history, result.summary(mode), "round-robin(all)"))
-        battery[entry.key] = plays
-    return battery
+        add(entry, "round-robin(all)", RoundRobinScheduler, list(range(n)))
+
+    return _assemble_battery(entries, tasks, run_play_batch(tasks, processes=processes))
 
 
 def tm_plays(
@@ -164,44 +186,58 @@ def tm_plays(
     transactions: int = 2,
     max_steps: int = 240,
     include_counterexample: bool = True,
+    processes: Optional[int] = None,
 ) -> Dict[str, List[Play]]:
-    """The TM schedule-and-adversary battery."""
-    battery: Dict[str, List[Play]] = {}
+    """The TM schedule-and-adversary battery (engine-batched, like
+    :func:`consensus_plays`)."""
+    tasks: List[PlayTask] = []
+
+    def add(entry: RegistryEntry, label: str, driver_factory) -> None:
+        tasks.append(
+            PlayTask(
+                key=entry.key,
+                label=label,
+                implementation_factory=entry.make,
+                driver_factory=driver_factory,
+                max_steps=max_steps,
+            )
+        )
+
     for entry in entries:
-        plays: List[Play] = []
-        mode = entry.make().object_type.progress_mode
-
-        def run(driver, label: str, budget: int = max_steps) -> None:
-            result = play(entry.make(), driver, max_steps=budget)
-            plays.append((result.history, result.summary(mode), label))
-
-        run(
-            ComposedDriver(
+        add(
+            entry,
+            "round-robin(all)",
+            lambda: ComposedDriver(
                 RoundRobinScheduler(),
                 TransactionWorkload(n, transactions, variables=variables),
             ),
-            "round-robin(all)",
         )
         for a in range(n):
             for b in range(a + 1, n):
-                run(
-                    ComposedDriver(
+                add(
+                    entry,
+                    f"group(p{a},p{b})",
+                    lambda a=a, b=b: ComposedDriver(
                         GroupScheduler([a, b]),
                         TransactionWorkload(n, transactions, variables=variables),
                     ),
-                    f"group(p{a},p{b})",
                 )
         for victim, helper in ((0, 1), (1, 0)):
-            run(
-                TMLocalProgressAdversary(
+            add(
+                entry,
+                f"tm-adversary(victim=p{victim})",
+                lambda victim=victim, helper=helper: TMLocalProgressAdversary(
                     victim=victim, helper=helper, variable=variables[0]
                 ),
-                f"tm-adversary(victim=p{victim})",
             )
         if include_counterexample and n >= 3:
-            run(CounterexampleAdversary(tuple(range(3))), "counterexample-adversary")
-        battery[entry.key] = plays
-    return battery
+            add(
+                entry,
+                "counterexample-adversary",
+                lambda: CounterexampleAdversary(tuple(range(3))),
+            )
+
+    return _assemble_battery(entries, tasks, run_play_batch(tasks, processes=processes))
 
 
 # ---------------------------------------------------------------------------

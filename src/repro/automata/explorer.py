@@ -2,72 +2,59 @@
 
 Utility layer used by the model-level tests: reachable state space,
 reachable cycles (candidate infinite behaviours) and fair-history
-extraction.
+extraction.  All three are thin clients of the unified exploration
+engine's :class:`~repro.engine.frontier.GraphSearch` — the same
+deduplicated frontier search that drives kernel-configuration
+exploration, here walking explicit automaton states instead of
+simulated configurations.  Expansion is sorted (by ``repr``) so the
+searches stay deterministic across runs.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Callable, Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, FrozenSet, Hashable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.automata.automaton import Action, IOAutomaton, State
 from repro.automata.execution import Execution, Lasso
+from repro.engine.frontier import GraphSearch
+
+
+def _sorted_expand(
+    automaton: IOAutomaton, avoid_actions: FrozenSet[Action] = frozenset()
+) -> Callable[[State], Iterator[Tuple[Action, State]]]:
+    """Labelled successor callback with deterministic (sorted) order."""
+
+    def expand(state: State) -> Iterator[Tuple[Action, State]]:
+        for action in sorted(automaton.enabled(state) - avoid_actions, key=repr):
+            for target in sorted(automaton.successors(state, action), key=repr):
+                yield action, target
+
+    return expand
 
 
 def reachable_states(automaton: IOAutomaton) -> FrozenSet[State]:
     """States reachable from some initial state."""
-    seen: Set[State] = set(automaton.initial)
-    queue = deque(automaton.initial)
-    while queue:
-        state = queue.popleft()
-        for action in automaton.enabled(state):
-            for target in automaton.successors(state, action):
-                if target not in seen:
-                    seen.add(target)
-                    queue.append(target)
-    return frozenset(seen)
+    search = GraphSearch(strategy="bfs")
+    return frozenset(
+        visit.node
+        for visit in search.run(sorted(automaton.initial, key=repr),
+                                _sorted_expand(automaton))
+    )
 
 
 def shortest_execution_to(
     automaton: IOAutomaton, goal: Callable[[State], bool]
 ) -> Optional[Execution]:
     """BFS for a shortest execution reaching a goal state."""
-    parents: Dict[State, Tuple[Optional[State], Optional[Action]]] = {
-        state: (None, None) for state in automaton.initial
-    }
-    queue = deque(automaton.initial)
-    target: Optional[State] = None
-    for state in automaton.initial:
-        if goal(state):
-            target = state
-            break
-    while queue and target is None:
-        state = queue.popleft()
-        for action in sorted(automaton.enabled(state), key=repr):
-            for nxt in sorted(automaton.successors(state, action), key=repr):
-                if nxt in parents:
-                    continue
-                parents[nxt] = (state, action)
-                if goal(nxt):
-                    target = nxt
-                    queue.clear()
-                    break
-                queue.append(nxt)
-            if target is not None:
-                break
-    if target is None:
-        return None
-    states: List[State] = [target]
-    actions: List[Action] = []
-    cursor = target
-    while parents[cursor][0] is not None:
-        previous, action = parents[cursor]
-        states.append(previous)  # type: ignore[arg-type]
-        actions.append(action)  # type: ignore[arg-type]
-        cursor = previous  # type: ignore[assignment]
-    states.reverse()
-    actions.reverse()
-    return Execution(tuple(states), tuple(actions))
+    search = GraphSearch(strategy="bfs")
+    for visit in search.run(
+        sorted(automaton.initial, key=repr), _sorted_expand(automaton)
+    ):
+        if goal(visit.node):
+            states = search.path_keys(visit.key)
+            actions = search.path_labels(visit.key)
+            return Execution(tuple(states), tuple(actions))
+    return None
 
 
 def find_lasso(
@@ -95,35 +82,23 @@ def find_lasso(
 def _cycle_from(
     automaton: IOAutomaton, anchor: State, avoid_actions: FrozenSet[Action]
 ) -> Optional[Tuple[Tuple[Action, ...], Tuple[State, ...]]]:
-    """BFS for a non-empty path anchor -> anchor."""
-    parents: Dict[State, Tuple[Optional[State], Optional[Action]]] = {}
-    queue = deque()
-    for action in sorted(automaton.enabled(anchor) - avoid_actions, key=repr):
-        for target in sorted(automaton.successors(anchor, action), key=repr):
-            if target == anchor:
-                return (action,), (anchor,)
-            if target not in parents:
-                parents[target] = (None, action)  # edge from anchor
-                queue.append(target)
-    while queue:
-        state = queue.popleft()
-        for action in sorted(automaton.enabled(state) - avoid_actions, key=repr):
-            for target in sorted(automaton.successors(state, action), key=repr):
-                if target == anchor:
-                    actions: List[Action] = [action]
-                    states: List[State] = [anchor]
-                    cursor = state
-                    while True:
-                        previous, edge = parents[cursor]
-                        actions.append(edge)  # type: ignore[arg-type]
-                        states.append(cursor)
-                        if previous is None:
-                            break
-                        cursor = previous
-                    actions.reverse()
-                    states.reverse()
-                    return tuple(actions), tuple(states)
-                if target not in parents:
-                    parents[target] = (state, action)
-                    queue.append(target)
+    """BFS for a non-empty path anchor -> anchor.
+
+    The anchor's successors are the labelled roots of the search (the
+    anchor itself is *not* pre-visited), so the first time the anchor is
+    discovered — possibly as a root, for a self-loop — the path from
+    root to discovery is exactly a shortest cycle through the anchor.
+    Returns ``(cycle actions, cycle states)`` where the states are the
+    targets of the corresponding actions, ending in the anchor.
+    """
+    expand = _sorted_expand(automaton, avoid_actions)
+    roots = list(expand(anchor))  # (action, target) pairs, sorted
+    search = GraphSearch(strategy="bfs")
+    for visit in search.run(
+        [(target, action) for action, target in roots],
+        expand,
+        root_labels=True,
+    ):
+        if visit.node == anchor:
+            return search.path_labels(visit.key), search.path_keys(visit.key)
     return None

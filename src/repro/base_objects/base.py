@@ -12,15 +12,22 @@ Every base object exposes:
 * ``snapshot_state()`` — a hashable fingerprint of the current state,
   used by the lasso detector to certify infinite executions;
 * ``reset()`` — return to the initial state (fresh runs without
-  reallocation).
+  reallocation);
+* ``capture_state()`` / ``restore_state(state)`` — a *restorable* copy
+  of the full mutable state, used by the exploration engine
+  (:mod:`repro.engine`) to snapshot configurations instead of replaying
+  whole schedules.  The default implementation copies ``__dict__`` and
+  works for every state layout made of plain data; objects holding
+  non-copyable resources must override both.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Dict, Hashable, Iterable, List, Tuple
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Tuple
 
 from repro.util.errors import SimulationError
+from repro.util.plaincopy import plain_copy
 
 
 class BaseObject(ABC):
@@ -45,6 +52,26 @@ class BaseObject(ABC):
     def reset(self) -> None:
         """Restore the initial state."""
 
+    def capture_state(self) -> Any:
+        """A restorable copy of the full mutable state.
+
+        The default copies ``__dict__`` structurally via
+        :func:`~repro.util.plaincopy.plain_copy`; objects whose state is
+        not plain data must override both capture and restore.
+        """
+        return plain_copy(self.__dict__)
+
+    def restore_state(self, state: Any) -> None:
+        """Restore state previously returned by :meth:`capture_state`.
+
+        The captured value is copied again on restore, so one capture
+        may seed any number of restores (the engine restores the same
+        snapshot once per explored successor) and captured states are
+        never mutated — which is what lets the pool share them between
+        snapshots copy-on-write.
+        """
+        self.__dict__.update(plain_copy(state))
+
     def _reject(self, method: str) -> Any:
         raise SimulationError(
             f"base object {self.name!r} ({type(self).__name__}) has no "
@@ -64,6 +91,17 @@ class ObjectPool:
 
     def __init__(self, objects: Iterable[BaseObject] = ()):
         self._objects: Dict[str, BaseObject] = {}
+        # Copy-on-write bookkeeping for capture(): the last captured (or
+        # restored) state per object, reusable while the object stays
+        # clean.  Dirtiness is tracked at the only mutation point the
+        # kernel has — apply().  The fingerprint cache is invalidated the
+        # same way, which makes snapshot_state() incremental: along an
+        # exploration path only the one object a step touched is
+        # re-fingerprinted.
+        self._baseline: Dict[str, Any] = {}
+        self._dirty: set = set()
+        self._fp_cache: Dict[str, Hashable] = {}
+        self._sorted_names: List[str] = []
         for obj in objects:
             self.add(obj)
 
@@ -72,6 +110,7 @@ class ObjectPool:
         if obj.name in self._objects:
             raise SimulationError(f"duplicate base object name {obj.name!r}")
         self._objects[obj.name] = obj
+        self._sorted_names = sorted(self._objects)
 
     def get(self, name: str) -> BaseObject:
         """Look up a base object by name."""
@@ -84,6 +123,8 @@ class ObjectPool:
 
     def apply(self, name: str, method: str, args: Tuple[Any, ...]) -> Any:
         """Route one atomic primitive application."""
+        self._dirty.add(name)
+        self._fp_cache.pop(name, None)
         return self.get(name).apply(method, args)
 
     def names(self) -> List[str]:
@@ -91,16 +132,78 @@ class ObjectPool:
         return sorted(self._objects)
 
     def snapshot_state(self) -> Hashable:
-        """Combined fingerprint of every object in the pool."""
-        return tuple(
-            (name, self._objects[name].snapshot_state())
-            for name in sorted(self._objects)
-        )
+        """Combined fingerprint of every object in the pool.
+
+        Incremental: an object's fingerprint is recomputed only if it
+        was applied to (or the pool restored without a fingerprint seed)
+        since the last call.
+        """
+        cache = self._fp_cache
+        for name in self._sorted_names:
+            if name not in cache:
+                cache[name] = self._objects[name].snapshot_state()
+        return tuple((name, cache[name]) for name in self._sorted_names)
+
+    def fingerprint_parts(self) -> Dict[str, Hashable]:
+        """Per-object fingerprints (filling the cache), for snapshots."""
+        self.snapshot_state()
+        return dict(self._fp_cache)
 
     def reset(self) -> None:
         """Reset every object in the pool."""
         for obj in self._objects.values():
             obj.reset()
+        self._baseline.clear()
+        self._dirty.clear()
+        self._fp_cache.clear()
+
+    def capture(self) -> Dict[str, Any]:
+        """Restorable state of every object, keyed by name.
+
+        Copy-on-write: objects untouched since the previous capture (or
+        restore) contribute the *same* state value as before, so
+        successive snapshots along an exploration path share everything
+        except the one object the step mutated.  Sharing is safe because
+        captured states are never mutated (see
+        :meth:`BaseObject.restore_state`).  Mutations that bypass
+        :meth:`apply` (e.g. poking an object directly in a test) are
+        invisible to the dirty tracking — the kernel never does that.
+        """
+        captured: Dict[str, Any] = {}
+        for name, obj in self._objects.items():
+            if name in self._baseline and name not in self._dirty:
+                captured[name] = self._baseline[name]
+            else:
+                captured[name] = obj.capture_state()
+        self._baseline = dict(captured)
+        self._dirty.clear()
+        return captured
+
+    def restore(
+        self,
+        captured: Dict[str, Any],
+        fingerprints: Optional[Dict[str, Hashable]] = None,
+    ) -> None:
+        """Restore a state previously returned by :meth:`capture`.
+
+        The pool must contain exactly the captured object names — the
+        engine restores into a fresh pool built by the same
+        implementation's :meth:`~repro.sim.kernel.Implementation.create_pool`
+        (or re-restores its scratch pool).  ``fingerprints`` optionally
+        seeds the fingerprint cache with the per-object fingerprints
+        recorded when ``captured`` was taken, making the next
+        :meth:`snapshot_state` incremental too.
+        """
+        if set(captured) != set(self._objects):
+            raise SimulationError(
+                f"snapshot names {sorted(captured)} do not match pool "
+                f"{sorted(self._objects)}"
+            )
+        for name, state in captured.items():
+            self._objects[name].restore_state(state)
+        self._baseline = dict(captured)
+        self._dirty.clear()
+        self._fp_cache = dict(fingerprints) if fingerprints else {}
 
     def __len__(self) -> int:
         return len(self._objects)

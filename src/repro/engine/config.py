@@ -1,0 +1,376 @@
+"""Snapshot/restore of kernel configurations (the engine's state store).
+
+The kernel runs algorithms as Python generators, which cannot be copied
+or pickled — the reason the seed's exploration layers identified every
+configuration with the *schedule* reaching it and re-executed the whole
+run per DAG edge (O(depth) per node).  This module removes that cost.
+
+A configuration is restorable from three ingredients, all plain data:
+
+* the base-object pool state (``ObjectPool.capture``);
+* each process's memory **as of its in-flight invocation**, plus the log
+  of primitive results its generator has consumed so far (recorded by
+  the runtime under ``record_replay_log``);
+* the external event list and per-process statistics.
+
+Restoring rebuilds each in-flight generator by creating a fresh one and
+*fast-forwarding* it through the recorded results — re-running only the
+local computation of the one in-flight operation (bounded by the
+operation's primitive count), never touching the pool and never
+re-executing the rest of the schedule.  Soundness is exactly the
+determinism contract of :mod:`repro.sim.kernel`: an algorithm's
+behaviour is a function of ``(operation, args, memory, results so
+far)``, and primitive results are hashable (hence value-like) by the
+fingerprint contract.
+
+Snapshots are copy-on-write in the practical sense: the immutable parts
+(events, invocations, result logs, invoke-time memories) are shared by
+reference between a snapshot and every configuration restored from it;
+only the genuinely mutable parts (pool state, live memory dicts, stats)
+are copied per restore.
+"""
+
+from __future__ import annotations
+
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.core.events import Invocation
+from repro.core.history import History
+from repro.sim.drivers import Decision, ScriptedDriver
+from repro.sim.kernel import Implementation, ProcessFrame
+from repro.sim.record import ProcessStats
+from repro.sim.runtime import Runtime
+from repro.util.errors import SimulationError
+from repro.util.plaincopy import plain_copy
+
+#: Factory producing a fresh implementation instance per restore/replay.
+ImplementationFactory = Callable[[], Implementation]
+
+
+@dataclass(frozen=True)
+class ProcessSnapshot:
+    """Restorable state of one simulated process.
+
+    ``memory`` is the live memory for idle processes, and the
+    *invoke-time* memory for processes with an operation in flight (the
+    fast-forward replays the operation's mutations on top).  Both are
+    stored as already-copied dicts that are never mutated afterwards, so
+    snapshots may share them.
+    """
+
+    pid: int
+    crashed: bool
+    memory: Dict[str, Any]
+    #: ``None`` when idle, else ``(invocation, primitive results so far)``.
+    frame: Optional[Tuple[Invocation, Tuple[Any, ...]]]
+    stats: Tuple[int, int, int, int, int, Tuple[int, ...], bool]
+    #: The process's fingerprint at capture time; restoring seeds the
+    #: configuration's incremental-fingerprint cache with it.
+    fingerprint: Optional[Hashable] = None
+
+
+@dataclass(frozen=True)
+class KernelSnapshot:
+    """A restorable global configuration of one kernel run."""
+
+    step_count: int
+    events: Tuple[object, ...]
+    pool_state: Dict[str, Any]
+    processes: Tuple[ProcessSnapshot, ...]
+    #: Per-object pool fingerprints at capture time (cache seed).
+    pool_fingerprints: Optional[Dict[str, Hashable]] = None
+
+
+def _capture_stats(stats: ProcessStats) -> Tuple:
+    return (
+        stats.steps,
+        stats.last_step,
+        stats.invocations,
+        stats.responses,
+        stats.good_responses,
+        tuple(stats.good_response_steps),
+        stats.crashed,
+    )
+
+
+def _restore_stats(stats: ProcessStats, captured: Tuple) -> None:
+    (
+        stats.steps,
+        stats.last_step,
+        stats.invocations,
+        stats.responses,
+        stats.good_responses,
+        good_steps,
+        stats.crashed,
+    ) = captured
+    stats.good_response_steps = list(good_steps)
+
+
+def _fast_forward_frame(
+    implementation: Implementation,
+    pid: int,
+    invocation: Invocation,
+    memory: Dict[str, Any],
+    results: Tuple[Any, ...],
+    memory_at_invoke: Dict[str, Any],
+) -> ProcessFrame:
+    """Rebuild an in-flight frame by replaying recorded primitive results.
+
+    ``memory`` must already hold the invoke-time state (the generator
+    re-applies the operation's mutations while being fed), and stays the
+    process's live memory afterwards.
+    """
+    generator = implementation.algorithm(
+        pid, invocation.operation, invocation.args, memory
+    )
+    frame = ProcessFrame(invocation=invocation, generator=generator)
+    frame.result_log = list(results)
+    frame.memory_at_invoke = memory_at_invoke
+    if not results:
+        return frame
+    frame.started = True
+    try:
+        op = next(generator)
+        for result in results[:-1]:
+            op = generator.send(result)
+    except StopIteration as stop:  # pragma: no cover - contract violation
+        raise SimulationError(
+            f"fast-forward of {invocation} terminated early: the algorithm "
+            f"is not deterministic in its recorded results ({stop.value!r})"
+        ) from None
+    frame.pending_op = op
+    frame.last_result = results[-1]
+    frame.primitives_issued = len(results)
+    return frame
+
+
+class KernelConfig:
+    """A live, steppable kernel configuration.
+
+    Thin wrapper around a :class:`~repro.sim.runtime.Runtime` in
+    replay-log-recording mode, exposing exactly what exploration needs:
+    apply one decision, capture a snapshot, fingerprint, and read the
+    externally visible state.  Configurations are cheap to create from a
+    snapshot and are mutated in place by :meth:`apply` — the engine
+    restores one per explored edge.
+    """
+
+    def __init__(self, implementation: Implementation):
+        self.implementation = implementation
+        self.runtime = Runtime(
+            implementation,
+            ScriptedDriver([], name="engine-config"),
+            detect_lasso=False,
+            record_replay_log=True,
+        )
+        # Incremental caches, all keyed by the same invariant: an entry
+        # for process pid is valid unless a decision touched pid since it
+        # was computed.  Restores seed them from the snapshot; apply()
+        # invalidates exactly one process (and the events tuple).  This
+        # is what makes a child snapshot share everything with its
+        # parent except the one process and object the step touched.
+        n = implementation.n_processes
+        self._process_fps: List[Optional[Hashable]] = [None] * n
+        self._memory_snaps: List[Optional[Dict[str, Any]]] = [None] * n
+        self._stats_snaps: List[Optional[Tuple]] = [None] * n
+        self._events_tuple: Optional[Tuple[object, ...]] = None
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def initial(cls, factory: ImplementationFactory) -> "KernelConfig":
+        """The configuration before any decision."""
+        return cls(factory())
+
+    @classmethod
+    def from_snapshot(
+        cls, factory: ImplementationFactory, snapshot: KernelSnapshot
+    ) -> "KernelConfig":
+        """Restore a live configuration from a snapshot."""
+        config = cls(factory())
+        config.restore_from(snapshot)
+        return config
+
+    def restore_from(self, snapshot: KernelSnapshot) -> None:
+        """Overwrite this configuration with a snapshot's state.
+
+        Every piece of per-run state is replaced, so the same
+        ``KernelConfig`` may be restored over and over — the engine
+        keeps one scratch configuration and re-restores it per explored
+        edge, paying zero allocation for runtimes and pools.
+        Implementations are stateless across runs (see
+        :class:`~repro.sim.kernel.Implementation`), which is also why
+        one implementation instance serves every restore.
+        """
+        runtime = self.runtime
+        runtime.pool.restore(snapshot.pool_state, snapshot.pool_fingerprints)
+        runtime.step_count = snapshot.step_count
+        runtime.events = list(snapshot.events)
+        runtime.last_response.clear()
+        self._events_tuple = snapshot.events
+        for process_snapshot in snapshot.processes:
+            pid = process_snapshot.pid
+            self._process_fps[pid] = process_snapshot.fingerprint
+            self._memory_snaps[pid] = process_snapshot.memory
+            self._stats_snaps[pid] = process_snapshot.stats
+            state = runtime.processes[process_snapshot.pid]
+            state.crashed = process_snapshot.crashed
+            state.memory = plain_copy(process_snapshot.memory)
+            _restore_stats(
+                runtime.stats[process_snapshot.pid], process_snapshot.stats
+            )
+            if process_snapshot.frame is not None:
+                invocation, results = process_snapshot.frame
+                state.frame = _fast_forward_frame(
+                    self.implementation,
+                    process_snapshot.pid,
+                    invocation,
+                    state.memory,
+                    results,
+                    memory_at_invoke=process_snapshot.memory,
+                )
+            else:
+                state.frame = None
+
+    @classmethod
+    def replay(
+        cls, factory: ImplementationFactory, decisions: Sequence[Decision]
+    ) -> "KernelConfig":
+        """Rebuild a configuration by re-executing a whole schedule.
+
+        The engine's replay fallback: same interface, O(schedule) cost.
+        """
+        config = cls.initial(factory)
+        for decision in decisions:
+            config.apply(decision)
+        return config
+
+    def apply_all(self, decisions: Sequence[Decision]) -> "KernelConfig":
+        """Apply a decision sequence; returns self for chaining."""
+        for decision in decisions:
+            self.apply(decision)
+        return self
+
+    # -- stepping and capture ----------------------------------------------
+
+    def apply(self, decision: Decision) -> None:
+        """Apply one scheduler decision to this configuration."""
+        self.runtime.apply_decision(decision)
+        pid = decision.pid
+        self._process_fps[pid] = None
+        self._memory_snaps[pid] = None
+        self._stats_snaps[pid] = None
+        self._events_tuple = None
+
+    def capture(self) -> KernelSnapshot:
+        """Snapshot the current configuration."""
+        runtime = self.runtime
+        processes = []
+        for state in runtime.processes:
+            pid = state.pid
+            if state.frame is None:
+                frame = None
+                # For an idle, untouched-since-restore process the cache
+                # holds exactly the live memory copy; recompute (and
+                # re-cache) only after a decision touched the process.
+                memory = self._memory_snaps[pid]
+                if memory is None:
+                    memory = plain_copy(state.memory)
+                    self._memory_snaps[pid] = memory
+            else:
+                if state.frame.result_log is None:  # pragma: no cover - guard
+                    raise SimulationError(
+                        "cannot snapshot a frame without a replay log; "
+                        "the configuration was not built by KernelConfig"
+                    )
+                frame = (state.frame.invocation, tuple(state.frame.result_log))
+                memory = state.frame.memory_at_invoke or {}
+            stats = self._stats_snaps[pid]
+            if stats is None:
+                stats = _capture_stats(runtime.stats[pid])
+                self._stats_snaps[pid] = stats
+            processes.append(
+                ProcessSnapshot(
+                    pid=pid,
+                    crashed=state.crashed,
+                    memory=memory,
+                    frame=frame,
+                    stats=stats,
+                    fingerprint=self._process_fingerprint(pid),
+                )
+            )
+        return KernelSnapshot(
+            step_count=runtime.step_count,
+            events=self._events(),
+            pool_state=runtime.pool.capture(),
+            processes=tuple(processes),
+            pool_fingerprints=runtime.pool.fingerprint_parts(),
+        )
+
+    # -- views -------------------------------------------------------------
+
+    def fingerprint(self) -> Hashable:
+        """Exact configuration-and-history dedup key.
+
+        The same key whether the configuration was restored from a
+        snapshot or rebuilt by replay — the parity the engine's
+        ``parity`` mode asserts.  See
+        :meth:`repro.sim.explore.explore_histories` for why the event
+        sequence is included.
+        """
+        runtime = self.runtime
+        return (
+            tuple(
+                (state.pid, runtime.stats[state.pid].invocations)
+                for state in runtime.processes
+            ),
+            runtime.pool.snapshot_state(),
+            tuple(
+                self._process_fingerprint(pid)
+                for pid in range(self.n_processes)
+            ),
+            self._events(),
+        )
+
+    def _events(self) -> Tuple[object, ...]:
+        events = self._events_tuple
+        if events is None:
+            events = tuple(self.runtime.events)
+            self._events_tuple = events
+        return events
+
+    def _process_fingerprint(self, pid: int) -> Hashable:
+        fp = self._process_fps[pid]
+        if fp is None:
+            fp = self.runtime.processes[pid].fingerprint()
+            self._process_fps[pid] = fp
+        return fp
+
+    def history(self) -> History:
+        return History(self.runtime.events, validate=False)
+
+    @property
+    def n_processes(self) -> int:
+        return self.implementation.n_processes
+
+    def is_pending(self, pid: int) -> bool:
+        return self.runtime.processes[pid].pending
+
+    def is_crashed(self, pid: int) -> bool:
+        return self.runtime.processes[pid].crashed
+
+    def invocations_of(self, pid: int) -> int:
+        return self.runtime.stats[pid].invocations
+
+    def responses_of(self, pid: int) -> int:
+        return self.runtime.stats[pid].responses
+
+    def deciders(self) -> Tuple[int, ...]:
+        """Processes that have completed at least one operation."""
+        return tuple(
+            pid
+            for pid in range(self.n_processes)
+            if self.runtime.stats[pid].responses > 0
+        )

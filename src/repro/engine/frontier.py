@@ -1,0 +1,314 @@
+"""Frontier strategies and the generic graph search they drive.
+
+Every exhaustive search in the repository — history exploration over
+kernel configurations (:mod:`repro.sim.explore`), reachability and
+cycle enumeration over I/O automata (:mod:`repro.automata.explorer`),
+and the valency-style schedule search (:mod:`repro.adversaries.valency`)
+— is an instance of the same loop: pop a node from a frontier, dedup it
+by key, expand its labelled successors, push the new ones.  This module
+factors that loop out once.
+
+:class:`GraphSearch` is deliberately small: clients supply *roots* and
+an ``expand(node) -> iterable[(label, child)]`` callback, and get back a
+lazy iterator of :class:`Visit` records plus, on the search object,
+``parents`` (key → (parent key, label)) and — when ``record_edges`` is
+on — ``edges`` (key → {label: child key}), including edges that close
+back into already-visited nodes, which is what cycle detection needs.
+
+The frontier decides the order: :class:`FIFOFrontier` gives breadth
+first (and therefore shortest paths in ``parents``),
+:class:`LIFOFrontier` gives depth first, and
+:class:`IterativeDeepeningFrontier` re-runs depth-first passes with a
+growing bound (clients that want IDDFS use ``strategy="iddfs"`` on
+:class:`GraphSearch`, which manages the restarts).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Generic,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    TypeVar,
+)
+
+Node = TypeVar("Node")
+Label = Any
+
+#: Successor callback: labelled out-edges of one node.
+Expand = Callable[[Node], Iterable[Tuple[Label, Node]]]
+
+
+class SearchBudgetExceeded(RuntimeError):
+    """The search would visit more unique nodes than its budget allows."""
+
+
+@dataclass(frozen=True)
+class Visit:
+    """One newly visited (deduplicated) node."""
+
+    node: Any
+    key: Hashable
+    depth: int
+    parent_key: Optional[Hashable]
+    label: Optional[Label]
+
+
+class Frontier(Generic[Node]):
+    """Pending-node container; the strategy lives in pop order."""
+
+    def __init__(self) -> None:
+        self._entries: deque = deque()
+
+    def push(self, entry: Any) -> None:
+        self._entries.append(entry)
+
+    def pop(self) -> Any:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+
+class FIFOFrontier(Frontier):
+    """Breadth-first order: pop the oldest entry."""
+
+    def pop(self) -> Any:
+        return self._entries.popleft()
+
+
+class LIFOFrontier(Frontier):
+    """Depth-first order: pop the newest entry."""
+
+    def pop(self) -> Any:
+        return self._entries.pop()
+
+
+class IterativeDeepeningFrontier(LIFOFrontier):
+    """Depth-first frontier for one pass of an iterative-deepening run.
+
+    The pass bound is carried here so :class:`GraphSearch` can ask
+    whether a node at a given depth may still be expanded in the current
+    pass.
+    """
+
+    def __init__(self, bound: int) -> None:
+        super().__init__()
+        self.bound = bound
+
+
+def make_frontier(strategy: str, depth_bound: Optional[int] = None) -> Frontier:
+    """Frontier for a named strategy (``bfs``, ``dfs``, ``iddfs``)."""
+    if strategy == "bfs":
+        return FIFOFrontier()
+    if strategy == "dfs":
+        return LIFOFrontier()
+    if strategy == "iddfs":
+        return IterativeDeepeningFrontier(bound=depth_bound or 0)
+    raise ValueError(f"unknown search strategy {strategy!r}")
+
+
+class GraphSearch:
+    """Deduplicated frontier search over an implicitly defined graph.
+
+    Parameters
+    ----------
+    strategy:
+        ``"bfs"``, ``"dfs"`` or ``"iddfs"``.
+    key:
+        Node → hashable dedup key; defaults to the node itself.
+    max_nodes:
+        Unique-node budget.  ``on_budget`` selects what hitting it does:
+        ``"raise"`` (default) raises :class:`SearchBudgetExceeded`,
+        ``"stop"`` ends the search quietly with the frontier dropped.
+    max_depth:
+        Nodes at this depth are visited but not expanded.
+    record_edges:
+        Also record every discovered edge — including edges into
+        already-visited nodes — in :attr:`edges`.
+    """
+
+    def __init__(
+        self,
+        strategy: str = "bfs",
+        key: Optional[Callable[[Any], Hashable]] = None,
+        max_nodes: Optional[int] = None,
+        max_depth: Optional[int] = None,
+        on_budget: str = "raise",
+        record_edges: bool = False,
+    ):
+        if on_budget not in ("raise", "stop"):
+            raise ValueError(f"on_budget must be 'raise' or 'stop', got {on_budget!r}")
+        self.strategy = strategy
+        self.key = key or (lambda node: node)
+        self.max_nodes = max_nodes
+        self.max_depth = max_depth
+        self.on_budget = on_budget
+        self.record_edges = record_edges
+        #: key -> (parent key, edge label); roots map to (None, root label).
+        self.parents: Dict[Hashable, Tuple[Optional[Hashable], Optional[Label]]] = {}
+        #: key -> {label: child key}; only when ``record_edges``.
+        self.edges: Dict[Hashable, Dict[Label, Hashable]] = {}
+        #: key -> depth at which the node was visited.
+        self.depths: Dict[Hashable, int] = {}
+
+    # -- public API --------------------------------------------------------
+
+    def run(
+        self, roots: Iterable[Any], expand: Expand, root_labels: bool = False
+    ) -> Iterator[Visit]:
+        """Lazily yield one :class:`Visit` per unique node.
+
+        ``roots`` is an iterable of nodes, or of ``(node, label)`` pairs
+        when ``root_labels`` is set (the label is stored as the root's
+        parent edge — useful when the roots are themselves successors of
+        a virtual pre-root, as in cycle search).
+        """
+        roots = list(roots)
+        if self.strategy == "iddfs":
+            return self._run_iddfs(roots, expand, root_labels)
+        return self._run_single_pass(
+            roots, expand, root_labels, make_frontier(self.strategy)
+        )
+
+    def path_labels(self, key: Hashable) -> Tuple[Label, ...]:
+        """Edge labels along the discovered path from a root to ``key``
+        (including the root's own label when roots were labelled)."""
+        labels: List[Label] = []
+        cursor: Optional[Hashable] = key
+        while cursor is not None:
+            parent, label = self.parents[cursor]
+            if label is not None:
+                labels.append(label)
+            cursor = parent
+        labels.reverse()
+        return tuple(labels)
+
+    def path_keys(self, key: Hashable) -> Tuple[Hashable, ...]:
+        """Node keys along the discovered path from a root to ``key``."""
+        keys: List[Hashable] = [key]
+        cursor: Optional[Hashable] = key
+        while True:
+            parent, _label = self.parents[cursor]
+            if parent is None:
+                break
+            keys.append(parent)
+            cursor = parent
+        keys.reverse()
+        return tuple(keys)
+
+    # -- internals ---------------------------------------------------------
+
+    def _reset_state(self) -> None:
+        self.parents.clear()
+        self.edges.clear()
+        self.depths.clear()
+
+    def _run_single_pass(
+        self,
+        roots: List[Any],
+        expand: Expand,
+        root_labels: bool,
+        frontier: Frontier,
+        depth_bound: Optional[int] = None,
+        allow_shallower_revisit: bool = False,
+    ) -> Iterator[Visit]:
+        self._reset_state()
+        bound = self.max_depth if depth_bound is None else depth_bound
+        for entry in roots:
+            node, label = entry if root_labels else (entry, None)
+            key = self.key(node)
+            if key in self.parents:
+                continue
+            self.parents[key] = (None, label)
+            self.depths[key] = 0
+            frontier.push((node, key, 0))
+        # Roots count against the budget like any other visit.
+        visited = 0
+        pending_roots = list(frontier._entries)
+        frontier._entries.clear()
+        for node, key, depth in pending_roots:
+            visited = self._check_budget(visited)
+            if visited is None:
+                return
+            yield Visit(node, key, depth, None, self.parents[key][1])
+            frontier.push((node, key, depth))
+        while frontier:
+            node, key, depth = frontier.pop()
+            if bound is not None and depth >= bound:
+                continue
+            for label, child in expand(node):
+                child_key = self.key(child)
+                if self.record_edges:
+                    self.edges.setdefault(key, {})[label] = child_key
+                if child_key in self.parents:
+                    # A depth-limited DFS pass may first reach a node via
+                    # a long path; re-expanding it when a shorter path
+                    # appears keeps iterative deepening complete.
+                    if not (
+                        allow_shallower_revisit
+                        and depth + 1 < self.depths[child_key]
+                    ):
+                        continue
+                else:
+                    visited = self._check_budget(visited)
+                    if visited is None:
+                        return
+                self.parents[child_key] = (key, label)
+                self.depths[child_key] = depth + 1
+                yield Visit(child, child_key, depth + 1, key, label)
+                frontier.push((child, child_key, depth + 1))
+
+    def _check_budget(self, visited: int) -> Optional[int]:
+        """Count one visit against the budget; ``None`` means stop."""
+        if self.max_nodes is not None and visited >= self.max_nodes:
+            if self.on_budget == "raise":
+                raise SearchBudgetExceeded(
+                    f"search exceeded {self.max_nodes} unique nodes"
+                )
+            return None
+        return visited + 1
+
+    def _run_iddfs(
+        self, roots: List[Any], expand: Expand, root_labels: bool
+    ) -> Iterator[Visit]:
+        """Depth-first passes with bound 1, 2, … up to ``max_depth``.
+
+        Each pass re-searches from scratch; a node is re-yielded only if
+        the pass finds it at a strictly shallower depth than any earlier
+        pass did, so consumers see each key at its minimal depth exactly
+        once overall — BFS semantics at DFS frontier size.
+        """
+        if self.max_depth is None:
+            raise ValueError("iddfs requires max_depth")
+        best: Dict[Hashable, int] = {}
+        for bound in range(1, self.max_depth + 1):
+            frontier = IterativeDeepeningFrontier(bound)
+            new_this_pass = 0
+            for visit in self._run_single_pass(
+                roots,
+                expand,
+                root_labels,
+                frontier,
+                depth_bound=bound,
+                allow_shallower_revisit=True,
+            ):
+                if visit.key in best and best[visit.key] <= visit.depth:
+                    continue
+                best[visit.key] = visit.depth
+                new_this_pass += 1
+                yield visit
+            if new_this_pass == 0 and bound > 1:
+                return  # the graph was exhausted by the previous pass

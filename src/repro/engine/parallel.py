@@ -1,0 +1,259 @@
+"""Process-pool parallel frontier exploration with shared dedup.
+
+The exhaustive benchmarks explore configuration graphs whose per-node
+cost is pure Python execution, so a process pool — not threads — is the
+only way to use more than one core.  This module provides a
+level-synchronous breadth-first frontier: the parent owns the frontier,
+ships each depth level's undiscovered configurations to a
+``multiprocessing`` pool, workers expand them by replay, and a
+:class:`DedupTable` shared through a ``multiprocessing.Manager`` lets a
+worker drop a configuration some other worker already produced *in the
+same level* before shipping its (comparatively large) payload back.
+The parent keeps the authoritative fingerprint → node map; the shared
+table is a fast-path filter, so its content never affects which
+configurations are explored, only how much data crosses process
+boundaries.
+
+Worker context travels by ``fork`` inheritance: implementation
+factories are arbitrary callables (tests pass lambdas), which cannot be
+pickled, but a forked child inherits the parent's module globals.  On
+platforms without ``fork`` the engine falls back to serial exploration
+— same results, one core.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import multiprocessing
+import os
+
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.engine.config import ImplementationFactory, KernelConfig
+from repro.engine.explorer import FingerprintFn, PruneFn, SuccessorFn
+from repro.engine.frontier import SearchBudgetExceeded
+from repro.sim.drivers import Decision
+
+
+_MARKER_COUNTER = itertools.count()
+
+
+def _call_marker() -> str:
+    """A value unique to one ``add_if_new`` call, across processes.
+
+    The pid disambiguates forked workers (which inherit the counter's
+    current value); the counter disambiguates calls within a process.
+    """
+    return f"{os.getpid()}:{next(_MARKER_COUNTER)}"
+
+
+def fingerprint_digest(fingerprint: Hashable) -> str:
+    """A compact, cross-process-stable digest of a fingerprint.
+
+    Fingerprints are canonical frozen structures whose ``repr`` is
+    deterministic, so hashing the repr gives every process the same
+    digest without pickling the (potentially large) fingerprint itself.
+    """
+    return hashlib.sha256(repr(fingerprint).encode()).hexdigest()
+
+
+class DedupTable:
+    """First-writer-wins membership table, optionally cross-process.
+
+    ``add_if_new(key)`` returns ``True`` exactly once per key across
+    all participating processes.  The ``managed`` backend uses a
+    ``Manager().dict()`` whose proxied ``setdefault`` is a single remote
+    operation executed serially by the manager process — the atomic
+    test-and-set the parallel frontier relies on.
+    """
+
+    def __init__(self, backend: str = "local", manager=None):
+        if backend == "local":
+            self._table: Any = {}
+        elif backend == "managed":
+            self._manager = manager or multiprocessing.Manager()
+            self._table = self._manager.dict()
+        else:
+            raise ValueError(f"unknown DedupTable backend {backend!r}")
+        self.backend = backend
+
+    def add_if_new(self, key: Hashable) -> bool:
+        """Insert ``key``; ``True`` iff this call was the first to."""
+        if self.backend == "local":
+            if key in self._table:
+                return False
+            self._table[key] = True
+            return True
+        marker = _call_marker()
+        return self._table.setdefault(key, marker) == marker
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._table
+
+    def __getstate__(self):
+        # Ship only the dict proxy across process boundaries: the
+        # Manager object itself is not picklable, and a worker's copy
+        # must talk to the *same* managed dict anyway.
+        state = self.__dict__.copy()
+        state.pop("_manager", None)
+        return state
+
+
+# ---------------------------------------------------------------------------
+# Worker plumbing (fork-inherited context)
+# ---------------------------------------------------------------------------
+
+#: Set by the parent immediately before forking the pool; workers read it.
+_WORKER_CONTEXT: Dict[str, Any] = {}
+
+
+@dataclass(frozen=True)
+class _Expansion:
+    """One worker-produced expansion of a frontier schedule."""
+
+    schedule: Tuple[Any, ...]
+    fingerprint: Hashable
+    digest: str
+    choices: Tuple[Tuple[Any, Decision], ...]
+    events: Tuple[object, ...]
+    duplicate: bool  # another worker claimed this fingerprint first
+
+
+def _expand_schedule(item: Tuple[Tuple[Any, ...], Tuple[Decision, ...]]) -> _Expansion:
+    """Replay one schedule in a worker and report the configuration."""
+    schedule, decisions = item
+    context = _WORKER_CONTEXT
+    config = KernelConfig.replay(
+        context["factory"], tuple(context["root_decisions"]) + tuple(decisions)
+    )
+    if context["prune"] is not None and context["prune"](config):
+        return _Expansion(schedule, None, "", (), (), duplicate=True)
+    fingerprint = context["fingerprint"](config)
+    digest = fingerprint_digest(fingerprint)
+    shared: Optional[DedupTable] = context["shared_table"]
+    if shared is not None and not shared.add_if_new(digest):
+        return _Expansion(schedule, None, digest, (), (), duplicate=True)
+    return _Expansion(
+        schedule=schedule,
+        fingerprint=fingerprint,
+        digest=digest,
+        choices=tuple(context["successors"](config)),
+        events=tuple(config.runtime.events),
+        duplicate=False,
+    )
+
+
+@dataclass
+class ParallelVisit:
+    """One unique configuration discovered by the parallel frontier."""
+
+    fingerprint: Hashable
+    schedule: Tuple[Any, ...]
+    depth: int
+    choices: Tuple[Tuple[Any, Decision], ...]
+    events: Tuple[object, ...]
+
+
+def parallel_explore(
+    factory: ImplementationFactory,
+    successors: SuccessorFn,
+    root_decisions: Sequence[Decision] = (),
+    fingerprint: Optional[FingerprintFn] = None,
+    prune: Optional[PruneFn] = None,
+    max_depth: Optional[int] = None,
+    max_configurations: Optional[int] = None,
+    processes: int = 2,
+) -> Iterator[ParallelVisit]:
+    """Level-synchronous parallel BFS over a kernel configuration graph.
+
+    Yields one :class:`ParallelVisit` per unique configuration (by the
+    parent's authoritative dedup), level by level.  Falls back to a
+    single process when ``fork`` is unavailable or ``processes <= 1``.
+    """
+    fingerprint = fingerprint or (lambda config: config.fingerprint())
+    use_pool = processes > 1 and "fork" in multiprocessing.get_all_start_methods()
+
+    root = KernelConfig.replay(factory, root_decisions)
+    if prune is not None and prune(root):
+        return
+    seen: Dict[Hashable, Tuple[Any, ...]] = {}
+    root_fp = fingerprint(root)
+    seen[root_fp] = ()
+    root_choices = tuple(successors(root))
+    yield ParallelVisit(root_fp, (), 0, root_choices, tuple(root.runtime.events))
+
+    #: (schedule labels, decision path, choices) per frontier node.
+    level: List[Tuple[Tuple[Any, ...], Tuple[Decision, ...], Tuple]] = [
+        ((), (), root_choices)
+    ]
+    depth = 0
+
+    manager = multiprocessing.Manager() if use_pool else None
+    shared_table = DedupTable("managed", manager=manager) if use_pool else None
+    if shared_table is not None:
+        shared_table.add_if_new(fingerprint_digest(root_fp))
+
+    context = {
+        "factory": factory,
+        "root_decisions": tuple(root_decisions),
+        "successors": successors,
+        "fingerprint": fingerprint,
+        "prune": prune,
+        "shared_table": shared_table,
+    }
+
+    pool = None
+    if use_pool:
+        # The context must be in place before the fork so workers inherit
+        # it; manager proxies (the shared table) survive pickling anyway.
+        _WORKER_CONTEXT.clear()
+        _WORKER_CONTEXT.update(context)
+        pool = multiprocessing.get_context("fork").Pool(processes)
+    try:
+        while level:
+            if max_depth is not None and depth >= max_depth:
+                break
+            tasks = [
+                (schedule + (label,), decisions + (decision,))
+                for schedule, decisions, choices in level
+                for label, decision in choices
+            ]
+            if pool is not None:
+                expansions = pool.map(_expand_schedule, tasks, chunksize=8)
+            else:
+                _WORKER_CONTEXT.clear()
+                _WORKER_CONTEXT.update(context)
+                expansions = [_expand_schedule(task) for task in tasks]
+            next_level = []
+            for (schedule, decisions), expansion in zip(tasks, expansions):
+                if expansion.duplicate or expansion.fingerprint in seen:
+                    continue
+                if (
+                    max_configurations is not None
+                    and len(seen) >= max_configurations
+                ):
+                    raise SearchBudgetExceeded(
+                        f"search exceeded {max_configurations} unique nodes"
+                    )
+                seen[expansion.fingerprint] = schedule
+                yield ParallelVisit(
+                    expansion.fingerprint,
+                    schedule,
+                    depth + 1,
+                    expansion.choices,
+                    expansion.events,
+                )
+                next_level.append((schedule, decisions, expansion.choices))
+            level = next_level
+            depth += 1
+    finally:
+        if pool is not None:
+            pool.close()
+            pool.join()
+        if manager is not None:
+            manager.shutdown()

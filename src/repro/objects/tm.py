@@ -48,13 +48,26 @@ class _Sentinel:
     def __copy__(self):
         return self
 
+    def __reduce__(self):
+        # Unpickling must yield the singleton, not a twin: fingerprints
+        # containing sentinels cross process boundaries in the engine's
+        # parallel frontier, and equality is identity.
+        return (_sentinel_by_label, (self._label,))
+
+
+_SENTINEL_REGISTRY: dict = {}
+
+
+def _sentinel_by_label(label: str) -> "_Sentinel":
+    return _SENTINEL_REGISTRY[label]
+
 
 #: Successful non-committing response (start / write acknowledged).
-OK = _Sentinel("OK")
+OK = _SENTINEL_REGISTRY["OK"] = _Sentinel("OK")
 #: Commit event ``C``.
-COMMITTED = _Sentinel("C")
+COMMITTED = _SENTINEL_REGISTRY["C"] = _Sentinel("C")
 #: Abort event ``A``.
-ABORTED = _Sentinel("A")
+ABORTED = _SENTINEL_REGISTRY["A"] = _Sentinel("A")
 
 #: Transaction status labels.
 STATUS_COMMITTED = "committed"

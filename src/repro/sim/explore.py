@@ -9,11 +9,20 @@ yields the history of every maximal run.  :func:`check_all_histories`
 wraps it into a verdict: a safety property holds on *every* reachable
 interleaving, or here is the counterexample schedule.
 
-Like the valency search, exploration is replay-based (generator frames
-cannot be snapshotted): each DAG edge re-executes the run from scratch,
-an O(depth) cost per node that buys exactness.  The fingerprint is the
-same exact-configuration fingerprint the lasso detector uses — sound
-dedup under the determinism contract of :mod:`repro.sim.kernel`.
+The search itself is the unified exploration engine
+(:class:`repro.engine.KernelExplorer`); this module only translates the
+invocation plan into the engine's callbacks.  The default ``snapshot``
+mode expands each DAG edge by restoring an incremental snapshot of the
+kernel configuration — O(configuration) per node.  The seed's
+replay-based expansion (re-execute the run from scratch per edge,
+O(depth) per node) remains available as ``mode="replay"``, and
+``mode="parity"`` runs both in lockstep and fails loudly on the first
+divergence.  ``processes > 1`` switches to the engine's process-pool
+frontier with a shared fingerprint-dedup table.
+
+The fingerprint is the same exact-configuration fingerprint the lasso
+detector uses — sound dedup under the determinism contract of
+:mod:`repro.sim.kernel`.
 
 Used by the test suite to verify, e.g., that *every* interleaving of
 two AGP transactions is opaque and that every interleaving of two
@@ -26,11 +35,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.core.events import Invocation, Response
 from repro.core.history import History
 from repro.core.properties import SafetyProperty, Verdict
-from repro.sim.drivers import InvokeDecision, ScriptedDriver, StepDecision
+from repro.engine.config import KernelConfig
+from repro.engine.explorer import ConfigVisit, KernelExplorer
+from repro.engine.frontier import SearchBudgetExceeded
+from repro.engine.parallel import parallel_explore
+from repro.sim.drivers import Decision, InvokeDecision, StepDecision
 from repro.sim.kernel import Implementation
-from repro.sim.runtime import Runtime
 
 #: One process's planned invocations: a list of (operation, args).
 InvocationPlan = Dict[int, List[Tuple[str, Tuple[Any, ...]]]]
@@ -61,79 +74,38 @@ class ExplorationReport:
         return self.counterexample is None
 
 
-def _replay(
-    implementation_factory: Callable[[], Implementation],
-    plan: InvocationPlan,
-    schedule: Sequence[Choice],
-) -> Tuple[Runtime, "RunState"]:
-    """Execute a schedule from scratch; returns the runtime and state."""
-    implementation = implementation_factory()
-    decisions: List[object] = []
-    cursors = {pid: 0 for pid in plan}
-    for kind, pid in schedule:
-        if kind == "invoke":
-            operation, args = plan[pid][cursors[pid]]
-            cursors[pid] += 1
-            decisions.append(InvokeDecision(pid, operation, args))
-        else:
-            decisions.append(StepDecision(pid))
-    driver = ScriptedDriver(decisions, name="explore-replay")
-    runtime = Runtime(
-        implementation, driver, max_steps=len(decisions) + 1, detect_lasso=False
-    )
-    runtime.run()
-    return runtime, RunState(runtime=runtime, cursors=cursors)
+def _plan_successors(plan: InvocationPlan) -> Callable[[KernelConfig], List]:
+    """Engine callback: legal labelled decisions under the plan.
 
+    A pending process may step; an idle, uncrashed process with planned
+    invocations left may invoke its next one.  The cursor is the
+    process's invocation count — the runtime already tracks it.
+    """
 
-@dataclass
-class RunState:
-    """Configuration view after a replay."""
-
-    runtime: Runtime
-    cursors: Dict[int, int]
-
-    def choices(self, plan: InvocationPlan) -> List[Choice]:
-        """Legal next decisions from this configuration."""
-        out: List[Choice] = []
+    def successors(config: KernelConfig) -> List[Tuple[Choice, Decision]]:
+        out: List[Tuple[Choice, Decision]] = []
         for pid in sorted(plan):
-            state = self.runtime.processes[pid]
-            if state.crashed:
+            if config.is_crashed(pid):
                 continue
-            if state.pending:
-                out.append(("step", pid))
-            elif self.cursors[pid] < len(plan[pid]):
-                out.append(("invoke", pid))
+            if config.is_pending(pid):
+                out.append((("step", pid), StepDecision(pid)))
+            else:
+                cursor = config.invocations_of(pid)
+                if cursor < len(plan[pid]):
+                    operation, args = plan[pid][cursor]
+                    out.append(
+                        (("invoke", pid), InvokeDecision(pid, operation, args))
+                    )
         return out
 
-    def fingerprint(self) -> Hashable:
-        """Dedup key: configuration *and* history.
+    return successors
 
-        The configuration alone is not enough: two interleavings can
-        commute to the same configuration while their histories differ
-        in real-time order (e.g. response-before-invocation vs
-        invocation-before-response), and safety verdicts depend on that
-        order.  Including the event sequence keeps dedup sound — equal
-        history means equal safety obligations, equal configuration
-        means equal futures — while still collapsing the dominant
-        explosion source: permutations of internal steps that emit no
-        events.
-        """
-        return (
-            tuple(sorted(self.cursors.items())),
-            self.runtime.pool.snapshot_state(),
-            tuple(state.fingerprint() for state in self.runtime.processes),
-            tuple(self.runtime.events),
-        )
 
-    def history(self) -> History:
-        return History(self.runtime.events, validate=False)
-
-    def complete(self, plan: InvocationPlan) -> bool:
-        return all(
-            self.cursors[pid] >= len(plan[pid])
-            and not self.runtime.processes[pid].pending
-            for pid in plan
-        )
+def _plan_complete(config_pending: Callable[[int], bool], invocations_of, plan) -> bool:
+    return all(
+        invocations_of(pid) >= len(plan[pid]) and not config_pending(pid)
+        for pid in plan
+    )
 
 
 def explore_histories(
@@ -141,40 +113,114 @@ def explore_histories(
     plan: InvocationPlan,
     max_depth: int = 64,
     max_configurations: int = 100_000,
+    mode: str = "snapshot",
+    processes: int = 0,
 ) -> Iterator[ExploredRun]:
     """Yield one run per maximal schedule (modulo configuration dedup).
 
     Deduplication merges schedules that reach the same configuration,
     so each *configuration* is expanded once; the histories yielded are
-    those of depth-first representatives of maximal runs.  Since safety
-    properties are prefix-closed and history membership depends only on
-    the events (determined by the configuration path), checking the
-    yielded histories covers every reachable interleaving's history up
-    to the dedup equivalence.
+    those of representatives of maximal runs.  Since safety properties
+    are prefix-closed and history membership depends only on the events
+    (determined by the configuration path), checking the yielded
+    histories covers every reachable interleaving's history up to the
+    dedup equivalence.
+
+    The dedup key is the configuration *and* the history: two
+    interleavings can commute to the same configuration while their
+    histories differ in real-time order (e.g. response-before-invocation
+    vs invocation-before-response), and safety verdicts depend on that
+    order.  Including the event sequence keeps dedup sound — equal
+    history means equal safety obligations, equal configuration means
+    equal futures — while still collapsing the dominant explosion
+    source: permutations of internal steps that emit no events.
     """
-    seen: set = set()
-    stack: List[Tuple[Choice, ...]] = [()]
-    while stack:
-        schedule = stack.pop()
-        if len(seen) >= max_configurations:
-            raise RuntimeError(
-                f"exploration exceeded {max_configurations} configurations"
+    successors = _plan_successors(plan)
+    try:
+        if processes > 1:
+            if mode != "snapshot":
+                # The pool workers expand by replay internally; honouring
+                # an explicit replay/parity request would silently mean
+                # something else, so refuse instead.
+                raise ValueError(
+                    f"mode={mode!r} is not supported with processes > 1; "
+                    "the parallel frontier chooses its own expansion"
+                )
+            yield from _explore_parallel(
+                implementation_factory,
+                plan,
+                successors,
+                max_depth,
+                max_configurations,
+                processes,
             )
-        _runtime, state = _replay(implementation_factory, plan, schedule)
-        fingerprint = state.fingerprint()
-        if fingerprint in seen:
+            return
+        explorer = KernelExplorer(
+            implementation_factory,
+            successors,
+            mode=mode,
+            strategy="dfs",
+            max_depth=max_depth,
+            max_configurations=max_configurations,
+        )
+        for visit in explorer.run():
+            run = _visit_to_run(visit.schedule, visit.choices, visit.depth,
+                                max_depth, visit.config, plan)
+            if run is not None:
+                yield run
+    except SearchBudgetExceeded:
+        raise RuntimeError(
+            f"exploration exceeded {max_configurations} configurations"
+        ) from None
+
+
+def _visit_to_run(
+    schedule, choices, depth, max_depth, config: KernelConfig, plan
+) -> Optional[ExploredRun]:
+    """Maximal-run filter: leaves are depth-bounded or choice-free."""
+    if choices and depth < max_depth:
+        return None
+    return ExploredRun(
+        schedule=tuple(schedule),
+        history=config.history(),
+        complete=_plan_complete(config.is_pending, config.invocations_of, plan),
+    )
+
+
+def _explore_parallel(
+    implementation_factory,
+    plan: InvocationPlan,
+    successors,
+    max_depth: int,
+    max_configurations: int,
+    processes: int,
+) -> Iterator[ExploredRun]:
+    """Process-pool frontier (see :mod:`repro.engine.parallel`)."""
+    for visit in parallel_explore(
+        implementation_factory,
+        successors,
+        max_depth=max_depth,
+        max_configurations=max_configurations,
+        processes=processes,
+    ):
+        if visit.choices and visit.depth < max_depth:
             continue
-        seen.add(fingerprint)
-        choices = state.choices(plan)
-        if not choices or len(schedule) >= max_depth:
-            yield ExploredRun(
-                schedule=schedule,
-                history=state.history(),
-                complete=state.complete(plan),
-            )
-            continue
-        for choice in choices:
-            stack.append(schedule + (choice,))
+        invoked = {pid: 0 for pid in plan}
+        responded = {pid: 0 for pid in plan}
+        for event in visit.events:
+            if isinstance(event, Invocation):
+                invoked[event.process] += 1
+            elif isinstance(event, Response):
+                responded[event.process] += 1
+        complete = all(
+            invoked[pid] >= len(plan[pid]) and responded[pid] == invoked[pid]
+            for pid in plan
+        )
+        yield ExploredRun(
+            schedule=tuple(visit.schedule),
+            history=History(list(visit.events), validate=False),
+            complete=complete,
+        )
 
 
 def check_all_histories(
@@ -183,12 +229,19 @@ def check_all_histories(
     safety: SafetyProperty,
     max_depth: int = 64,
     max_configurations: int = 100_000,
+    mode: str = "snapshot",
+    processes: int = 0,
 ) -> ExplorationReport:
     """Check a safety property over every reachable interleaving."""
     runs_checked = 0
     counterexample: Optional[ExploredRun] = None
     for run in explore_histories(
-        implementation_factory, plan, max_depth, max_configurations
+        implementation_factory,
+        plan,
+        max_depth,
+        max_configurations,
+        mode=mode,
+        processes=processes,
     ):
         runs_checked += 1
         if not safety.check_history(run.history).holds:

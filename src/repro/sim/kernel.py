@@ -24,6 +24,12 @@ exact lasso detection must keep all mutable operation-local state in the
 ``memory`` mapping (rather than in generator-local variables that
 survive across yields).  All algorithms shipped in
 :mod:`repro.algorithms` follow this contract.
+
+The same contract is what lets the exploration engine snapshot and
+restore configurations (:mod:`repro.engine.config` rebuilds a generator
+by fast-forwarding a fresh one through its recorded primitive results);
+``docs/architecture.md`` states the full determinism/fingerprint
+contract in one place.
 """
 
 from __future__ import annotations
@@ -117,7 +123,17 @@ class Implementation(ABC):
 
 @dataclass
 class ProcessFrame:
-    """Execution state of one in-flight operation of one process."""
+    """Execution state of one in-flight operation of one process.
+
+    When the owning runtime records replay logs (the exploration
+    engine's snapshot mode), ``result_log`` accumulates every primitive
+    result fed to the generator and ``memory_at_invoke`` holds a copy of
+    the process memory as it was *before* the invocation.  Together with
+    the determinism contract above they let :mod:`repro.engine.config`
+    rebuild an equivalent generator by fast-forwarding a fresh one
+    through the recorded results — the only part of a configuration that
+    cannot be copied directly.
+    """
 
     invocation: Invocation
     generator: Algorithm
@@ -125,6 +141,8 @@ class ProcessFrame:
     primitives_issued: int = 0
     last_result: Any = None
     pending_op: Optional[Op] = None
+    result_log: Optional[list] = None
+    memory_at_invoke: Optional[Dict[str, Any]] = None
 
     def fingerprint(self) -> Hashable:
         """Frame part of the global configuration fingerprint."""
@@ -196,4 +214,6 @@ def run_step(frame: ProcessFrame, pool: ObjectPool) -> Tuple[bool, Any]:
     frame.pending_op = op
     frame.last_result = pool.apply(op.obj, op.method, op.args)
     frame.primitives_issued += 1
+    if frame.result_log is not None:
+        frame.result_log.append(frame.last_result)
     return False, None

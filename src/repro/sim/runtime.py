@@ -18,6 +18,7 @@ driver, never a legal behaviour.
 
 from __future__ import annotations
 
+
 from typing import Any, Dict, Hashable, List, Optional, Tuple
 
 from repro.core.events import Crash, Invocation, Response
@@ -25,6 +26,7 @@ from repro.core.history import History
 from repro.core.object_type import ProgressMode
 from repro.sim.drivers import (
     CrashDecision,
+    Decision,
     Driver,
     InvokeDecision,
     StepDecision,
@@ -34,6 +36,7 @@ from repro.sim.kernel import Implementation, ProcessFrame, ProcessState, run_ste
 from repro.sim.lasso import LassoDetector
 from repro.sim.record import ProcessStats, RunResult
 from repro.util.errors import SimulationError
+from repro.util.plaincopy import plain_copy
 
 
 class RuntimeView:
@@ -102,6 +105,12 @@ class Runtime:
     lasso_stride:
         Fingerprint every n-th step (see
         :class:`~repro.sim.lasso.LassoDetector`).
+    record_replay_log:
+        Record, on every frame, the primitive results fed to its
+        generator and the process memory as of the invocation.  This is
+        what makes a configuration snapshot/restorable by the
+        exploration engine (:mod:`repro.engine.config`); plain
+        simulation runs leave it off and pay nothing.
     """
 
     def __init__(
@@ -111,11 +120,13 @@ class Runtime:
         max_steps: int = 100_000,
         detect_lasso: bool = True,
         lasso_stride: int = 1,
+        record_replay_log: bool = False,
     ):
         self.implementation = implementation
         self.driver = driver
         self.max_steps = max_steps
         self.detect_lasso = detect_lasso
+        self.record_replay_log = record_replay_log
         self.pool = implementation.create_pool()
         self.processes: List[ProcessState] = [
             ProcessState(pid=pid, memory=implementation.initial_memory(pid))
@@ -143,10 +154,17 @@ class Runtime:
         invocation = Invocation(
             process=decision.pid, operation=decision.operation, args=decision.args
         )
+        # Memory is copied *before* algorithm() runs: implementations may
+        # mutate memory at generator-creation time, and the snapshot
+        # restore path replays that mutation by calling algorithm() again.
+        memory_before = plain_copy(state.memory) if self.record_replay_log else None
         generator = self.implementation.algorithm(
             decision.pid, decision.operation, decision.args, state.memory
         )
         state.frame = ProcessFrame(invocation=invocation, generator=generator)
+        if self.record_replay_log:
+            state.frame.result_log = []
+            state.frame.memory_at_invoke = memory_before
         self.events.append(invocation)
         self.stats[decision.pid].invocations += 1
 
@@ -186,6 +204,23 @@ class Runtime:
         state.crashed = True
         self.stats[decision.pid].crashed = True
         self.events.append(Crash(process=decision.pid))
+
+    def apply_decision(self, decision: Decision) -> None:
+        """Apply one non-stop decision outside the driver loop.
+
+        The exploration engine drives a runtime decision-by-decision
+        (there is no driver to consult); the same validity rules apply
+        and ``step_count`` advances exactly as in :meth:`run`.
+        """
+        if isinstance(decision, InvokeDecision):
+            self._apply_invoke(decision)
+        elif isinstance(decision, StepDecision):
+            self._apply_step(decision)
+        elif isinstance(decision, CrashDecision):
+            self._apply_crash(decision)
+        else:
+            raise SimulationError(f"unknown decision {decision!r}")
+        self.step_count += 1
 
     # -- fingerprints ------------------------------------------------------------
 
@@ -236,15 +271,7 @@ class Runtime:
                     state.pending for state in self.processes
                 )
                 break
-            if isinstance(decision, InvokeDecision):
-                self._apply_invoke(decision)
-            elif isinstance(decision, StepDecision):
-                self._apply_step(decision)
-            elif isinstance(decision, CrashDecision):
-                self._apply_crash(decision)
-            else:
-                raise SimulationError(f"unknown decision {decision!r}")
-            self.step_count += 1
+            self.apply_decision(decision)
             if self.detect_lasso:
                 lasso = self._detector.observe(
                     self.step_count,

@@ -1,0 +1,43 @@
+"""Fast structural copying of plain data.
+
+The kernel's determinism contract already restricts process memories and
+base-object state to *plain data* — compositions of dicts, lists,
+tuples, sets and immutable leaves (that is what makes them
+freeze()-able for fingerprints).  For such values a hand-rolled
+recursion is several times faster than :func:`copy.deepcopy`, which
+pays for memoisation and dispatch that plain trees never need.  The
+exploration engine copies configurations on every snapshot/restore, so
+this is its hottest primitive.
+
+Leaves are shared, not copied: immutable values (numbers, strings,
+frozen dataclasses) cannot alias mutations.  A mutable *custom* object
+hiding in the tree would be shared too — such state violates the
+kernel's plain-data contract and must override
+:meth:`~repro.base_objects.base.BaseObject.capture_state` instead.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+_LEAF_TYPES = (int, float, str, bool, bytes, type(None))
+
+
+def plain_copy(value: Any) -> Any:
+    """Recursively copy dict/list/tuple/set containers, sharing leaves."""
+    kind = type(value)
+    if kind in _LEAF_TYPES_SET:
+        return value
+    if kind is dict:
+        return {key: plain_copy(item) for key, item in value.items()}
+    if kind is list:
+        return [plain_copy(item) for item in value]
+    if kind is tuple:
+        return tuple([plain_copy(item) for item in value])
+    if kind is set:
+        return set(value)  # set elements are hashable, hence value-like
+    return value
+
+
+_LEAF_TYPES_SET = frozenset(_LEAF_TYPES)

@@ -1,5 +1,6 @@
 """The examples must stay runnable: each is executed as a subprocess."""
 
+import os
 import pathlib
 import subprocess
 import sys
@@ -8,6 +9,7 @@ import pytest
 
 EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
 EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+SRC_DIR = EXAMPLES_DIR.parent / "src"
 
 
 def test_at_least_five_examples_exist():
@@ -18,11 +20,18 @@ def test_at_least_five_examples_exist():
     "script", EXAMPLES, ids=[script.stem for script in EXAMPLES]
 )
 def test_example_runs_cleanly(script):
+    # The parent's pytest `pythonpath` ini setting does not reach
+    # subprocesses; make `repro` importable for the example explicitly.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        part for part in (str(SRC_DIR), env.get("PYTHONPATH")) if part
+    )
     completed = subprocess.run(
         [sys.executable, str(script)],
         capture_output=True,
         text=True,
         timeout=300,
+        env=env,
     )
     assert completed.returncode == 0, completed.stderr[-2000:]
     assert completed.stdout.strip(), "examples must narrate what they show"
