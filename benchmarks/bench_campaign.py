@@ -1,0 +1,40 @@
+"""Campaign subsystem overhead: the full init → run → export cycle.
+
+The grid is two cheap set-model experiments (thm44, thm49, fractions of
+a millisecond each), so the measured time is dominated by the campaign
+machinery itself — job fingerprinting, SQLite claim/complete
+transactions, payload encoding, deterministic export — i.e. the
+per-job overhead a paper-scale sweep pays on top of simulation time.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+
+from repro.campaign import (
+    CampaignSpec,
+    CampaignStore,
+    export_campaign,
+    run_campaign,
+)
+
+_counter = itertools.count()
+
+
+def test_benchmark_campaign_cycle(benchmark, tmp_path):
+    def cycle() -> str:
+        path = str(tmp_path / f"bench-{next(_counter)}.db")
+        spec = CampaignSpec.from_cli(["thm44", "thm49"], [])
+        store = CampaignStore.create(path, spec)
+        store.add_jobs(spec.expand())
+        store.close()
+        summary = run_campaign(path, workers=0)
+        assert summary["failed"] == 0 and summary["pending"] == 0
+        with CampaignStore.open(path) as opened:
+            return export_campaign(opened)
+
+    document = json.loads(benchmark(cycle))
+    benchmark.extra_info["jobs"] = document["summary"]["jobs"]
+    assert document["summary"]["all_ok"] is True
+    assert len(document["jobs"]) == 2

@@ -6,6 +6,14 @@ Usage::
     python -m repro run fig1a            # one experiment
     python -m repro run all              # everything (exit 1 on mismatch)
     python -m repro run fig1b --param n=4 --param max_steps=300
+
+    python -m repro campaign init --grid fig1a n=2..4 seed=0..4
+    python -m repro campaign run --workers 4
+    python -m repro campaign status
+    python -m repro campaign export --out campaign.json
+
+Exit codes: 0 all claims OK, 1 a paper claim mismatched or a job
+failed, 2 usage error.
 """
 
 from __future__ import annotations
@@ -16,19 +24,31 @@ import time
 from typing import Any, Dict, List
 
 from repro.analysis import EXPERIMENTS, run_experiment
+from repro.campaign import (
+    CampaignSpec,
+    CampaignStore,
+    export_campaign,
+    render_results,
+    render_status,
+    run_campaign,
+    store_all_ok,
+)
+from repro.campaign.spec import coerce_scalar as _coerce_value
+from repro.util.errors import UsageError
+
+#: Default campaign store path (override with ``--store``).
+DEFAULT_STORE = "campaign.db"
 
 
 def _parse_params(pairs: List[str]) -> Dict[str, Any]:
-    """Parse ``key=value`` pairs; values are ints where possible."""
+    """Parse ``key=value`` pairs (ints, floats, booleans, JSON values;
+    bare strings as fallback)."""
     params: Dict[str, Any] = {}
     for pair in pairs:
         if "=" not in pair:
             raise SystemExit(f"--param expects key=value, got {pair!r}")
         key, _, raw = pair.partition("=")
-        try:
-            params[key] = int(raw)
-        except ValueError:
-            params[key] = raw
+        params[key] = _coerce_value(raw)
     return params
 
 
@@ -36,7 +56,8 @@ def cmd_list() -> int:
     width = max(len(spec.experiment_id) for spec in EXPERIMENTS.values())
     for experiment_id in sorted(EXPERIMENTS):
         spec = EXPERIMENTS[experiment_id]
-        print(f"{experiment_id:<{width}}  {spec.title}")
+        axes = f"  [axes: {', '.join(spec.grid_axes)}]" if spec.grid_axes else ""
+        print(f"{experiment_id:<{width}}  {spec.title}{axes}")
     return 0
 
 
@@ -62,6 +83,174 @@ def cmd_run(targets: List[str], params: Dict[str, Any]) -> int:
     return 1 if failures else 0
 
 
+# ---------------------------------------------------------------------------
+# campaign subcommands
+# ---------------------------------------------------------------------------
+
+
+def cmd_campaign_init(arguments) -> int:
+    spec = CampaignSpec.from_cli(
+        arguments.grid, arguments.axes, name=arguments.name
+    )
+    jobs = spec.expand()
+    with CampaignStore.create(arguments.store, spec) as store:
+        added = store.add_jobs(jobs)
+        counts = store.counts()
+    total = sum(counts.values())
+    print(
+        f"{arguments.store}: {added} job(s) added "
+        f"({len(jobs) - added} already present), {total} total "
+        f"({counts['done']} done, {counts['pending']} pending)"
+    )
+    return 0
+
+
+def cmd_campaign_run(arguments) -> int:
+    summary = run_campaign(
+        arguments.store,
+        workers=arguments.workers,
+        max_jobs=arguments.max_jobs,
+        reclaim=not arguments.no_reclaim,
+    )
+    print(
+        f"executed {summary['executed']} job(s)"
+        + (f" (reclaimed {summary['reclaimed']})" if summary["reclaimed"] else "")
+        + f"; store now: {summary['done']} done, {summary['failed']} failed, "
+        f"{summary['claimed']} claimed, {summary['pending']} pending"
+    )
+    with CampaignStore.open(arguments.store) as store:
+        complete = summary["pending"] == 0 and summary["claimed"] == 0
+        return 0 if store_all_ok(store) and complete else 1
+
+
+def cmd_campaign_status(arguments) -> int:
+    with CampaignStore.open(arguments.store) as store:
+        done = store.jobs("done")
+        print(render_status(store, done_records=done))
+        if arguments.render:
+            print()
+            print(render_results(store))
+        counts = store.counts()
+        ok = (
+            store_all_ok(store, done_records=done)
+            and counts["pending"] == counts["claimed"] == 0
+        )
+    return 0 if ok else 1
+
+
+def cmd_campaign_reset(arguments) -> int:
+    statuses: List[str] = []
+    if arguments.failed or not (arguments.claimed or arguments.all):
+        statuses.append("failed")
+    if arguments.claimed:
+        statuses.append("claimed")
+    if arguments.all:
+        statuses = ["claimed", "done", "failed"]
+    with CampaignStore.open(arguments.store) as store:
+        count = store.reset(statuses, experiment=arguments.experiment)
+    print(f"reset {count} job(s) ({', '.join(statuses)} -> pending)")
+    return 0
+
+
+def cmd_campaign_export(arguments) -> int:
+    with CampaignStore.open(arguments.store) as store:
+        document = export_campaign(store)
+        if arguments.render:
+            # keep stdout a pure JSON stream when no --out is given
+            print(render_results(store), file=sys.stdout if arguments.out else sys.stderr)
+    if arguments.out:
+        with open(arguments.out, "w", encoding="utf-8") as handle:
+            handle.write(document)
+        print(f"wrote {arguments.out}")
+    else:
+        sys.stdout.write(document)
+    return 0
+
+
+def cmd_campaign(arguments) -> int:
+    handlers = {
+        "init": cmd_campaign_init,
+        "run": cmd_campaign_run,
+        "status": cmd_campaign_status,
+        "reset": cmd_campaign_reset,
+        "export": cmd_campaign_export,
+    }
+    return handlers[arguments.campaign_command](arguments)
+
+
+def _add_campaign_parser(subparsers) -> None:
+    campaign = subparsers.add_parser(
+        "campaign",
+        help="persistent, resumable experiment sweeps (grid -> store -> workers)",
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    def store_arg(parser) -> None:
+        parser.add_argument(
+            "--store", default=DEFAULT_STORE,
+            help=f"campaign store path (default: {DEFAULT_STORE})",
+        )
+
+    init = campaign_sub.add_parser(
+        "init", help="expand a parameter grid into the store (idempotent)"
+    )
+    store_arg(init)
+    init.add_argument(
+        "--grid", action="append", default=[], metavar="EXPERIMENT",
+        help="experiment id to sweep (repeatable; default: all experiments)",
+    )
+    init.add_argument("--name", default="campaign", help="campaign name")
+    init.add_argument(
+        "axes", nargs="*", metavar="axis=values",
+        help="grid axes, e.g. n=2..4 seed=0..4 crash=none,p0@40 "
+        "registry=commit-adopt lk=2x3; axes an experiment does not "
+        "support are dropped for it",
+    )
+
+    run = campaign_sub.add_parser("run", help="execute open jobs from the store")
+    store_arg(run)
+    run.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: REPRO_ENGINE_PARALLEL; 0/1 = serial)",
+    )
+    run.add_argument(
+        "--max-jobs", type=int, default=None,
+        help="execute at most this many jobs (serial only)",
+    )
+    run.add_argument(
+        "--no-reclaim", action="store_true",
+        help="do not recover claims of dead local workers first",
+    )
+
+    status = campaign_sub.add_parser("status", help="job counts and failures")
+    store_arg(status)
+    status.add_argument(
+        "--render", action="store_true",
+        help="also re-render claim tables and grids from stored results",
+    )
+
+    reset = campaign_sub.add_parser(
+        "reset", help="send failed (default), claimed, or all jobs back to pending"
+    )
+    store_arg(reset)
+    reset.add_argument("--failed", action="store_true", help="reset failed jobs")
+    reset.add_argument("--claimed", action="store_true", help="reset claimed jobs")
+    reset.add_argument("--all", action="store_true", help="reset every job")
+    reset.add_argument(
+        "--experiment", default=None, help="restrict to one experiment id"
+    )
+
+    export = campaign_sub.add_parser(
+        "export", help="deterministic JSON export of the store"
+    )
+    store_arg(export)
+    export.add_argument("--out", default=None, help="write to file instead of stdout")
+    export.add_argument(
+        "--render", action="store_true",
+        help="also re-render claim tables and grids from stored results",
+    )
+
+
 def main(argv: List[str] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -80,10 +269,17 @@ def main(argv: List[str] = None) -> int:
         help="runner parameter as key=value (repeatable); applied to every "
         "listed experiment",
     )
+    _add_campaign_parser(subparsers)
     arguments = parser.parse_args(argv)
-    if arguments.command == "list":
-        return cmd_list()
-    return cmd_run(arguments.experiments, _parse_params(arguments.param))
+    try:
+        if arguments.command == "list":
+            return cmd_list()
+        if arguments.command == "campaign":
+            return cmd_campaign(arguments)
+        return cmd_run(arguments.experiments, _parse_params(arguments.param))
+    except UsageError as error:
+        print(f"usage error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

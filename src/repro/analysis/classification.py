@@ -60,10 +60,18 @@ class ClassifiedGrid:
     points: List[GridPoint] = field(default_factory=list)
 
     def point(self, l: int, k: int) -> GridPoint:
+        point = self.maybe_point(l, k)
+        if point is None:
+            raise KeyError(f"no point ({l},{k})")
+        return point
+
+    def maybe_point(self, l: int, k: int) -> Optional[GridPoint]:
+        """The point at ``(l,k)``, or ``None`` when the grid was
+        classified over a subset that omits it."""
         for candidate in self.points:
             if candidate.l == l and candidate.k == k:
                 return candidate
-        raise KeyError(f"no point ({l},{k})")
+        return None
 
     def excluded_points(self) -> List[Tuple[int, int]]:
         return [(p.l, p.k) for p in self.points if p.excludes]
@@ -85,6 +93,7 @@ def classify_grid(
     plays_by_impl: Mapping[str, Sequence[Play]],
     semantics: str = "conditional",
     safety_precomputed: Optional[Mapping[str, Sequence[bool]]] = None,
+    points: Optional[Sequence[Tuple[int, int]]] = None,
 ) -> ClassifiedGrid:
     """Classify every ``(l,k)`` with ``1 <= l <= k <= n``.
 
@@ -92,7 +101,9 @@ def classify_grid(
     ensure the safety property by design) to their battery plays.
     ``safety_precomputed`` optionally supplies per-play safety verdicts
     (checking opacity on long histories is the dominant cost; callers
-    that already validated them can pass the bits).
+    that already validated them can pass the bits).  ``points``
+    restricts classification to a subset of the grid (the campaign
+    ``lk`` axis); the default is the full triangle.
     """
     grid = ClassifiedGrid(n=n, safety_name=safety.name, semantics=semantics)
     safety_bits: Dict[str, List[bool]] = {}
@@ -103,12 +114,15 @@ def classify_grid(
             safety_bits[key] = [
                 bool(safety.check_history(history)) for history, _s, _label in plays
             ]
-    for k in range(1, n + 1):
-        for l in range(1, k + 1):
-            prop = LKFreedom(l, k, semantics=semantics)
-            grid.points.append(
-                _classify_point(prop, plays_by_impl, safety_bits)
-            )
+    if points is None:
+        points = [
+            (l, k) for k in range(1, n + 1) for l in range(1, k + 1)
+        ]
+    for l, k in points:
+        prop = LKFreedom(l, k, semantics=semantics)
+        grid.points.append(
+            _classify_point(prop, plays_by_impl, safety_bits)
+        )
     return grid
 
 

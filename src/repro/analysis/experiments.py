@@ -46,6 +46,7 @@ from repro.analysis.registry import (
     RegistryEntry,
     consensus_registry,
     entries_ensuring,
+    select_entries,
     tm_registry,
 )
 from repro.analysis.report import render_claims, render_grid, render_hasse
@@ -63,16 +64,19 @@ from repro.objects.opacity import OpacityChecker
 from repro.setmodel import theorem44, theorem49
 from repro.setmodel.theorem44 import first_event_adversary_sets, verify_theorem44
 from repro.setmodel.theorem49 import verify_lemma48, verify_theorem49
+from repro.sim.crash import parse_crash_spec
 from repro.sim.drivers import ComposedDriver
 from repro.sim.record import RunResult
 from repro.sim.runtime import play
 from repro.sim.schedulers import (
     GroupScheduler,
     LockstepScheduler,
+    RandomScheduler,
     RoundRobinScheduler,
     SoloScheduler,
 )
 from repro.sim.workload import TransactionWorkload, propose_workload
+from repro.util.errors import UsageError
 
 
 @dataclass(frozen=True)
@@ -113,6 +117,72 @@ class ExperimentResult:
 # Play batteries
 # ---------------------------------------------------------------------------
 
+#: Schedule families addressable by the ``scheduler`` grid axis.
+CONSENSUS_SCHEDULE_FAMILIES = ("solo", "lockstep", "round-robin", "random")
+TM_SCHEDULE_FAMILIES = (
+    "round-robin",
+    "group",
+    "tm-adversary",
+    "counterexample",
+    "random",
+)
+
+
+def _select_families(
+    schedulers, known: Sequence[str], seed: Optional[int]
+) -> List[str]:
+    """Resolve the ``scheduler`` axis to a list of schedule families.
+
+    ``None`` selects every deterministic family, plus ``random`` when a
+    ``seed`` is given (the seed axis is what makes random plays
+    reproducible).  Explicit values — one family, a comma-separated
+    string, or a sequence — are validated against ``known``.
+    """
+    if schedulers is None:
+        families = [family for family in known if family != "random"]
+        if seed is not None:
+            families.append("random")
+        return families
+    if isinstance(schedulers, str):
+        schedulers = [part.strip() for part in schedulers.split(",") if part.strip()]
+    unknown = [family for family in schedulers if family not in known]
+    if unknown:
+        raise UsageError(
+            f"unknown scheduler family(ies) {unknown!r}; known: {list(known)}"
+        )
+    if seed is not None and "random" not in schedulers:
+        raise UsageError(
+            "a seed only affects the 'random' schedule family, which the "
+            f"scheduler selection {list(schedulers)!r} excludes — sweeping "
+            "seeds would run identical batteries; add 'random' or drop the "
+            "seed axis"
+        )
+    return list(schedulers)
+
+
+def _lk_points(n: int, lk) -> Optional[List[Tuple[int, int]]]:
+    """Resolve the ``lk`` axis (``"LxK"`` caps) to grid points.
+
+    ``None`` means the full ``1 <= l <= k <= n`` triangle; ``"2x3"``
+    restricts to points with ``l <= 2`` and ``k <= 3``.
+    """
+    if lk is None:
+        return None
+    parts = str(lk).lower().split("x")
+    if len(parts) != 2 or not all(part.strip().isdigit() for part in parts):
+        raise UsageError(
+            f"bad lk range {lk!r}; expected 'LxK' caps such as '2x3'"
+        )
+    l_max, k_max = int(parts[0]), int(parts[1])
+    points = [
+        (l, k)
+        for k in range(1, min(k_max, n) + 1)
+        for l in range(1, min(l_max, k) + 1)
+    ]
+    if not points:
+        raise UsageError(f"lk range {lk!r} selects no grid points for n={n}")
+    return points
+
 
 def _assemble_battery(
     entries: Sequence[RegistryEntry],
@@ -136,6 +206,9 @@ def consensus_plays(
     entries: Sequence[RegistryEntry],
     max_steps: int = 20_000,
     processes: Optional[int] = None,
+    schedulers=None,
+    crash: Optional[str] = None,
+    seed: Optional[int] = None,
 ) -> Dict[str, List[Play]]:
     """The consensus schedule battery (see module docstring).
 
@@ -143,8 +216,17 @@ def consensus_plays(
     executed through the engine's batch runner — serially by default,
     or on a process pool under ``processes`` /
     ``REPRO_ENGINE_PARALLEL``.
+
+    The campaign grid axes select battery subsets uniformly:
+    ``schedulers`` restricts the schedule families
+    (:data:`CONSENSUS_SCHEDULE_FAMILIES`), ``crash`` injects a crash
+    pattern (:func:`~repro.sim.crash.parse_crash_spec` syntax) into
+    every composed play, and ``seed`` adds a seeded random-scheduler
+    play per implementation.
     """
     tasks: List[PlayTask] = []
+    families = _select_families(schedulers, CONSENSUS_SCHEDULE_FAMILIES, seed)
+    crash_factory = parse_crash_spec(crash)
 
     def add(entry: RegistryEntry, label: str, scheduler_factory, proposals) -> None:
         tasks.append(
@@ -153,28 +235,48 @@ def consensus_plays(
                 label=label,
                 implementation_factory=entry.make,
                 driver_factory=lambda sf=scheduler_factory, p=tuple(proposals): (
-                    ComposedDriver(sf(), propose_workload(list(p)))
+                    ComposedDriver(
+                        sf(),
+                        propose_workload(list(p)),
+                        crash_plan=None if crash_factory is None else crash_factory(),
+                    )
                 ),
                 max_steps=max_steps,
             )
         )
 
     for entry in entries:
-        for pid in range(n):
-            proposals: List[Optional[int]] = [None] * n
-            proposals[pid] = pid
-            add(entry, f"solo(p{pid})", lambda pid=pid: SoloScheduler(pid), proposals)
-        for a in range(n):
-            for b in range(a + 1, n):
-                proposals = [None] * n
-                proposals[a], proposals[b] = 0, 1
+        if "solo" in families:
+            for pid in range(n):
+                proposals: List[Optional[int]] = [None] * n
+                proposals[pid] = pid
                 add(
                     entry,
-                    f"lockstep(p{a},p{b})",
-                    lambda a=a, b=b: LockstepScheduler([a, b]),
+                    f"solo(p{pid})",
+                    lambda pid=pid: SoloScheduler(pid),
                     proposals,
                 )
-        add(entry, "round-robin(all)", RoundRobinScheduler, list(range(n)))
+        if "lockstep" in families:
+            for a in range(n):
+                for b in range(a + 1, n):
+                    proposals = [None] * n
+                    proposals[a], proposals[b] = 0, 1
+                    add(
+                        entry,
+                        f"lockstep(p{a},p{b})",
+                        lambda a=a, b=b: LockstepScheduler([a, b]),
+                        proposals,
+                    )
+        if "round-robin" in families:
+            add(entry, "round-robin(all)", RoundRobinScheduler, list(range(n)))
+        if "random" in families:
+            play_seed = 0 if seed is None else seed
+            add(
+                entry,
+                f"random(seed={play_seed})",
+                lambda s=play_seed: RandomScheduler(s),
+                list(range(n)),
+            )
 
     return _assemble_battery(entries, tasks, run_play_batch(tasks, processes=processes))
 
@@ -187,10 +289,20 @@ def tm_plays(
     max_steps: int = 240,
     include_counterexample: bool = True,
     processes: Optional[int] = None,
+    schedulers=None,
+    crash: Optional[str] = None,
+    seed: Optional[int] = None,
 ) -> Dict[str, List[Play]]:
     """The TM schedule-and-adversary battery (engine-batched, like
-    :func:`consensus_plays`)."""
+    :func:`consensus_plays`, with the same uniform grid axes over
+    :data:`TM_SCHEDULE_FAMILIES`; crash patterns apply to the composed
+    schedule plays, not to the adversary strategies)."""
     tasks: List[PlayTask] = []
+    families = _select_families(schedulers, TM_SCHEDULE_FAMILIES, seed)
+    crash_factory = parse_crash_spec(crash)
+
+    def crash_plan():
+        return None if crash_factory is None else crash_factory()
 
     def add(entry: RegistryEntry, label: str, driver_factory) -> None:
         tasks.append(
@@ -204,33 +316,49 @@ def tm_plays(
         )
 
     for entry in entries:
-        add(
-            entry,
-            "round-robin(all)",
-            lambda: ComposedDriver(
-                RoundRobinScheduler(),
-                TransactionWorkload(n, transactions, variables=variables),
-            ),
-        )
-        for a in range(n):
-            for b in range(a + 1, n):
-                add(
-                    entry,
-                    f"group(p{a},p{b})",
-                    lambda a=a, b=b: ComposedDriver(
-                        GroupScheduler([a, b]),
-                        TransactionWorkload(n, transactions, variables=variables),
-                    ),
-                )
-        for victim, helper in ((0, 1), (1, 0)):
+        if "round-robin" in families:
             add(
                 entry,
-                f"tm-adversary(victim=p{victim})",
-                lambda victim=victim, helper=helper: TMLocalProgressAdversary(
-                    victim=victim, helper=helper, variable=variables[0]
+                "round-robin(all)",
+                lambda: ComposedDriver(
+                    RoundRobinScheduler(),
+                    TransactionWorkload(n, transactions, variables=variables),
+                    crash_plan=crash_plan(),
                 ),
             )
-        if include_counterexample and n >= 3:
+        if "group" in families:
+            for a in range(n):
+                for b in range(a + 1, n):
+                    add(
+                        entry,
+                        f"group(p{a},p{b})",
+                        lambda a=a, b=b: ComposedDriver(
+                            GroupScheduler([a, b]),
+                            TransactionWorkload(n, transactions, variables=variables),
+                            crash_plan=crash_plan(),
+                        ),
+                    )
+        if "random" in families:
+            play_seed = 0 if seed is None else seed
+            add(
+                entry,
+                f"random(seed={play_seed})",
+                lambda s=play_seed: ComposedDriver(
+                    RandomScheduler(s),
+                    TransactionWorkload(n, transactions, variables=variables),
+                    crash_plan=crash_plan(),
+                ),
+            )
+        if "tm-adversary" in families:
+            for victim, helper in ((0, 1), (1, 0)):
+                add(
+                    entry,
+                    f"tm-adversary(victim=p{victim})",
+                    lambda victim=victim, helper=helper: TMLocalProgressAdversary(
+                        victim=victim, helper=helper, variable=variables[0]
+                    ),
+                )
+        if "counterexample" in families and include_counterexample and n >= 3:
             add(
                 entry,
                 "counterexample-adversary",
@@ -246,14 +374,31 @@ def tm_plays(
 
 
 def run_fig1a(
-    n: int = 3, max_steps: int = 20_000, semantics: str = "conditional"
+    n: int = 3,
+    max_steps: int = 20_000,
+    semantics: str = "conditional",
+    registry=None,
+    scheduler=None,
+    crash: Optional[str] = None,
+    seed: Optional[int] = None,
+    lk: Optional[str] = None,
 ) -> ExperimentResult:
     """Figure 1(a): the (l,k) grid for consensus agreement & validity,
-    register-only implementations."""
-    entries = consensus_registry(n, registers_only=True)
-    battery = consensus_plays(n, entries, max_steps=max_steps)
+    register-only implementations.
+
+    ``registry``/``scheduler``/``crash``/``seed``/``lk`` are the uniform
+    campaign grid axes (subset the registry, the schedule families, the
+    grid points; inject crashes; seed a random play); defaults reproduce
+    the paper's panel exactly.
+    """
+    entries = select_entries(consensus_registry(n, registers_only=True), registry)
+    battery = consensus_plays(
+        n, entries, max_steps=max_steps, schedulers=scheduler, crash=crash, seed=seed
+    )
     safety = AgreementValidity()
-    grid = classify_grid(n, safety, battery, semantics=semantics)
+    grid = classify_grid(
+        n, safety, battery, semantics=semantics, points=_lk_points(n, lk)
+    )
     expected = lambda l, k: not (l == 1 and k == 1)
     result = ExperimentResult(
         experiment_id="fig1a",
@@ -276,6 +421,9 @@ def run_fig1a(
         )
     )
     result.artifacts["grid"] = grid
+    result.artifacts["history_count"] = sum(
+        len(plays) for plays in battery.values()
+    )
     result.rendered = render_grid(grid)
     return result
 
@@ -285,12 +433,30 @@ def run_fig1b(
     max_steps: int = 240,
     transactions: int = 2,
     semantics: str = "conditional",
+    registry=None,
+    scheduler=None,
+    crash: Optional[str] = None,
+    seed: Optional[int] = None,
+    lk: Optional[str] = None,
 ) -> ExperimentResult:
-    """Figure 1(b): the (l,k) grid for TM opacity."""
-    entries = entries_ensuring(tm_registry(n, variables=(0,)), OPACITY)
-    battery = tm_plays(n, entries, max_steps=max_steps, transactions=transactions)
+    """Figure 1(b): the (l,k) grid for TM opacity (same uniform grid
+    axes as :func:`run_fig1a`)."""
+    entries = select_entries(
+        entries_ensuring(tm_registry(n, variables=(0,)), OPACITY), registry
+    )
+    battery = tm_plays(
+        n,
+        entries,
+        max_steps=max_steps,
+        transactions=transactions,
+        schedulers=scheduler,
+        crash=crash,
+        seed=seed,
+    )
     safety = OpacityChecker(deep=True)
-    grid = classify_grid(n, safety, battery, semantics=semantics)
+    grid = classify_grid(
+        n, safety, battery, semantics=semantics, points=_lk_points(n, lk)
+    )
     expected = lambda l, k: l >= 2
     result = ExperimentResult(
         experiment_id="fig1b",
@@ -313,6 +479,9 @@ def run_fig1b(
         )
     )
     result.artifacts["grid"] = grid
+    result.artifacts["history_count"] = sum(
+        len(plays) for plays in battery.values()
+    )
     result.rendered = render_grid(grid)
     return result
 
@@ -352,10 +521,24 @@ def _extremal_points(
     return strongest, weakest
 
 
-def run_thm52(n: int = 3, max_steps: int = 20_000) -> ExperimentResult:
+def run_thm52(
+    n: int = 3,
+    max_steps: int = 20_000,
+    registry=None,
+    scheduler=None,
+    crash: Optional[str] = None,
+    seed: Optional[int] = None,
+) -> ExperimentResult:
     """Theorem 5.2: extremal (l,k) properties for register consensus,
     plus the mechanised CIL schedule search."""
-    fig = run_fig1a(n=n, max_steps=max_steps)
+    fig = run_fig1a(
+        n=n,
+        max_steps=max_steps,
+        registry=registry,
+        scheduler=scheduler,
+        crash=crash,
+        seed=seed,
+    )
     grid: ClassifiedGrid = fig.artifacts["grid"]  # type: ignore[assignment]
     strongest, weakest = _extremal_points(grid, semantics="conditional")
     result = ExperimentResult(
@@ -411,11 +594,25 @@ def run_thm52(n: int = 3, max_steps: int = 20_000) -> ExperimentResult:
 
 
 def run_thm53(
-    n: int = 3, max_steps: int = 240, transactions: int = 2
+    n: int = 3,
+    max_steps: int = 240,
+    transactions: int = 2,
+    registry=None,
+    scheduler=None,
+    crash: Optional[str] = None,
+    seed: Optional[int] = None,
 ) -> ExperimentResult:
     """Theorem 5.3: extremal (l,k) properties for TM opacity, plus the
     paper's remark that (1,n) and (2,2) are incomparable."""
-    fig = run_fig1b(n=n, max_steps=max_steps, transactions=transactions)
+    fig = run_fig1b(
+        n=n,
+        max_steps=max_steps,
+        transactions=transactions,
+        registry=registry,
+        scheduler=scheduler,
+        crash=crash,
+        seed=seed,
+    )
     grid: ClassifiedGrid = fig.artifacts["grid"]  # type: ignore[assignment]
     strongest, weakest = _extremal_points(grid, semantics="conditional")
     result = ExperimentResult(
@@ -726,12 +923,28 @@ def run_thm49() -> ExperimentResult:
 
 
 def run_lem54(
-    n: int = 3, transactions: int = 2, max_steps: int = 400
+    n: int = 3,
+    transactions: int = 2,
+    max_steps: int = 400,
+    scheduler=None,
+    crash: Optional[str] = None,
+    seed: Optional[int] = None,
 ) -> ExperimentResult:
     """Lemma 5.4: I(1,2) ensures S and (1,2)-freedom."""
+    if n < 3:
+        raise UsageError(
+            "lem54 requires n >= 3 (the timestamp-rule check plays the "
+            "3-process Section 5.3 adversary)"
+        )
     entries = [e for e in tm_registry(n, variables=(0,)) if e.key == "i12"]
     battery = tm_plays(
-        n, entries, max_steps=max_steps, transactions=transactions
+        n,
+        entries,
+        max_steps=max_steps,
+        transactions=transactions,
+        schedulers=scheduler,
+        crash=crash,
+        seed=seed,
     )["i12"]
     safety = counterexample_safety(deep_opacity=True)
     property_12 = LKFreedom(1, 2)
@@ -785,13 +998,34 @@ def run_lem54(
 
 
 def run_sec53(
-    n: int = 3, transactions: int = 2, max_steps: int = 240
+    n: int = 3,
+    transactions: int = 2,
+    max_steps: int = 240,
+    registry=None,
+    scheduler=None,
+    crash: Optional[str] = None,
+    seed: Optional[int] = None,
 ) -> ExperimentResult:
     """Section 5.3: the counterexample property S has no weakest
     excluding (l,k)-freedom."""
+    if n < 3:
+        raise UsageError(
+            "sec53 requires n >= 3 (its argument relates the (1,3) and "
+            "(2,2) grid points)"
+        )
     safety = counterexample_safety(deep_opacity=True)
-    entries = entries_ensuring(tm_registry(n, variables=(0,)), COUNTEREXAMPLE_S)
-    battery = tm_plays(n, entries, max_steps=max_steps, transactions=transactions)
+    entries = select_entries(
+        entries_ensuring(tm_registry(n, variables=(0,)), COUNTEREXAMPLE_S), registry
+    )
+    battery = tm_plays(
+        n,
+        entries,
+        max_steps=max_steps,
+        transactions=transactions,
+        schedulers=scheduler,
+        crash=crash,
+        seed=seed,
+    )
     grid = classify_grid(n, safety, battery)
     result = ExperimentResult(
         experiment_id="sec53",
@@ -965,27 +1199,71 @@ def run_sec6(n: int = 3) -> ExperimentResult:
 
 @dataclass(frozen=True)
 class ExperimentSpec:
-    """A registered experiment."""
+    """A registered experiment.
+
+    ``grid_axes`` names the keyword parameters the runner accepts — the
+    contract the campaign layer (:mod:`repro.campaign`) uses to expand
+    parameter grids: an axis outside this tuple is dropped for this
+    experiment (duplicate jobs collapse by fingerprint).
+    """
 
     experiment_id: str
     title: str
     runner: Callable[..., ExperimentResult]
+    grid_axes: Tuple[str, ...] = ()
 
+
+#: The uniform axes every battery-driven grid experiment accepts.
+_BATTERY_AXES = ("registry", "scheduler", "crash", "seed")
 
 EXPERIMENTS: Dict[str, ExperimentSpec] = {
     spec.experiment_id: spec
     for spec in (
-        ExperimentSpec("fig1a", "Figure 1(a) consensus grid", run_fig1a),
-        ExperimentSpec("fig1b", "Figure 1(b) TM grid", run_fig1b),
-        ExperimentSpec("thm52", "Theorem 5.2 extremal consensus freedom", run_thm52),
-        ExperimentSpec("thm53", "Theorem 5.3 extremal TM freedom", run_thm53),
-        ExperimentSpec("cor45", "Corollary 4.5 no weakest (consensus)", run_cor45),
-        ExperimentSpec("cor46", "Corollary 4.6 no weakest (TM)", run_cor46),
+        ExperimentSpec(
+            "fig1a",
+            "Figure 1(a) consensus grid",
+            run_fig1a,
+            ("n", "max_steps", "semantics", "lk") + _BATTERY_AXES,
+        ),
+        ExperimentSpec(
+            "fig1b",
+            "Figure 1(b) TM grid",
+            run_fig1b,
+            ("n", "max_steps", "transactions", "semantics", "lk") + _BATTERY_AXES,
+        ),
+        ExperimentSpec(
+            "thm52",
+            "Theorem 5.2 extremal consensus freedom",
+            run_thm52,
+            ("n", "max_steps") + _BATTERY_AXES,
+        ),
+        ExperimentSpec(
+            "thm53",
+            "Theorem 5.3 extremal TM freedom",
+            run_thm53,
+            ("n", "max_steps", "transactions") + _BATTERY_AXES,
+        ),
+        ExperimentSpec(
+            "cor45", "Corollary 4.5 no weakest (consensus)", run_cor45, ("max_steps",)
+        ),
+        ExperimentSpec(
+            "cor46", "Corollary 4.6 no weakest (TM)", run_cor46, ("n", "max_steps")
+        ),
         ExperimentSpec("thm44", "Theorem 4.4 finite models", run_thm44),
         ExperimentSpec("thm49", "Lemma 4.8 / Theorem 4.9 finite models", run_thm49),
-        ExperimentSpec("lem54", "Lemma 5.4 Algorithm I(1,2)", run_lem54),
-        ExperimentSpec("sec53", "Section 5.3 counterexample property", run_sec53),
-        ExperimentSpec("sec6", "Section 6 liveness taxonomies", run_sec6),
+        ExperimentSpec(
+            "lem54",
+            "Lemma 5.4 Algorithm I(1,2)",
+            run_lem54,
+            ("n", "transactions", "max_steps", "scheduler", "crash", "seed"),
+        ),
+        ExperimentSpec(
+            "sec53",
+            "Section 5.3 counterexample property",
+            run_sec53,
+            ("n", "transactions", "max_steps") + _BATTERY_AXES,
+        ),
+        ExperimentSpec("sec6", "Section 6 liveness taxonomies", run_sec6, ("n",)),
     )
 }
 

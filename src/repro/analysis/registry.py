@@ -43,6 +43,7 @@ from repro.algorithms.tm import (
     TrivialTransactionalMemory,
 )
 from repro.sim.kernel import Implementation
+from repro.util.errors import UsageError
 
 #: Safety-property labels used in ``ensures`` declarations.
 AGREEMENT_VALIDITY = "agreement-validity"
@@ -182,3 +183,29 @@ def entries_ensuring(
 ) -> List[RegistryEntry]:
     """Registry entries declaring the given safety property."""
     return [entry for entry in entries if safety_label in entry.ensures]
+
+
+def select_entries(
+    entries: Sequence[RegistryEntry], keys
+) -> List[RegistryEntry]:
+    """Restrict a registry to the given keys (the campaign ``registry``
+    axis).
+
+    ``keys`` is a single key, a comma-separated string, or a sequence of
+    keys; ``None`` selects everything.  Unknown keys raise
+    :class:`~repro.util.errors.UsageError` naming the known ones, so a
+    mistyped grid axis fails at init rather than producing an empty
+    battery.
+    """
+    if keys is None:
+        return list(entries)
+    if isinstance(keys, str):
+        keys = [part.strip() for part in keys.split(",") if part.strip()]
+    known = {entry.key: entry for entry in entries}
+    unknown = [key for key in keys if key not in known]
+    if unknown:
+        raise UsageError(
+            f"unknown registry key(s) {unknown!r}; known keys: "
+            f"{sorted(known)}"
+        )
+    return [known[key] for key in keys]

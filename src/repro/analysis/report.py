@@ -37,7 +37,10 @@ def render_grid(grid: ClassifiedGrid, annotate: bool = True) -> str:
             if l > k:
                 cells.append("    ")
                 continue
-            point = grid.point(l, k)
+            point = grid.maybe_point(l, k)
+            if point is None:  # grid classified over an (l,k) subset
+                cells.append("   .")
+                continue
             glyph = UNDETERMINED if point.undetermined else (
                 EXCLUDED if point.excludes else IMPLEMENTABLE
             )

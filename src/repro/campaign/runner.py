@@ -1,0 +1,124 @@
+"""The campaign worker pool: pull open jobs, execute, record.
+
+Workers are plain processes around one loop — claim a job from the
+store, run it through the experiment registry (whose batteries execute
+on :func:`repro.engine.batch.run_play_batch`), persist the result
+payload and timing.  The store's atomic claim is the only coordination:
+workers never talk to each other, any number of them (including workers
+of *other* ``campaign run`` invocations on the same store) can run
+concurrently, and killing any of them loses at most the claims they
+held — which :meth:`~repro.campaign.store.CampaignStore.reclaim_dead`
+recovers on the next run.
+
+``workers=None`` honours ``REPRO_ENGINE_PARALLEL`` (the engine-wide
+parallelism knob).  With more than one worker, job-level parallelism
+replaces battery-level parallelism — workers pin
+``REPRO_ENGINE_PARALLEL=0`` in their own environment so every job runs
+its battery serially instead of oversubscribing the machine with nested
+pools.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+
+from typing import Any, Dict, Optional
+
+from repro.analysis.experiments import run_experiment
+from repro.campaign.report import result_payload
+from repro.campaign.store import CampaignStore, JobRecord, local_worker_id
+from repro.engine.batch import default_parallelism
+
+
+def execute_job(store: CampaignStore, record: JobRecord) -> bool:
+    """Run one claimed job to ``done``/``failed``; True when it
+    completed with a result payload."""
+    started = time.perf_counter()
+    try:
+        result = run_experiment(record.experiment, **record.params)
+        payload = result_payload(result)
+    except Exception as exc:  # job errors are data, not crashes
+        store.fail(
+            record.fingerprint,
+            f"{type(exc).__name__}: {exc}",
+            time.perf_counter() - started,
+        )
+        return False
+    store.complete(record.fingerprint, payload, time.perf_counter() - started)
+    return True
+
+
+def _drain(
+    store: CampaignStore,
+    worker: str,
+    max_jobs: Optional[int] = None,
+) -> int:
+    """Claim and execute jobs until the store runs dry (or ``max_jobs``
+    is hit); returns the number executed."""
+    executed = 0
+    while max_jobs is None or executed < max_jobs:
+        record = store.claim(worker)
+        if record is None:
+            break
+        execute_job(store, record)
+        executed += 1
+    return executed
+
+
+def _worker_main(store_path: str, worker_index: int) -> None:
+    # Job-level parallelism replaces battery-level parallelism (see
+    # module docstring).
+    os.environ["REPRO_ENGINE_PARALLEL"] = "0"
+    with CampaignStore.open(store_path) as store:
+        _drain(store, f"{local_worker_id()}#{worker_index}")
+
+
+def run_campaign(
+    store_path: str,
+    workers: Optional[int] = None,
+    max_jobs: Optional[int] = None,
+    reclaim: bool = True,
+) -> Dict[str, Any]:
+    """Execute the open jobs of a campaign store; returns a summary.
+
+    ``workers=None`` consults ``REPRO_ENGINE_PARALLEL``; ``0``/``1``
+    runs serially in-process.  ``max_jobs`` bounds how many jobs this
+    invocation executes (serial only — used for drip-feeding and the
+    resumability tests).  ``reclaim`` recovers claims of dead local
+    workers before starting.
+    """
+    with CampaignStore.open(store_path) as store:
+        reclaimed = store.reclaim_dead() if reclaim else 0
+        before = store.counts()
+        if workers is None:
+            workers = default_parallelism()
+        pending = before["pending"]
+        use_pool = (
+            workers > 1
+            and pending > 1
+            and max_jobs is None
+            and "fork" in multiprocessing.get_all_start_methods()
+        )
+        if use_pool:
+            context = multiprocessing.get_context("fork")
+            procs = [
+                context.Process(target=_worker_main, args=(store_path, index))
+                for index in range(min(workers, pending))
+            ]
+            for proc in procs:
+                proc.start()
+            for proc in procs:
+                proc.join()
+        else:
+            _drain(store, local_worker_id(), max_jobs=max_jobs)
+        after = store.counts()
+        return {
+            "reclaimed": reclaimed,
+            "executed": before["pending"] - after["pending"],
+            "done": after["done"],
+            "failed": after["failed"],
+            "pending": after["pending"],
+            "claimed": after["claimed"],
+        }

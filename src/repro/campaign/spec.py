@@ -1,0 +1,220 @@
+"""Declarative campaign specs: parameter grids → content-addressed jobs.
+
+A :class:`CampaignSpec` names a set of experiments and a set of *axes*
+(``n=2..4``, ``seed=0,1,2``, ``crash=none,p0@40`` …).  :meth:`expand`
+crosses each experiment with the axes it supports — the
+``grid_axes`` contract declared on
+:class:`~repro.analysis.experiments.ExperimentSpec` — yielding one
+:class:`Job` per parameter combination.
+
+Every job is *content-addressed*: its fingerprint is the SHA-256 of the
+canonical JSON of ``{"experiment": id, "params": {...}}`` (sorted keys,
+compact separators).  The fingerprint is the primary key of the run
+store, which is what makes campaigns resumable and idempotent — re-adding
+the same grid inserts nothing, and two grids that overlap share the
+overlapping jobs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.analysis.experiments import EXPERIMENTS
+from repro.util.errors import UsageError
+
+#: Inclusive integer range syntax for axis values: ``2..4`` → 2, 3, 4.
+_RANGE = re.compile(r"^(-?\d+)\.\.(-?\d+)$")
+
+
+def coerce_scalar(raw: str) -> Any:
+    """Coerce one textual value: int, float, ``true``/``false``, JSON
+    (``[...]``/``{...}``/quoted strings), bare string as fallback."""
+    if raw.lower() in ("true", "false"):
+        return raw.lower() == "true"
+    for parser in (int, float):
+        try:
+            return parser(raw)
+        except ValueError:
+            pass
+    if raw[:1] in ("[", "{", '"'):
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError:
+            pass
+    return raw
+
+
+def parse_axis_values(raw: str) -> List[Any]:
+    """Parse the value side of an axis spec into a list of values.
+
+    ``2..4`` is an inclusive integer range; ``a,b,c`` is a list of
+    scalars; a JSON array is taken verbatim (use it to pass a value
+    that itself contains a comma, e.g. ``scheduler=["solo,lockstep"]``);
+    anything else is a single scalar.
+    """
+    match = _RANGE.match(raw.strip())
+    if match is not None:
+        low, high = int(match.group(1)), int(match.group(2))
+        if high < low:
+            raise UsageError(f"empty axis range {raw!r} (use low..high)")
+        return list(range(low, high + 1))
+    if raw[:1] == "[":
+        try:
+            values = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise UsageError(f"bad JSON axis value {raw!r}: {exc}") from None
+        if not isinstance(values, list) or not values:
+            raise UsageError(f"JSON axis value {raw!r} must be a non-empty array")
+        return values
+    if "," in raw:
+        parts = [part.strip() for part in raw.split(",") if part.strip()]
+        if not parts:
+            raise UsageError(f"axis value {raw!r} names no values")
+        return [coerce_scalar(part) for part in parts]
+    return [coerce_scalar(raw)]
+
+
+def canonical_json(document: Any) -> str:
+    """The canonical (sorted-keys, compact) JSON encoding used for
+    fingerprints and the export format."""
+    return json.dumps(document, sort_keys=True, separators=(",", ":"))
+
+
+def job_fingerprint(experiment_id: str, params: Mapping[str, Any]) -> str:
+    """The content address of one job (the store's primary key).
+
+    Contract: SHA-256 hex digest of
+    ``canonical_json({"experiment": id, "params": params})``.  Stable
+    across processes, Python versions, and parameter insertion order;
+    any change to this function invalidates existing stores.
+    """
+    document = canonical_json(
+        {"experiment": experiment_id, "params": dict(params)}
+    )
+    return hashlib.sha256(document.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class Job:
+    """One content-addressed unit of campaign work."""
+
+    experiment_id: str
+    params: Any  # Mapping[str, Any]; kept loose for frozen-dataclass hashing
+
+    @property
+    def fingerprint(self) -> str:
+        return job_fingerprint(self.experiment_id, self.params)
+
+
+@dataclass
+class CampaignSpec:
+    """A named parameter grid over registered experiments."""
+
+    experiments: List[str]
+    axes: Dict[str, List[Any]] = field(default_factory=dict)
+    name: str = "campaign"
+
+    def __post_init__(self) -> None:
+        unknown = [e for e in self.experiments if e not in EXPERIMENTS]
+        if unknown:
+            raise UsageError(
+                f"unknown experiment(s) {unknown!r}; known: {sorted(EXPERIMENTS)}"
+            )
+        for axis, values in self.axes.items():
+            if not values:
+                raise UsageError(f"axis {axis!r} has no values")
+            supported = [
+                e for e in self.experiments if axis in EXPERIMENTS[e].grid_axes
+            ]
+            if not supported:
+                raise UsageError(
+                    f"axis {axis!r} is not a grid axis of any selected "
+                    f"experiment; per-experiment axes: "
+                    + ", ".join(
+                        f"{e}={list(EXPERIMENTS[e].grid_axes)}"
+                        for e in self.experiments
+                    )
+                )
+
+    @classmethod
+    def from_cli(
+        cls,
+        grids: Optional[Sequence[str]],
+        axis_specs: Sequence[str],
+        name: str = "campaign",
+    ) -> "CampaignSpec":
+        """Build a spec from CLI arguments: repeated ``--grid`` ids
+        (default: every registered experiment) plus positional
+        ``axis=values`` specs."""
+        experiments = sorted(set(grids)) if grids else sorted(EXPERIMENTS)
+        axes: Dict[str, List[Any]] = {}
+        for spec in axis_specs:
+            if "=" not in spec:
+                raise UsageError(f"axis spec must be key=values, got {spec!r}")
+            key, _, raw = spec.partition("=")
+            key = key.strip()
+            if not key:
+                raise UsageError(f"axis spec {spec!r} has an empty axis name")
+            if key in axes:
+                raise UsageError(f"axis {key!r} specified twice")
+            axes[key] = parse_axis_values(raw)
+        return cls(experiments=experiments, axes=axes, name=name)
+
+    def expand(self) -> List[Job]:
+        """The job list: each experiment crossed with the axes it
+        supports, deduplicated by fingerprint.
+
+        Axes an experiment does not declare in ``grid_axes`` are
+        dropped *for that experiment* (so a shared ``n=2..4`` axis
+        yields three ``fig1a`` jobs but a single ``thm44`` job).
+        """
+        jobs: List[Job] = []
+        seen = set()
+        for experiment_id in self.experiments:
+            supported = EXPERIMENTS[experiment_id].grid_axes
+            names = sorted(axis for axis in self.axes if axis in supported)
+            for combo in product(*(self.axes[axis] for axis in names)):
+                job = Job(experiment_id, dict(zip(names, combo)))
+                if job.fingerprint not in seen:
+                    seen.add(job.fingerprint)
+                    jobs.append(job)
+        return jobs
+
+    def merged(self, other: "CampaignSpec") -> "CampaignSpec":
+        """The union of two specs: experiments sorted-united, axis
+        values united in first-seen order, the newer name kept.  Used
+        by additive ``campaign init`` so the stored spec describes
+        every grid ever added."""
+        axes: Dict[str, List[Any]] = {
+            axis: list(values) for axis, values in self.axes.items()
+        }
+        for axis, values in other.axes.items():
+            known = axes.setdefault(axis, [])
+            known.extend(value for value in values if value not in known)
+        return CampaignSpec(
+            experiments=sorted(set(self.experiments) | set(other.experiments)),
+            axes=axes,
+            name=other.name,
+        )
+
+    # -- (de)serialisation for the store's meta table -----------------------
+
+    def to_json(self) -> str:
+        return canonical_json(
+            {"name": self.name, "experiments": self.experiments, "axes": self.axes}
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignSpec":
+        document = json.loads(text)
+        return cls(
+            experiments=list(document["experiments"]),
+            axes={k: list(v) for k, v in document["axes"].items()},
+            name=document.get("name", "campaign"),
+        )

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.sim.drivers import Driver
+from repro.util.errors import UsageError
 from repro.sim.kernel import Implementation
 from repro.sim.record import RunResult
 from repro.sim.runtime import play
@@ -58,11 +59,21 @@ def _run_indexed(index: int) -> RunResult:
 
 
 def default_parallelism() -> int:
-    """Worker count from ``REPRO_ENGINE_PARALLEL`` (0 = serial)."""
+    """Worker count from ``REPRO_ENGINE_PARALLEL`` (0 = serial).
+
+    Negative values clamp to 0 (serial); a non-integer value raises
+    :class:`~repro.util.errors.UsageError` rather than being silently
+    ignored.
+    """
+    raw = os.environ.get("REPRO_ENGINE_PARALLEL", "0").strip()
     try:
-        return int(os.environ.get("REPRO_ENGINE_PARALLEL", "0"))
+        value = int(raw or "0")
     except ValueError:
-        return 0
+        raise UsageError(
+            f"REPRO_ENGINE_PARALLEL must be an integer worker count, "
+            f"got {raw!r}"
+        ) from None
+    return max(0, value)
 
 
 def run_play_batch(

@@ -8,8 +8,12 @@ fingerprintable so crashes do not break lasso detection.
 
 from __future__ import annotations
 
+import re
+
 from abc import ABC, abstractmethod
-from typing import Dict, Hashable, Optional, Sequence, Set, TYPE_CHECKING
+from typing import Callable, Dict, Hashable, Optional, Sequence, Set, TYPE_CHECKING
+
+from repro.util.errors import UsageError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.runtime import RuntimeView
@@ -101,3 +105,35 @@ class CrashAfterInvocations(CrashPlan):
 
     def reset(self) -> None:
         self._done = set()
+
+
+#: Compact crash-pattern syntax: ``pPID@STEP`` terms joined by ``+``.
+_CRASH_TERM = re.compile(r"p(\d+)@(\d+)")
+
+
+def parse_crash_spec(spec: Optional[str]) -> Optional[Callable[[], CrashPlan]]:
+    """Parse a compact crash-pattern string into a plan factory.
+
+    The grammar is the one campaign grids sweep over: ``"none"`` (or
+    ``None``/empty) means no crashes and returns ``None``;
+    ``"p0@40"`` crashes process 0 at global step 40; terms compose with
+    ``+`` (``"p0@40+p1@60"``).  Factories rather than instances so every
+    play gets a fresh (resettable) plan.
+    """
+    if spec is None or spec in ("", "none"):
+        return None
+    schedule: Dict[int, int] = {}
+    for term in str(spec).split("+"):
+        match = _CRASH_TERM.fullmatch(term.strip())
+        if match is None:
+            raise UsageError(
+                f"bad crash pattern term {term.strip()!r} in {spec!r}; "
+                "expected pPID@STEP terms joined by '+', e.g. 'p0@40+p1@60'"
+            )
+        pid, step = int(match.group(1)), int(match.group(2))
+        if step in schedule:
+            raise UsageError(
+                f"crash pattern {spec!r} schedules two crashes at step {step}"
+            )
+        schedule[step] = pid
+    return lambda: CrashAtStep(schedule)

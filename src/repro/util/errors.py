@@ -12,6 +12,17 @@ class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
 
 
+class UsageError(ReproError):
+    """The caller supplied an invalid parameter, flag, or environment
+    setting.
+
+    Raised for malformed CLI/campaign parameters (unknown registry key,
+    unparsable crash pattern, bad axis range) and invalid environment
+    configuration such as a non-integer ``REPRO_ENGINE_PARALLEL``.  The
+    CLI maps this to exit code 2.
+    """
+
+
 class IllFormedHistoryError(ReproError):
     """A history violates well-formedness (Section 2 of the paper).
 

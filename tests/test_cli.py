@@ -12,8 +12,28 @@ class TestParams:
             "max_steps": 100,
         }
 
+    def test_float_coercion(self):
+        assert _parse_params(["window_fraction=0.25"]) == {
+            "window_fraction": 0.25
+        }
+
+    def test_boolean_coercion(self):
+        assert _parse_params(["deep=true", "annotate=False"]) == {
+            "deep": True,
+            "annotate": False,
+        }
+
+    def test_json_values(self):
+        assert _parse_params(['variables=[0, 1]', 'opts={"a": 1}']) == {
+            "variables": [0, 1],
+            "opts": {"a": 1},
+        }
+
     def test_string_values_kept(self):
         assert _parse_params(["semantics=union"]) == {"semantics": "union"}
+
+    def test_malformed_json_falls_back_to_string(self):
+        assert _parse_params(["v=[1, 2"]) == {"v": "[1, 2"}
 
     def test_malformed_pair_rejected(self):
         with pytest.raises(SystemExit):
