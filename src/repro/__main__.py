@@ -12,13 +12,21 @@ Usage::
     python -m repro campaign status
     python -m repro campaign export --out campaign.json
 
-Exit codes: 0 all claims OK, 1 a paper claim mismatched or a job
-failed, 2 usage error.
+    python -m repro fuzz --list                       # fuzz workloads
+    python -m repro fuzz agp-opacity --seed 7         # random sampling
+    python -m repro fuzz small --oracle               # vs exhaustive
+    python -m repro fuzz stubborn-consensus --artifact-dir artifacts/
+    python -m repro fuzz --replay artifacts/fuzz-....json
+
+Exit codes: 0 all claims OK (fuzz: every verdict as expected / oracle
+agreement), 1 a paper claim mismatched, a job failed, or a fuzz verdict
+surprised, 2 usage error.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Any, Dict, List
@@ -167,6 +175,156 @@ def cmd_campaign_export(arguments) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------------
+# fuzz subcommand
+# ---------------------------------------------------------------------------
+
+
+def _fuzz_targets(names: List[str]) -> List[str]:
+    from repro.fuzz import FUZZ_WORKLOADS, oracle_workloads
+
+    if not names:
+        return ["agp-opacity"]
+    if names == ["all"]:
+        return sorted(FUZZ_WORKLOADS)
+    if names == ["small"]:
+        return sorted(w.name for w in oracle_workloads())
+    return names
+
+
+def cmd_fuzz(arguments) -> int:
+    from repro.fuzz import (
+        FUZZ_WORKLOADS,
+        ReplayTrace,
+        differential_check,
+        fuzz_workload,
+        get_workload,
+        load_trace,
+        replay_schedule,
+        save_trace,
+        shrink_schedule,
+    )
+
+    if arguments.list_workloads:
+        width = max(len(name) for name in FUZZ_WORKLOADS)
+        for name in sorted(FUZZ_WORKLOADS):
+            spec = FUZZ_WORKLOADS[name]
+            tags = ("violating" if spec.expect_violation else "satisfying") + (
+                ", oracle-eligible" if spec.small else ""
+            )
+            print(f"{name:<{width}}  [{tags}]  {spec.notes}")
+        return 0
+
+    if arguments.replay is not None:
+        trace = load_trace(arguments.replay)
+        if not trace.workload:
+            raise UsageError(
+                f"trace {arguments.replay!r} names no workload; cannot "
+                "reconstruct the implementation to replay against"
+            )
+        spec = get_workload(trace.workload)
+        replay = replay_schedule(
+            spec.factory, trace.plan, trace.schedule, spec.safety_factory()
+        )
+        if not replay.valid:
+            print(f"replay invalid: {replay.error}")
+            return 1
+        holds = replay.verdict.holds
+        print(
+            f"{trace.workload}: replayed {len(trace.schedule)} steps, "
+            f"safety {'holds' if holds else 'violated'}"
+            + (f" ({replay.verdict.reason})" if not holds else "")
+        )
+        if trace.holds is not None and holds != trace.holds:
+            print(
+                f"MISMATCH: trace records holds={trace.holds}", file=sys.stderr
+            )
+            return 1
+        return 0
+
+    if arguments.oracle and arguments.crash:
+        raise UsageError(
+            "--crash only applies to plain fuzzing; the oracle compares "
+            "verdicts over the crash-free schedule space"
+        )
+    surprises = 0
+    for name in _fuzz_targets(arguments.workloads):
+        spec = get_workload(name)
+        if arguments.oracle:
+            oracle = differential_check(
+                spec,
+                seed=arguments.seed,
+                iterations=arguments.iterations,
+                max_depth=arguments.max_depth,
+            )
+            report = oracle.fuzz
+            ok = oracle.agree
+            print(
+                f"[{name}] oracle: exhaustive="
+                f"{'holds' if oracle.exhaustive_holds else 'violated'} "
+                f"({oracle.exhaustive_runs} runs), fuzz="
+                f"{'holds' if oracle.fuzz_holds else 'violated'} "
+                f"({report.interleavings} interleavings) -> "
+                f"{'AGREE' if ok else 'DISAGREE'}"
+            )
+        else:
+            report = fuzz_workload(
+                spec,
+                seed=arguments.seed,
+                iterations=arguments.iterations,
+                max_depth=arguments.max_depth,
+                crash=arguments.crash,
+            )
+            ok = (report.violation is not None) == spec.expect_violation
+            verdict = (
+                f"violation at iteration {report.violation.iteration}"
+                if report.violation
+                else "no violation"
+            )
+            print(
+                f"[{name}] {verdict} "
+                f"({report.interleavings} interleavings, "
+                f"{report.coverage} states covered, "
+                f"{report.interleavings_per_second:,.0f}/s) -> "
+                f"{'expected' if ok else 'SURPRISE'}"
+            )
+        if not ok:
+            surprises += 1
+        if report.violation is not None and not arguments.no_shrink:
+            shrunk = shrink_schedule(
+                spec.factory,
+                spec.plan,
+                report.violation.schedule,
+                spec.safety_factory(),
+            )
+            rendered = " ".join(f"{k}(p{p})" for k, p in shrunk.schedule)
+            print(
+                f"  shrunk {shrunk.original_length} -> "
+                f"{len(shrunk.schedule)} steps: {rendered}"
+            )
+            if arguments.artifact_dir is not None:
+                os.makedirs(arguments.artifact_dir, exist_ok=True)
+                path = os.path.join(
+                    arguments.artifact_dir,
+                    f"fuzz-{name}-seed{arguments.seed}.json",
+                )
+                save_trace(
+                    path,
+                    ReplayTrace(
+                        plan=spec.plan,
+                        schedule=shrunk.schedule,
+                        workload=spec.name,
+                        implementation=spec.factory().name,
+                        safety=spec.safety_factory().name,
+                        holds=False,
+                        reason=report.violation.reason,
+                        seed=report.seed,
+                    ),
+                )
+                print(f"  wrote {path}")
+    return 1 if surprises else 0
+
+
 def cmd_campaign(arguments) -> int:
     handlers = {
         "init": cmd_campaign_init,
@@ -251,6 +409,52 @@ def _add_campaign_parser(subparsers) -> None:
     )
 
 
+def _add_fuzz_parser(subparsers) -> None:
+    fuzz = subparsers.add_parser(
+        "fuzz",
+        help="randomized schedule/crash fuzzing (+ differential oracle)",
+    )
+    fuzz.add_argument(
+        "workloads", nargs="*", metavar="workload",
+        help="fuzz workload names (default: agp-opacity); 'all' = every "
+        "registered workload, 'small' = the oracle-eligible ones",
+    )
+    fuzz.add_argument(
+        "--list", action="store_true", dest="list_workloads",
+        help="list registered fuzz workloads",
+    )
+    fuzz.add_argument("--seed", type=int, default=0, help="master fuzz seed")
+    fuzz.add_argument(
+        "--iterations", type=int, default=2_000,
+        help="interleavings to sample per workload (default: 2000)",
+    )
+    fuzz.add_argument(
+        "--max-depth", type=int, default=64, help="schedule depth bound"
+    )
+    fuzz.add_argument(
+        "--crash", default=None,
+        help="crash pattern injected into every exploration walk "
+        "(p0@40+p1@60 syntax; default: randomized crash points)",
+    )
+    fuzz.add_argument(
+        "--oracle", action="store_true",
+        help="cross-check fuzz verdicts against the exhaustive engine "
+        "(small workloads only)",
+    )
+    fuzz.add_argument(
+        "--no-shrink", action="store_true",
+        help="do not minimize found violations",
+    )
+    fuzz.add_argument(
+        "--artifact-dir", default=None,
+        help="write shrunk counterexample traces (replayable JSON) here",
+    )
+    fuzz.add_argument(
+        "--replay", default=None, metavar="TRACE",
+        help="replay a trace file and re-judge it instead of fuzzing",
+    )
+
+
 def main(argv: List[str] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -270,12 +474,15 @@ def main(argv: List[str] = None) -> int:
         "listed experiment",
     )
     _add_campaign_parser(subparsers)
+    _add_fuzz_parser(subparsers)
     arguments = parser.parse_args(argv)
     try:
         if arguments.command == "list":
             return cmd_list()
         if arguments.command == "campaign":
             return cmd_campaign(arguments)
+        if arguments.command == "fuzz":
+            return cmd_fuzz(arguments)
         return cmd_run(arguments.experiments, _parse_params(arguments.param))
     except UsageError as error:
         print(f"usage error: {error}", file=sys.stderr)

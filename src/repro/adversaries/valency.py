@@ -67,11 +67,10 @@ def _proposal_decisions(proposals: Sequence[Any]) -> List[InvokeDecision]:
     ]
 
 
-def _abstraction_fingerprint(config: KernelConfig) -> Hashable:
-    """The valency dedup key: liveness abstraction (or exact state),
-    pending operations, and who has decided."""
-    runtime = config.runtime
-    implementation = config.implementation
+def _runtime_abstraction(implementation: Implementation, runtime: Runtime) -> Tuple:
+    """(abstraction-or-exact-state, pending operations) of a runtime —
+    the mode-independent part of the valency dedup key, shared between
+    the engine-driven search and the independent replay verifier."""
     abstraction = implementation.liveness_abstraction(
         runtime.pool, tuple(state.memory for state in runtime.processes)
     )
@@ -84,6 +83,13 @@ def _abstraction_fingerprint(config: KernelConfig) -> Hashable:
         state.frame.invocation.operation if state.frame is not None else None
         for state in runtime.processes
     )
+    return abstraction, pending
+
+
+def _abstraction_fingerprint(config: KernelConfig) -> Hashable:
+    """The valency dedup key: liveness abstraction (or exact state),
+    pending operations, and who has decided."""
+    abstraction, pending = _runtime_abstraction(config.implementation, config.runtime)
     return (abstraction, pending, config.deciders())
 
 
@@ -123,18 +129,7 @@ def _replay(
         for pid, value in enumerate(proposals)
         if value is not None
     )
-    abstraction = implementation.liveness_abstraction(
-        runtime.pool, tuple(state.memory for state in runtime.processes)
-    )
-    if abstraction is None:
-        abstraction = (
-            runtime.pool.snapshot_state(),
-            tuple(state.fingerprint() for state in runtime.processes),
-        )
-    pending = tuple(
-        state.frame.invocation.operation if state.frame is not None else None
-        for state in runtime.processes
-    )
+    abstraction, pending = _runtime_abstraction(implementation, runtime)
     fingerprint = (abstraction, pending, deciders)
     return fingerprint, deciders, all_decided
 

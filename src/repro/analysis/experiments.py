@@ -58,6 +58,11 @@ from repro.core.liveness import enumerate_summaries
 from repro.core.progress import NXLiveness, SFreedom
 from repro.core.properties import Certainty, ExecutionSummary
 from repro.engine.batch import PlayTask, run_play_batch
+from repro.fuzz.driver import fuzz_workload
+from repro.fuzz.oracle import differential_check
+from repro.fuzz.shrink import shrink_schedule
+from repro.fuzz.trace import ReplayTrace, replay_schedule
+from repro.fuzz.workloads import get_workload
 from repro.objects.consensus import AgreementValidity
 from repro.objects.counterexample_s import counterexample_safety
 from repro.objects.opacity import OpacityChecker
@@ -1193,6 +1198,158 @@ def run_sec6(n: int = 3) -> ExperimentResult:
 
 
 # ---------------------------------------------------------------------------
+# Fuzzing (the randomized counterpart of the exhaustive experiments)
+# ---------------------------------------------------------------------------
+
+
+def run_fuzz(
+    workload: str = "agp-opacity",
+    mode: str = "fuzz",
+    seed: int = 0,
+    iterations: int = 2_000,
+    max_steps: int = 64,
+    crash: Optional[str] = None,
+    shrink: bool = True,
+) -> ExperimentResult:
+    """Fuzz one registered workload, or differential-oracle it.
+
+    The campaign-facing entry point of :mod:`repro.fuzz`.  ``mode`` is
+    the grid axis that makes fuzzing a first-class campaign job kind:
+
+    * ``"fuzz"`` — sample ``iterations`` random interleavings (swarm
+      scheduler mutation, optional crash injection via the ``crash``
+      axis) and judge them with the workload's safety property; a found
+      violation is ddmin-shrunk to a locally minimal, replay-verified
+      trace which lands in the result artifacts.  The claim compares
+      the verdict against the workload's declared expectation (the
+      faulty fixtures are *expected* to fall).
+    * ``"oracle"`` — additionally run the exhaustive engine on the same
+      (small) instance and assert verdict agreement.  The ``crash`` and
+      ``shrink`` axes apply to ``mode="fuzz"`` only; a crash pattern on
+      an oracle cell is rejected (the exhaustive side enumerates the
+      crash-free space).
+
+    ``max_steps`` doubles as the walk depth bound, matching the uniform
+    axis name of the battery experiments.
+    """
+    if mode not in ("fuzz", "oracle"):
+        raise UsageError(f"mode must be 'fuzz' or 'oracle', got {mode!r}")
+    if mode == "oracle" and crash not in (None, "", "none"):
+        # The oracle compares against the crash-free exhaustive space; a
+        # crash axis on an oracle cell would be silently meaningless.
+        raise UsageError(
+            f"the 'crash' axis (got {crash!r}) only applies to mode=fuzz; "
+            "the oracle compares verdicts over the crash-free schedule "
+            "space the exhaustive engine enumerates"
+        )
+    spec = get_workload(workload)
+    result = ExperimentResult(
+        experiment_id="fuzz",
+        title=f"Randomized schedule fuzzer on {workload} [{mode}]",
+    )
+    if mode == "oracle":
+        oracle = differential_check(
+            spec, seed=seed, iterations=iterations, max_depth=max_steps
+        )
+        result.claims.append(
+            Claim(
+                name="differential oracle",
+                expected="fuzz verdict == exhaustive verdict",
+                measured=(
+                    f"exhaustive={'holds' if oracle.exhaustive_holds else 'violated'}"
+                    f" ({oracle.exhaustive_runs} runs), "
+                    f"fuzz={'holds' if oracle.fuzz_holds else 'violated'}"
+                ),
+                ok=oracle.agree,
+            )
+        )
+        if oracle.counterexample_replays is not None:
+            result.claims.append(
+                Claim(
+                    name="counterexample replay",
+                    expected="violating schedule reproduces on a fresh runtime",
+                    measured=(
+                        "reproduces"
+                        if oracle.counterexample_replays
+                        else "does not reproduce"
+                    ),
+                    ok=bool(oracle.counterexample_replays),
+                )
+            )
+        report = oracle.fuzz
+        result.artifacts["exhaustive_runs"] = oracle.exhaustive_runs
+    else:
+        report = fuzz_workload(
+            spec, seed=seed, iterations=iterations, max_depth=max_steps, crash=crash
+        )
+        expectation = "violation" if spec.expect_violation else "no violation"
+        measured = (
+            f"violation at iteration {report.violation.iteration}"
+            if report.violation is not None
+            else f"no violation in {report.interleavings} interleavings"
+        )
+        result.claims.append(
+            Claim(
+                name="fuzz verdict",
+                expected=expectation,
+                measured=measured,
+                ok=(report.violation is not None) == spec.expect_violation,
+            )
+        )
+        result.claims.append(
+            Claim(
+                name="coverage map",
+                expected="> 0 unique configurations",
+                measured=str(report.coverage),
+                ok=report.coverage > 0,
+            )
+        )
+        if report.violation is not None and shrink:
+            shrunk = shrink_schedule(
+                spec.factory, spec.plan, report.violation.schedule,
+                spec.safety_factory(),
+            )
+            replay = replay_schedule(
+                spec.factory, spec.plan, shrunk.schedule, spec.safety_factory()
+            )
+            result.claims.append(
+                Claim(
+                    name="shrunk counterexample",
+                    expected="locally minimal trace replays to a violation",
+                    measured=(
+                        f"{shrunk.original_length} -> {len(shrunk.schedule)} "
+                        f"steps, replay "
+                        f"{'violates' if replay.violates else 'passes (!)'}"
+                    ),
+                    ok=replay.violates,
+                )
+            )
+            trace = ReplayTrace(
+                plan=spec.plan,
+                schedule=shrunk.schedule,
+                workload=spec.name,
+                implementation=spec.factory().name,
+                safety=spec.safety_factory().name,
+                holds=False,
+                reason=report.violation.reason,
+                seed=report.seed,
+            )
+            result.artifacts["shrunk_trace"] = trace.to_document()
+            result.artifacts["shrunk_length"] = len(shrunk.schedule)
+            result.rendered = "shrunk schedule: " + " ".join(
+                f"{kind}(p{pid})" for kind, pid in shrunk.schedule
+            )
+    result.artifacts["interleavings"] = report.interleavings
+    result.artifacts["coverage"] = report.coverage
+    result.artifacts["corpus"] = report.corpus
+    result.artifacts["histories_checked"] = report.histories_checked
+    result.artifacts["interleavings_per_second"] = round(
+        report.interleavings_per_second, 1
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 
@@ -1264,6 +1421,12 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
             ("n", "transactions", "max_steps") + _BATTERY_AXES,
         ),
         ExperimentSpec("sec6", "Section 6 liveness taxonomies", run_sec6, ("n",)),
+        ExperimentSpec(
+            "fuzz",
+            "Randomized schedule/crash fuzzer + differential oracle",
+            run_fuzz,
+            ("workload", "mode", "seed", "iterations", "max_steps", "crash", "shrink"),
+        ),
     )
 }
 

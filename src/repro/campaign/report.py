@@ -73,9 +73,29 @@ def grid_from_payload(payload: Dict[str, Any]) -> ClassifiedGrid:
     return grid
 
 
+def _json_value(value: Any) -> bool:
+    """Whether an artifact round-trips through JSON as-is.
+
+    Scalars always do; lists/dicts are probed with an actual encode so
+    structured artifacts (e.g. the fuzzer's shrunk replay traces) are
+    persisted while object-valued artifacts (grids, witnesses,
+    certificates) stay excluded.
+    """
+    if isinstance(value, (bool, int, float, str)):
+        return True
+    if isinstance(value, (list, dict)):
+        try:
+            json.dumps(value)
+        except (TypeError, ValueError):
+            return False
+        return True
+    return False
+
+
 def result_payload(result: ExperimentResult) -> Dict[str, Any]:
     """The JSON-safe result of one job: claim verdicts, grid cells, and
-    scalar artifacts such as history counts."""
+    JSON-value artifacts (history counts, fuzz coverage, shrunk
+    counterexample traces)."""
     payload: Dict[str, Any] = {
         "experiment_id": result.experiment_id,
         "title": result.title,
@@ -93,13 +113,13 @@ def result_payload(result: ExperimentResult) -> Dict[str, Any]:
     grid = result.artifacts.get("grid")
     if isinstance(grid, ClassifiedGrid):
         payload["grid"] = grid_to_payload(grid)
-    scalars = {
+    artifacts = {
         key: value
         for key, value in result.artifacts.items()
-        if isinstance(value, (bool, int, float, str))
+        if _json_value(value)
     }
-    if scalars:
-        payload["artifacts"] = scalars
+    if artifacts:
+        payload["artifacts"] = artifacts
     return payload
 
 

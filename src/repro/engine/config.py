@@ -352,6 +352,16 @@ class KernelConfig:
         return History(self.runtime.events, validate=False)
 
     @property
+    def view(self):
+        """The runtime's read-only view.
+
+        Lets schedulers and crash plans (which consult a
+        :class:`~repro.sim.runtime.RuntimeView`) participate in
+        engine-driven decision loops such as the schedule fuzzer.
+        """
+        return self.runtime.view
+
+    @property
     def n_processes(self) -> int:
         return self.implementation.n_processes
 

@@ -1,0 +1,61 @@
+"""Randomized schedule/crash fuzzing over the simulation kernel.
+
+The randomized counterpart of the exhaustive exploration engine: where
+:mod:`repro.sim.explore` enumerates every schedule of an invocation
+plan, this subsystem *samples* schedules, crash patterns, and swarm-
+mutated schedulers at high rate, steered by a configuration-fingerprint
+coverage map — opening the large-instance regime exhaustive search
+cannot reach, while the differential oracle keeps the two layers
+honest against each other on small instances.
+
+* :mod:`repro.fuzz.workloads` — named instances (implementation, plan,
+  safety, expectations);
+* :mod:`repro.fuzz.driver` — :class:`FuzzDriver`: snapshot-restart
+  sampling with swarm scheduler mutation, crash-point injection, and
+  coverage-guided corpus restarts;
+* :mod:`repro.fuzz.shrink` — ddmin minimization of violating schedules
+  to locally minimal, replay-verified traces;
+* :mod:`repro.fuzz.trace` — the JSON replay artifact, replayed through
+  the plain :mod:`repro.sim.runtime` (independent of the engine);
+* :mod:`repro.fuzz.oracle` — fuzz-vs-exhaustive verdict comparison.
+"""
+
+from repro.fuzz.driver import FuzzDriver, FuzzReport, FuzzViolation, fuzz_workload
+from repro.fuzz.oracle import OracleResult, differential_check, differential_sweep
+from repro.fuzz.shrink import ShrinkResult, shrink_schedule
+from repro.fuzz.trace import (
+    ReplayResult,
+    ReplayTrace,
+    load_trace,
+    replay_schedule,
+    save_trace,
+    schedule_to_decisions,
+)
+from repro.fuzz.workloads import (
+    FUZZ_WORKLOADS,
+    FuzzWorkload,
+    get_workload,
+    oracle_workloads,
+)
+
+__all__ = [
+    "FUZZ_WORKLOADS",
+    "FuzzDriver",
+    "FuzzReport",
+    "FuzzViolation",
+    "FuzzWorkload",
+    "OracleResult",
+    "ReplayResult",
+    "ReplayTrace",
+    "ShrinkResult",
+    "differential_check",
+    "differential_sweep",
+    "fuzz_workload",
+    "get_workload",
+    "load_trace",
+    "oracle_workloads",
+    "replay_schedule",
+    "save_trace",
+    "schedule_to_decisions",
+    "shrink_schedule",
+]

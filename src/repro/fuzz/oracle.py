@@ -1,0 +1,130 @@
+"""The differential oracle: fuzzer vs exhaustive engine.
+
+On instances small enough to exhaust, the randomized fuzzer and the
+exhaustive engine must tell the same story: either both certify the
+safety property over the schedule space, or both produce a violating
+interleaving.  :func:`differential_check` runs both on one
+:class:`~repro.fuzz.workloads.FuzzWorkload` and compares:
+
+* **verdict agreement** — ``fuzz.holds == exhaustive.holds``.  A fuzz
+  violation on a workload the engine certifies would expose a bug in
+  the sampler/snapshot machinery (the fuzzer judges real histories with
+  the real checker, so the violating history itself would be the
+  smoking gun); a fuzz *miss* on a violating workload means the budget
+  or the seeds are inadequate — either way the disagreement is loud.
+* **counterexample validity** — a fuzz violation must replay to the
+  same verdict through the plain runtime
+  (:func:`~repro.fuzz.trace.replay_schedule`), independent of the
+  snapshot engine.
+
+Run over several instances (satisfying and violating — see
+:func:`~repro.fuzz.workloads.oracle_workloads`), this turns the two
+exploration layers into mutual regression tests: CI asserts agreement
+under fixed seeds on every push.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+from repro.fuzz.driver import FuzzReport, fuzz_workload
+from repro.fuzz.trace import replay_schedule
+from repro.fuzz.workloads import FuzzWorkload, get_workload
+from repro.sim.explore import check_all_histories
+from repro.util.errors import UsageError
+
+
+@dataclass
+class OracleResult:
+    """Fuzz-vs-exhaustive comparison on one small instance."""
+
+    workload: str
+    exhaustive_holds: bool
+    exhaustive_runs: int
+    fuzz: FuzzReport
+    #: ``None`` when the fuzzer found no violation; else whether the
+    #: violating schedule replayed to a failing verdict independently.
+    counterexample_replays: Optional[bool]
+
+    @property
+    def fuzz_holds(self) -> bool:
+        return self.fuzz.holds
+
+    @property
+    def agree(self) -> bool:
+        """Verdicts match, and any fuzz counterexample is replay-valid."""
+        if self.exhaustive_holds != self.fuzz_holds:
+            return False
+        return self.counterexample_replays in (None, True)
+
+
+def differential_check(
+    workload: Union[FuzzWorkload, str],
+    seed: object = 0,
+    iterations: int = 2_000,
+    max_depth: int = 64,
+    max_configurations: int = 200_000,
+    **fuzz_options,
+) -> OracleResult:
+    """Cross-check fuzzer and exhaustive verdicts on one instance."""
+    if isinstance(workload, str):
+        workload = get_workload(workload)
+    if not workload.small:
+        raise UsageError(
+            f"workload {workload.name!r} is not small enough for the "
+            "exhaustive oracle (small=False); fuzz it without --oracle"
+        )
+    # The oracle compares verdicts over the *crash-free* schedule space
+    # (the space the exhaustive engine enumerates), so random crash
+    # injection is off unless the caller explicitly re-enables it.
+    fuzz_options.setdefault("crash_probability", 0.0)
+    exhaustive = check_all_histories(
+        workload.factory,
+        workload.plan,
+        workload.safety_factory(),
+        max_depth=max_depth,
+        max_configurations=max_configurations,
+        mode="snapshot",
+    )
+    report = fuzz_workload(
+        workload,
+        seed=seed,
+        iterations=iterations,
+        max_depth=max_depth,
+        **fuzz_options,
+    )
+    replays: Optional[bool] = None
+    if report.violation is not None:
+        replay = replay_schedule(
+            workload.factory,
+            workload.plan,
+            report.violation.schedule,
+            workload.safety_factory(),
+        )
+        replays = replay.violates
+    return OracleResult(
+        workload=workload.name,
+        exhaustive_holds=exhaustive.holds,
+        exhaustive_runs=exhaustive.runs_checked,
+        fuzz=report,
+        counterexample_replays=replays,
+    )
+
+
+def differential_sweep(
+    workloads: Optional[List[Union[FuzzWorkload, str]]] = None,
+    seed: object = 0,
+    iterations: int = 2_000,
+    **options,
+) -> List[OracleResult]:
+    """Run the oracle over several instances (default: every ``small``
+    workload in the registry)."""
+    from repro.fuzz.workloads import oracle_workloads
+
+    if workloads is None:
+        workloads = list(oracle_workloads())
+    return [
+        differential_check(workload, seed=seed, iterations=iterations, **options)
+        for workload in workloads
+    ]

@@ -1,0 +1,173 @@
+"""Named fuzz instances: (implementation, invocation plan, safety).
+
+A fuzz *workload* bundles everything one fuzzing campaign needs — a
+fresh-implementation factory, the invocation plan whose schedules are
+sampled, and the safety property that judges each sampled history —
+plus two bits of metadata: whether a violation is *expected* (the
+registry deliberately includes the faulty consensus fixtures as planted
+violations), and whether the instance is small enough for the
+exhaustive engine, which is what makes it usable by the differential
+oracle (:mod:`repro.fuzz.oracle`).
+
+The plans mirror the exhaustive benchmarks (``benchmarks/
+engine_timing.py``), so ``agp-opacity`` here is the same instance whose
+snapshot-vs-replay timings ``BENCH_engine.json`` records — fuzz-vs-
+exhaustive throughput comparisons are therefore like for like.  The
+``-deep`` and 3-process variants open the regime exhaustive search
+cannot reach; they are fuzz-only (``small=False``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.algorithms.consensus import (
+    CasConsensus,
+    CommitAdoptConsensus,
+    InventingConsensus,
+    StubbornConsensus,
+)
+from repro.algorithms.tm import AgpTransactionalMemory, I12TransactionalMemory
+from repro.core.properties import SafetyProperty
+from repro.objects.consensus import AgreementValidity
+from repro.objects.opacity import OpacityChecker
+from repro.sim.explore import InvocationPlan
+from repro.sim.kernel import Implementation
+from repro.util.errors import UsageError
+
+PROPOSE_PLAN: InvocationPlan = {0: [("propose", (0,))], 1: [("propose", (1,))]}
+
+TM_PLAN: InvocationPlan = {
+    0: [("start", ()), ("write", (0, 1)), ("tryC", ())],
+    1: [("start", ()), ("read", (0,)), ("tryC", ())],
+}
+
+TM_DEEP_PLAN: InvocationPlan = {
+    0: [("start", ()), ("write", (0, 1)), ("tryC", ()), ("start", ()), ("tryC", ())],
+    1: [("start", ()), ("read", (0,)), ("tryC", ())],
+}
+
+TM_3P_PLAN: InvocationPlan = {
+    0: [("start", ()), ("write", (0, 1)), ("tryC", ())],
+    1: [("start", ()), ("read", (0,)), ("write", (0, 2)), ("tryC", ())],
+    2: [("start", ()), ("read", (0,)), ("tryC", ())],
+}
+
+
+@dataclass(frozen=True)
+class FuzzWorkload:
+    """One named fuzz instance."""
+
+    name: str
+    factory: Callable[[], Implementation]
+    plan: InvocationPlan
+    safety_factory: Callable[[], SafetyProperty]
+    #: Whether random schedules are expected to expose a safety
+    #: violation (the faulty fixtures) or not (the real algorithms).
+    expect_violation: bool
+    #: Small enough for the exhaustive engine — eligible for the
+    #: differential oracle.
+    small: bool
+    notes: str = ""
+
+
+def _workload_list() -> List[FuzzWorkload]:
+    return [
+        FuzzWorkload(
+            name="cas-consensus",
+            factory=lambda: CasConsensus(2),
+            plan=PROPOSE_PLAN,
+            safety_factory=AgreementValidity,
+            expect_violation=False,
+            small=True,
+            notes="wait-free consensus; satisfying oracle instance",
+        ),
+        FuzzWorkload(
+            name="commit-adopt-consensus",
+            factory=lambda: CommitAdoptConsensus(2),
+            plan=PROPOSE_PLAN,
+            safety_factory=AgreementValidity,
+            expect_violation=False,
+            small=False,
+            notes="obstruction-free register consensus; its round counter "
+            "blows up the depth-64 configuration graph (~7.5k maximal "
+            "runs, tens of seconds exhaustive), so it is fuzz-only",
+        ),
+        FuzzWorkload(
+            name="stubborn-consensus",
+            factory=lambda: StubbornConsensus(2),
+            plan=PROPOSE_PLAN,
+            safety_factory=AgreementValidity,
+            expect_violation=True,
+            small=True,
+            notes="planted agreement violation (negative fixture)",
+        ),
+        FuzzWorkload(
+            name="inventing-consensus",
+            factory=lambda: InventingConsensus(2),
+            plan=PROPOSE_PLAN,
+            safety_factory=AgreementValidity,
+            expect_violation=True,
+            small=True,
+            notes="planted validity violation (negative fixture)",
+        ),
+        FuzzWorkload(
+            name="agp-opacity",
+            factory=lambda: AgpTransactionalMemory(2, variables=(0,)),
+            plan=TM_PLAN,
+            safety_factory=OpacityChecker,
+            expect_violation=False,
+            small=True,
+            notes="the BENCH_engine.json reference TM instance",
+        ),
+        FuzzWorkload(
+            name="i12-opacity",
+            factory=lambda: I12TransactionalMemory(2, variables=(0,)),
+            plan=TM_PLAN,
+            safety_factory=OpacityChecker,
+            expect_violation=False,
+            small=True,
+            notes="the paper's Algorithm 1 under the reference TM plan",
+        ),
+        FuzzWorkload(
+            name="agp-opacity-deep",
+            factory=lambda: AgpTransactionalMemory(2, variables=(0,)),
+            plan=TM_DEEP_PLAN,
+            safety_factory=OpacityChecker,
+            expect_violation=False,
+            small=False,
+            notes="double-depth plan; exhaustive search takes ~10s here",
+        ),
+        FuzzWorkload(
+            name="agp-opacity-3p",
+            factory=lambda: AgpTransactionalMemory(3, variables=(0,)),
+            plan=TM_3P_PLAN,
+            safety_factory=OpacityChecker,
+            expect_violation=False,
+            small=False,
+            notes="3-process regime beyond the exhaustive benchmarks",
+        ),
+    ]
+
+
+#: The fuzz workload registry, keyed by name.
+FUZZ_WORKLOADS: Dict[str, FuzzWorkload] = {
+    workload.name: workload for workload in _workload_list()
+}
+
+
+def get_workload(name: str) -> FuzzWorkload:
+    """Look up a workload by name; unknown names raise
+    :class:`~repro.util.errors.UsageError` listing the known ones."""
+    try:
+        return FUZZ_WORKLOADS[name]
+    except KeyError:
+        raise UsageError(
+            f"unknown fuzz workload {name!r}; known: {sorted(FUZZ_WORKLOADS)}"
+        ) from None
+
+
+def oracle_workloads() -> List[FuzzWorkload]:
+    """The workloads small enough for the differential oracle."""
+    return [w for w in FUZZ_WORKLOADS.values() if w.small]

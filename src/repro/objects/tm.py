@@ -243,8 +243,13 @@ def parse_transactions(history: History) -> List[Transaction]:
 
     Raises :class:`IllFormedHistoryError` on TM-level protocol
     violations (a ``read`` outside any transaction, a call after the
-    transaction committed, ...).  Crashes close the process's live
-    transaction as ``live`` (it never completed).
+    transaction committed, ...).  A crash leaves the process's open
+    transaction uncompleted: like any other uncompleted transaction it
+    ends up ``live`` — or ``commit-pending`` when the crash hit between
+    the ``tryC`` invocation and its response, since the internal commit
+    point may already have been reached (the completion rule must be
+    allowed to commit it; found by the schedule fuzzer's crash
+    injection).
     """
     current: Dict[int, Transaction] = {}
     counters: Dict[int, int] = {}
@@ -253,7 +258,11 @@ def parse_transactions(history: History) -> List[Transaction]:
     for index, event in enumerate(history):
         pid = event.process
         if is_crash(event):
-            current.pop(pid, None)
+            # Keep the open transaction in ``current``: well-formedness
+            # guarantees no further events from this process, and the
+            # end-of-history sweep below classifies it (live or
+            # commit-pending) exactly like a transaction cut off by the
+            # end of the prefix.
             continue
         if is_invocation(event):
             operation = event.operation

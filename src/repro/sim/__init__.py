@@ -15,10 +15,12 @@ from repro.sim.schedulers import (
     FixedOrderScheduler,
     GroupScheduler,
     LockstepScheduler,
+    PriorityScheduler,
     RandomScheduler,
     RoundRobinScheduler,
     Scheduler,
     SoloScheduler,
+    WeightedRandomScheduler,
 )
 from repro.sim.workload import (
     OneShotWorkload,
@@ -36,6 +38,7 @@ from repro.sim.explore import (
     ExploredRun,
     check_all_histories,
     explore_histories,
+    plan_successors,
 )
 
 __all__ = [
@@ -55,10 +58,12 @@ __all__ = [
     "FixedOrderScheduler",
     "GroupScheduler",
     "LockstepScheduler",
+    "PriorityScheduler",
     "RandomScheduler",
     "RoundRobinScheduler",
     "Scheduler",
     "SoloScheduler",
+    "WeightedRandomScheduler",
     "OneShotWorkload",
     "ScriptedWorkload",
     "TransactionWorkload",
@@ -79,4 +84,5 @@ __all__ = [
     "ExploredRun",
     "check_all_histories",
     "explore_histories",
+    "plan_successors",
 ]

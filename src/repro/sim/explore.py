@@ -74,12 +74,16 @@ class ExplorationReport:
         return self.counterexample is None
 
 
-def _plan_successors(plan: InvocationPlan) -> Callable[[KernelConfig], List]:
+def plan_successors(plan: InvocationPlan) -> Callable[[KernelConfig], List]:
     """Engine callback: legal labelled decisions under the plan.
 
     A pending process may step; an idle, uncrashed process with planned
     invocations left may invoke its next one.  The cursor is the
     process's invocation count — the runtime already tracks it.
+
+    Public because the schedule fuzzer (:mod:`repro.fuzz`) walks the
+    same labelled decision space the exhaustive engine enumerates — one
+    successor relation, two search disciplines.
     """
 
     def successors(config: KernelConfig) -> List[Tuple[Choice, Decision]]:
@@ -135,7 +139,7 @@ def explore_histories(
     equal futures — while still collapsing the dominant explosion
     source: permutations of internal steps that emit no events.
     """
-    successors = _plan_successors(plan)
+    successors = plan_successors(plan)
     try:
         if processes > 1:
             if mode != "snapshot":

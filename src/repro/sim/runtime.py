@@ -141,6 +141,14 @@ class Runtime:
         self._view = RuntimeView(self)
         self._detector = LassoDetector(check_every=lasso_stride)
 
+    @property
+    def view(self) -> RuntimeView:
+        """The read-only facade handed to drivers, schedulers, and crash
+        plans.  Exposed publicly so external decision loops (the
+        exploration engine, the schedule fuzzer) can consult the same
+        components a :class:`~repro.sim.drivers.ComposedDriver` would."""
+        return self._view
+
     # -- decision application ---------------------------------------------------
 
     def _apply_invoke(self, decision: InvokeDecision) -> None:

@@ -15,7 +15,7 @@ from abc import ABC, abstractmethod
 from typing import Hashable, List, Optional, Sequence, TYPE_CHECKING
 
 from repro.util.errors import SimulationError
-from repro.util.rng import DeterministicRng
+from repro.util.rng import DeterministicRng, normalize_seed
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.runtime import RuntimeView
@@ -82,19 +82,94 @@ class RandomScheduler(Scheduler):
     Probabilistically fair; used for background-load experiments.  Lasso
     fingerprinting is disabled (the RNG state space is huge), so runs
     under this scheduler produce horizon verdicts.
+
+    The seed is normalized to an int via
+    :func:`~repro.util.rng.normalize_seed`, so two schedulers built from
+    equal seeds — whatever the caller passed (int, string, campaign axis
+    value) — produce identical pick sequences, and an irreproducible
+    seed object is rejected instead of silently salting the stream.
     """
 
     name = "random"
 
     def __init__(self, seed: object = 0):
-        self._seed = seed
-        self._rng = DeterministicRng(seed)
+        self._seed = normalize_seed(seed)
+        self._rng = DeterministicRng(self._seed)
+
+    @property
+    def seed(self) -> int:
+        """The normalized integer seed."""
+        return self._seed
 
     def pick(self, eligible: Sequence[int], view: "RuntimeView") -> int:
         return self._rng.choice(list(eligible))
 
     def reset(self) -> None:
         self._rng = DeterministicRng(self._seed)
+
+
+class WeightedRandomScheduler(Scheduler):
+    """Random eligible process under per-process weights (biased pick).
+
+    The schedule-fuzzer's swarm mutation: weights tilt the uniform
+    choice toward a subset of processes, which exercises interleaving
+    families a uniform sampler rarely produces (near-solo runs, starved
+    readers, …).  A missing weight counts as 1; weights must be
+    positive.
+    """
+
+    name = "weighted-random"
+
+    def __init__(self, weights: Sequence[float], seed: object = 0):
+        self.weights = tuple(float(w) for w in weights)
+        if any(w <= 0 for w in self.weights):
+            raise ValueError(f"weights must be positive, got {weights!r}")
+        self._seed = normalize_seed(seed)
+        self._rng = DeterministicRng(self._seed)
+
+    def _weight(self, pid: int) -> float:
+        return self.weights[pid] if pid < len(self.weights) else 1.0
+
+    def pick(self, eligible: Sequence[int], view: "RuntimeView") -> int:
+        if not eligible:
+            raise SimulationError("weighted-random called with no eligible process")
+        total = sum(self._weight(pid) for pid in eligible)
+        mark = self._rng.random() * total
+        for pid in eligible:
+            mark -= self._weight(pid)
+            if mark < 0:
+                return pid
+        return eligible[-1]  # float round-off
+
+    def reset(self) -> None:
+        self._rng = DeterministicRng(self._seed)
+
+
+class PriorityScheduler(Scheduler):
+    """Highest-priority eligible process, under a fixed priority order.
+
+    The swarm mutation's priority shuffle: a random permutation of the
+    pids yields a deterministic scheduler that drives one extreme
+    interleaving per permutation (the first process runs solo until it
+    blocks or finishes, then the next, …).  Pids missing from ``order``
+    rank last, in pid order.
+    """
+
+    def __init__(self, order: Sequence[int]):
+        self.order = tuple(order)
+        self.name = f"priority({','.join('p%d' % p for p in self.order)})"
+
+    def pick(self, eligible: Sequence[int], view: "RuntimeView") -> int:
+        if not eligible:
+            raise SimulationError("priority called with no eligible process")
+        eligible_set = set(eligible)
+        for pid in self.order:
+            if pid in eligible_set:
+                return pid
+        return min(eligible_set)
+
+    def fingerprint(self) -> Optional[Hashable]:
+        return ("priority", self.order)
 
 
 class SoloScheduler(Scheduler):

@@ -10,10 +10,40 @@ state.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from typing import List, Optional, Sequence, TypeVar
 
+from repro.util.errors import UsageError
+
 T = TypeVar("T")
+
+
+def normalize_seed(seed: object = 0) -> int:
+    """Normalize a seed-like value to an int, stably.
+
+    Integers pass through unchanged (bools as 0/1).  Value-like seeds
+    (strings, bytes, floats, tuples of such) are hashed through SHA-256
+    of their canonical text, so the result is identical across
+    processes and Python versions — unlike ``hash()``, which is salted.
+    Anything else (objects whose ``repr`` includes a memory address
+    would silently produce irreproducible streams) raises
+    :class:`~repro.util.errors.UsageError`.
+    """
+    if isinstance(seed, bool):
+        return int(seed)
+    if isinstance(seed, int):
+        return seed
+    if isinstance(seed, (str, bytes, float)) or (
+        isinstance(seed, tuple)
+        and all(isinstance(part, (str, bytes, float, int)) for part in seed)
+    ):
+        text = seed if isinstance(seed, bytes) else repr(seed).encode("utf-8")
+        return int.from_bytes(hashlib.sha256(text).digest()[:8], "big")
+    raise UsageError(
+        f"seed must be an int or a value-like scalar/tuple, got "
+        f"{type(seed).__name__!s} ({seed!r})"
+    )
 
 
 class DeterministicRng:

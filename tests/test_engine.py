@@ -37,7 +37,7 @@ from repro.engine import (
 )
 from repro.sim import explore_histories
 from repro.sim.drivers import InvokeDecision, StepDecision
-from repro.sim.explore import _plan_successors
+from repro.sim.explore import plan_successors
 
 PROPOSE_PLAN = {0: [("propose", (0,))], 1: [("propose", (1,))]}
 TM_PLAN = {
@@ -253,7 +253,7 @@ class TestParallelFrontier:
         if "fork" not in multiprocessing.get_all_start_methods():
             pytest.skip("requires fork start method")
         factory = lambda: CasConsensus(2)
-        successors = _plan_successors(PROPOSE_PLAN)
+        successors = plan_successors(PROPOSE_PLAN)
         serial = {
             v.fingerprint
             for v in parallel_explore(factory, successors, processes=1)

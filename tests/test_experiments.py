@@ -25,6 +25,7 @@ class TestRegistry:
             "lem54",
             "sec53",
             "sec6",
+            "fuzz",
         }
 
     def test_unknown_experiment_raises(self):

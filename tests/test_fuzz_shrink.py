@@ -1,0 +1,108 @@
+"""Shrinker regression tests: planted violations shrink deterministically
+to minimal, replayable traces."""
+
+import pytest
+
+from repro.fuzz import (
+    fuzz_workload,
+    get_workload,
+    replay_schedule,
+    shrink_schedule,
+)
+from repro.util.errors import UsageError
+
+VIOL = get_workload("stubborn-consensus")
+INVENT = get_workload("inventing-consensus")
+
+
+def find_violation(workload, seed):
+    report = fuzz_workload(workload, seed=seed, iterations=500)
+    assert report.violation is not None
+    return report.violation
+
+
+class TestShrink:
+    def test_planted_violation_shrinks_deterministically(self):
+        """Fixed seed => the fuzz-found schedule and its shrunk form are
+        bit-identical across independent runs."""
+        first = shrink_schedule(
+            VIOL.factory, VIOL.plan, find_violation(VIOL, 2024).schedule,
+            VIOL.safety_factory(),
+        )
+        second = shrink_schedule(
+            VIOL.factory, VIOL.plan, find_violation(VIOL, 2024).schedule,
+            VIOL.safety_factory(),
+        )
+        assert first.schedule == second.schedule
+        assert first.replays == second.replays
+
+    def test_shrunk_trace_replays_to_same_verdict(self):
+        violation = find_violation(VIOL, 9)
+        shrunk = shrink_schedule(
+            VIOL.factory, VIOL.plan, violation.schedule, VIOL.safety_factory()
+        )
+        replay = replay_schedule(
+            VIOL.factory, VIOL.plan, shrunk.schedule, VIOL.safety_factory()
+        )
+        assert replay.violates
+        assert not VIOL.safety_factory().check_history(replay.history).holds
+
+    def test_shrunk_schedule_is_locally_minimal(self):
+        """Removing any single step either invalidates the schedule or
+        loses the violation — the shrinker's post-condition."""
+        violation = find_violation(VIOL, 9)
+        shrunk = shrink_schedule(
+            VIOL.factory, VIOL.plan, violation.schedule, VIOL.safety_factory()
+        )
+        safety = VIOL.safety_factory()
+        for index in range(len(shrunk.schedule)):
+            candidate = shrunk.schedule[:index] + shrunk.schedule[index + 1:]
+            assert not replay_schedule(
+                VIOL.factory, VIOL.plan, candidate, safety
+            ).violates
+
+    def test_agreement_violation_minimum(self):
+        """Stubborn consensus needs both processes to decide their own
+        proposal: the minimal witness is exactly invoke+2 steps per
+        process (6 labels)."""
+        violation = find_violation(VIOL, 123)
+        shrunk = shrink_schedule(
+            VIOL.factory, VIOL.plan, violation.schedule, VIOL.safety_factory()
+        )
+        assert len(shrunk.schedule) == 6
+
+    def test_validity_violation_shrinks_to_single_decision(self):
+        """Inventing consensus violates validity with one decision: the
+        minimal witness is one process's invoke+steps."""
+        violation = find_violation(INVENT, 123)
+        shrunk = shrink_schedule(
+            INVENT.factory, INVENT.plan, violation.schedule,
+            INVENT.safety_factory(),
+        )
+        pids = {pid for _kind, pid in shrunk.schedule}
+        assert len(pids) == 1
+        assert shrunk.schedule[0][0] == "invoke"
+
+    def test_padded_schedule_loses_its_padding(self):
+        """A hand-planted violating schedule with irrelevant extra work
+        (the second process's whole run) shrinks strictly."""
+        padded = [
+            ("invoke", 0), ("step", 0), ("step", 0),
+            ("invoke", 1), ("step", 1), ("step", 1),
+        ]
+        result = replay_schedule(
+            INVENT.factory, INVENT.plan, padded, INVENT.safety_factory()
+        )
+        assert result.violates  # genuinely violating before shrinking
+        shrunk = shrink_schedule(
+            INVENT.factory, INVENT.plan, padded, INVENT.safety_factory()
+        )
+        assert len(shrunk.schedule) == 3
+        assert shrunk.removed == 3
+
+    def test_non_violating_input_rejected(self):
+        with pytest.raises(UsageError):
+            shrink_schedule(
+                VIOL.factory, VIOL.plan, [("invoke", 0), ("step", 0)],
+                VIOL.safety_factory(),
+            )

@@ -12,14 +12,16 @@ from repro.sim import (
     LockstepScheduler,
     NoCrashes,
     OneShotWorkload,
+    PriorityScheduler,
     RandomScheduler,
     RoundRobinScheduler,
     ScriptedWorkload,
     SoloScheduler,
+    WeightedRandomScheduler,
     play,
     propose_workload,
 )
-from repro.util.errors import SimulationError
+from repro.util.errors import SimulationError, UsageError
 
 
 class FakeView:
@@ -77,6 +79,55 @@ class TestRandomScheduler:
         first = [scheduler.pick([0, 1], view) for _ in range(10)]
         scheduler.reset()
         assert [scheduler.pick([0, 1], view) for _ in range(10)] == first
+
+    def test_equal_seeds_produce_identical_pick_sequences(self):
+        """The seed-normalization contract: equal seeds — however they
+        were spelled — yield the same integer seed and hence the same
+        stream."""
+        view = FakeView()
+        for seed in (0, 41, "swarm-7", 2.5):
+            a = RandomScheduler(seed=seed)
+            b = RandomScheduler(seed=seed)
+            assert a.seed == b.seed
+            assert isinstance(a.seed, int)
+            picks_a = [a.pick([0, 1, 2], view) for _ in range(50)]
+            picks_b = [b.pick([0, 1, 2], view) for _ in range(50)]
+            assert picks_a == picks_b
+
+    def test_irreproducible_seed_rejected(self):
+        with pytest.raises(UsageError):
+            RandomScheduler(seed=object())
+
+
+class TestSwarmSchedulers:
+    def test_weighted_pick_is_seed_deterministic(self):
+        view = FakeView()
+        a = WeightedRandomScheduler([1, 8], seed=5)
+        b = WeightedRandomScheduler([1, 8], seed=5)
+        picks = [a.pick([0, 1], view) for _ in range(100)]
+        assert picks == [b.pick([0, 1], view) for _ in range(100)]
+        # An 8:1 bias must show up in the empirical distribution.
+        assert picks.count(1) > picks.count(0)
+
+    def test_weighted_respects_eligibility(self):
+        scheduler = WeightedRandomScheduler([100, 1], seed=0)
+        view = FakeView()
+        assert all(scheduler.pick([1], view) == 1 for _ in range(10))
+
+    def test_weighted_rejects_nonpositive_weights(self):
+        with pytest.raises(ValueError):
+            WeightedRandomScheduler([1, 0])
+
+    def test_priority_picks_highest_eligible(self):
+        scheduler = PriorityScheduler([2, 0, 1])
+        view = FakeView()
+        assert scheduler.pick([0, 1, 2], view) == 2
+        assert scheduler.pick([0, 1], view) == 0
+        assert scheduler.pick([1], view) == 1
+
+    def test_priority_falls_back_for_unlisted_pids(self):
+        scheduler = PriorityScheduler([1])
+        assert scheduler.pick([2, 3], FakeView()) == 2
 
 
 class TestRestrictedSchedulers:
