@@ -31,7 +31,8 @@ import sys
 import time
 from pathlib import Path
 
-from repro.fuzz import FuzzDriver, differential_check, fuzz_workload, get_workload
+from repro.fuzz import FuzzDriver, differential_check, fuzz_workload
+from repro.scenarios import get_scenario
 from repro.sim.explore import explore_histories
 
 #: The fuzzer must sample interleavings at least this much faster than
@@ -81,7 +82,7 @@ def measure_fuzz_throughput(workload, repetitions: int = 2):
 
 
 def main(output: Path) -> int:
-    workload = get_workload(WORKLOAD)
+    workload = get_scenario(WORKLOAD)
     record = {
         "benchmark": "fuzz vs exhaustive interleaving throughput",
         "python": platform.python_version(),

@@ -27,8 +27,12 @@ Subpackages
     Faithful I/O automata (Section 2).
 ``repro.setmodel``
     Exact finite set-theoretic models of Theorems 4.4/4.9.
+``repro.scenarios``
+    The declarative scenario registry and the uniform ``verify()``
+    facade over the exhaustive and fuzz backends.
 ``repro.analysis``
-    The experiment registry: one runner per table/figure/theorem.
+    The experiment registry: one claim evaluator per
+    table/figure/theorem.
 
 Quickstart
 ----------
@@ -36,6 +40,9 @@ Quickstart
 >>> result = run_experiment("thm44")
 >>> result.all_ok
 True
+>>> from repro.scenarios import verify
+>>> verify("agp-opacity", backend="exhaustive").outcome
+'holds'
 """
 
 from repro.core import (
@@ -50,6 +57,7 @@ from repro.core import (
     history_of,
 )
 from repro.sim import Implementation, Op, play
+from repro.scenarios import get_scenario, iter_scenarios, verify
 from repro.analysis import EXPERIMENTS, run_experiment
 
 __version__ = "1.0.0"
@@ -67,6 +75,9 @@ __all__ = [
     "Implementation",
     "Op",
     "play",
+    "get_scenario",
+    "iter_scenarios",
+    "verify",
     "EXPERIMENTS",
     "run_experiment",
     "__version__",

@@ -7,25 +7,33 @@ Usage::
     python -m repro run all              # everything (exit 1 on mismatch)
     python -m repro run fig1b --param n=4 --param max_steps=300
 
+    python -m repro scenarios list                    # the scenario catalog
+    python -m repro scenarios list --tag small --format md
+    python -m repro verify agp-opacity                # exhaustive proof
+    python -m repro verify agp-opacity-3p --backend fuzz --set seed=7
+    python -m repro verify stubborn-consensus --out verdict.json
+
     python -m repro campaign init --grid fig1a n=2..4 seed=0..4
+    python -m repro campaign init --grid verify scenario=agp-opacity backend=fuzz seed=0..4
     python -m repro campaign run --workers 4
     python -m repro campaign status
     python -m repro campaign export --out campaign.json
 
-    python -m repro fuzz --list                       # fuzz workloads
+    python -m repro fuzz --list                       # fuzzable scenarios
     python -m repro fuzz agp-opacity --seed 7         # random sampling
     python -m repro fuzz small --oracle               # vs exhaustive
     python -m repro fuzz stubborn-consensus --artifact-dir artifacts/
     python -m repro fuzz --replay artifacts/fuzz-....json
 
-Exit codes: 0 all claims OK (fuzz: every verdict as expected / oracle
-agreement), 1 a paper claim mismatched, a job failed, or a fuzz verdict
-surprised, 2 usage error.
+Exit codes: 0 all claims OK (verify/fuzz: every verdict as expected /
+oracle agreement), 1 a paper claim mismatched, a job failed, or a
+verdict surprised (including budget-exhausted), 2 usage error.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
@@ -41,23 +49,18 @@ from repro.campaign import (
     run_campaign,
     store_all_ok,
 )
-from repro.campaign.spec import coerce_scalar as _coerce_value
 from repro.util.errors import UsageError
+from repro.util.params import parse_params
 
 #: Default campaign store path (override with ``--store``).
 DEFAULT_STORE = "campaign.db"
 
 
-def _parse_params(pairs: List[str]) -> Dict[str, Any]:
-    """Parse ``key=value`` pairs (ints, floats, booleans, JSON values;
-    bare strings as fallback)."""
-    params: Dict[str, Any] = {}
-    for pair in pairs:
-        if "=" not in pair:
-            raise SystemExit(f"--param expects key=value, got {pair!r}")
-        key, _, raw = pair.partition("=")
-        params[key] = _coerce_value(raw)
-    return params
+def _parse_params(pairs: List[str], option: str = "--param") -> Dict[str, Any]:
+    """Parse ``key=value`` pairs (the shared
+    :func:`repro.util.params.parse_params` grammar; malformed pairs are
+    usage errors -> exit code 2)."""
+    return parse_params(pairs, option=option)
 
 
 def cmd_list() -> int:
@@ -181,38 +184,37 @@ def cmd_campaign_export(arguments) -> int:
 
 
 def _fuzz_targets(names: List[str]) -> List[str]:
-    from repro.fuzz import FUZZ_WORKLOADS, oracle_workloads
+    from repro.scenarios import iter_scenarios, scenario_ids
 
     if not names:
         return ["agp-opacity"]
     if names == ["all"]:
-        return sorted(FUZZ_WORKLOADS)
+        return scenario_ids()
     if names == ["small"]:
-        return sorted(w.name for w in oracle_workloads())
+        return [scenario.scenario_id for scenario in iter_scenarios(tags="small")]
     return names
 
 
 def cmd_fuzz(arguments) -> int:
     from repro.fuzz import (
-        FUZZ_WORKLOADS,
         ReplayTrace,
         differential_check,
         fuzz_workload,
-        get_workload,
         load_trace,
         replay_schedule,
         save_trace,
         shrink_schedule,
     )
+    from repro.scenarios import get_scenario, iter_scenarios
 
     if arguments.list_workloads:
-        width = max(len(name) for name in FUZZ_WORKLOADS)
-        for name in sorted(FUZZ_WORKLOADS):
-            spec = FUZZ_WORKLOADS[name]
+        scenarios = iter_scenarios()
+        width = max(len(scenario.scenario_id) for scenario in scenarios)
+        for spec in scenarios:
             tags = ("violating" if spec.expect_violation else "satisfying") + (
                 ", oracle-eligible" if spec.small else ""
             )
-            print(f"{name:<{width}}  [{tags}]  {spec.notes}")
+            print(f"{spec.scenario_id:<{width}}  [{tags}]  {spec.notes}")
         return 0
 
     if arguments.replay is not None:
@@ -222,7 +224,7 @@ def cmd_fuzz(arguments) -> int:
                 f"trace {arguments.replay!r} names no workload; cannot "
                 "reconstruct the implementation to replay against"
             )
-        spec = get_workload(trace.workload)
+        spec = get_scenario(trace.workload)
         replay = replay_schedule(
             spec.factory, trace.plan, trace.schedule, spec.safety_factory()
         )
@@ -249,7 +251,7 @@ def cmd_fuzz(arguments) -> int:
         )
     surprises = 0
     for name in _fuzz_targets(arguments.workloads):
-        spec = get_workload(name)
+        spec = get_scenario(name)
         if arguments.oracle:
             oracle = differential_check(
                 spec,
@@ -322,6 +324,120 @@ def cmd_fuzz(arguments) -> int:
                     ),
                 )
                 print(f"  wrote {path}")
+    return 1 if surprises else 0
+
+
+# ---------------------------------------------------------------------------
+# scenarios / verify subcommands
+# ---------------------------------------------------------------------------
+
+
+def _scenario_rows(tags: List[str]) -> List[Dict[str, str]]:
+    from repro.scenarios import iter_scenarios
+
+    scenarios = iter_scenarios(tags=tags or None)
+    if not scenarios:
+        raise UsageError(
+            f"no registered scenario carries all of the tags {tags!r}"
+        )
+    return [scenario.describe() for scenario in scenarios]
+
+
+def cmd_scenarios(arguments) -> int:
+    if arguments.scenarios_command != "list":  # pragma: no cover - argparse
+        raise UsageError(f"unknown scenarios command {arguments.scenarios_command!r}")
+    rows = _scenario_rows(arguments.tag)
+    columns = ("id", "object", "property", "tags", "notes")
+    if arguments.format == "md":
+        print("| " + " | ".join(columns) + " |")
+        print("|" + "|".join("---" for _ in columns) + "|")
+        for row in rows:
+            cells = [f"`{row['id']}`", f"`{row['object']}`",
+                     f"`{row['property']}`", row["tags"], row["notes"]]
+            print("| " + " | ".join(cells) + " |")
+        return 0
+    widths = {
+        column: max([len(column)] + [len(row[column]) for row in rows])
+        for column in columns[:-1]
+    }
+    header = "  ".join(f"{column:<{widths[column]}}" for column in columns[:-1])
+    print(header + "  notes")
+    print("=" * len(header) + "=======")
+    for row in rows:
+        line = "  ".join(f"{row[column]:<{widths[column]}}" for column in columns[:-1])
+        print(line + "  " + row["notes"])
+    return 0
+
+
+def cmd_verify(arguments) -> int:
+    from repro.scenarios import (
+        EXHAUSTIVE_ONLY_OVERRIDES,
+        FUZZ_ONLY_OVERRIDES,
+        get_scenario,
+        resolve_backend,
+        verify,
+    )
+
+    overrides = _parse_params(arguments.set, option="--set")
+    # Fail fast on unknown ids, before any scenario runs.
+    scenarios = [get_scenario(s) for s in arguments.scenarios]
+    documents = []
+    surprises = 0
+    for scenario in scenarios:
+        backend = resolve_backend(scenario, arguments.backend)
+        call_overrides = dict(overrides)
+        if arguments.backend == "auto":
+            # Auto mode may mix backends across the listed scenarios,
+            # so one --set list serves both: each scenario drops the
+            # knobs the *other* backend owns (an explicit --backend
+            # stays strict).
+            dropped = (
+                FUZZ_ONLY_OVERRIDES
+                if backend == "exhaustive"
+                else EXHAUSTIVE_ONLY_OVERRIDES
+            )
+            for key in dropped:
+                call_overrides.pop(key, None)
+        verdict = verify(scenario, backend=backend, **call_overrides)
+        documents.append(verdict.to_document())
+        stats = verdict.stats
+        if verdict.budget_exhausted:
+            evidence = "search budget exceeded"
+        elif "runs_checked" in stats:
+            evidence = f"{stats['runs_checked']} runs enumerated"
+        else:
+            evidence = f"{stats.get('interleavings', 0)} interleavings sampled"
+        print(
+            f"[{scenario.scenario_id}] {verdict.backend}: {verdict.outcome} "
+            f"({evidence}) -> "
+            f"{'expected' if verdict.expected else 'SURPRISE'}"
+        )
+        if verdict.counterexample is not None:
+            rendered = " ".join(
+                f"{kind}(p{pid})" for kind, pid in verdict.counterexample.schedule
+            )
+            replays = stats.get("counterexample_replays")
+            if replays is None:
+                # Replay never ran (the checker budget blew during
+                # minimization); "passes (!)" would discredit a
+                # genuine violation.
+                replay_note = "replay skipped: " + stats.get(
+                    "witness_check_error", "not run"
+                )
+            else:
+                replay_note = f"replay {'violates' if replays else 'passes (!)'}"
+            print(
+                f"  counterexample ({len(verdict.counterexample.schedule)} "
+                f"steps, {replay_note}): {rendered}"
+            )
+        if not verdict.expected:
+            surprises += 1
+    if arguments.out is not None:
+        document = documents[0] if len(documents) == 1 else documents
+        with open(arguments.out, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {arguments.out}")
     return 1 if surprises else 0
 
 
@@ -415,13 +531,13 @@ def _add_fuzz_parser(subparsers) -> None:
         help="randomized schedule/crash fuzzing (+ differential oracle)",
     )
     fuzz.add_argument(
-        "workloads", nargs="*", metavar="workload",
-        help="fuzz workload names (default: agp-opacity); 'all' = every "
-        "registered workload, 'small' = the oracle-eligible ones",
+        "workloads", nargs="*", metavar="scenario",
+        help="scenario ids (default: agp-opacity); 'all' = every "
+        "registered scenario, 'small' = the oracle-eligible ones",
     )
     fuzz.add_argument(
         "--list", action="store_true", dest="list_workloads",
-        help="list registered fuzz workloads",
+        help="list the registered scenarios (all are fuzzable)",
     )
     fuzz.add_argument("--seed", type=int, default=0, help="master fuzz seed")
     fuzz.add_argument(
@@ -455,6 +571,51 @@ def _add_fuzz_parser(subparsers) -> None:
     )
 
 
+def _add_scenarios_parser(subparsers) -> None:
+    scenarios = subparsers.add_parser(
+        "scenarios",
+        help="the declarative scenario registry (one catalog, every backend)",
+    )
+    scenarios_sub = scenarios.add_subparsers(
+        dest="scenarios_command", required=True
+    )
+    lister = scenarios_sub.add_parser("list", help="list registered scenarios")
+    lister.add_argument(
+        "--tag", action="append", default=[], metavar="TAG",
+        help="only scenarios carrying this tag (repeatable; AND semantics)",
+    )
+    lister.add_argument(
+        "--format", choices=("text", "md"), default="text",
+        help="output format: aligned text (default) or a Markdown table "
+        "(the README scenario catalog is generated with --format=md)",
+    )
+
+
+def _add_verify_parser(subparsers) -> None:
+    verify = subparsers.add_parser(
+        "verify",
+        help="verify registered scenarios through the uniform facade",
+    )
+    verify.add_argument(
+        "scenarios", nargs="+", metavar="scenario",
+        help="scenario ids (see 'scenarios list')",
+    )
+    verify.add_argument(
+        "--backend", choices=("auto", "exhaustive", "fuzz"), default="auto",
+        help="verification backend; 'auto' (default) picks 'exhaustive' "
+        "for scenarios tagged small and 'fuzz' otherwise",
+    )
+    verify.add_argument(
+        "--set", action="append", default=[], metavar="key=value",
+        help="verify override as key=value (repeatable): seed, iterations, "
+        "max_depth, max_configurations, crash, shrink, ...",
+    )
+    verify.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the verdict document(s) as JSON here",
+    )
+
+
 def main(argv: List[str] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -473,12 +634,18 @@ def main(argv: List[str] = None) -> int:
         help="runner parameter as key=value (repeatable); applied to every "
         "listed experiment",
     )
+    _add_scenarios_parser(subparsers)
+    _add_verify_parser(subparsers)
     _add_campaign_parser(subparsers)
     _add_fuzz_parser(subparsers)
     arguments = parser.parse_args(argv)
     try:
         if arguments.command == "list":
             return cmd_list()
+        if arguments.command == "scenarios":
+            return cmd_scenarios(arguments)
+        if arguments.command == "verify":
+            return cmd_verify(arguments)
         if arguments.command == "campaign":
             return cmd_campaign(arguments)
         if arguments.command == "fuzz":

@@ -7,26 +7,19 @@ states with what the artifact measures, plus rendered artifacts
 benchmark harness times the runners and prints the renderings;
 EXPERIMENTS.md records the outcomes.
 
-Batteries
----------
-Experiments that quantify over schedules use shared *play batteries*:
-
-* :func:`consensus_plays` — solo schedules (obstruction premise),
-  pairwise lockstep with distinct proposals (the CIL contention
-  schedule), and full-group round-robin;
-* :func:`tm_plays` — round-robin and pairwise group schedules over a
-  transaction workload, the three-step local-progress adversary (both
-  victim roles), and — for three or more processes — the Section 5.3
-  concurrent-start adversary.
-
-Each play yields ``(history, summary, label)``; classification
-evaluates safety on the history and liveness on the summary.
+The runners are thin *claim evaluators*: the schedule batteries they
+quantify over live in :mod:`repro.analysis.batteries`, the named
+verification instances live in the scenario registry
+(:mod:`repro.scenarios` — each :class:`ExperimentSpec` names the
+scenarios its instances correspond to), and the single-instance
+experiments (``fuzz``, ``verify``) evaluate their claims over the
+uniform :func:`repro.scenarios.verify` verdicts.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.adversaries.consensus_flp import (
     LockstepConsensusAdversary,
@@ -38,12 +31,19 @@ from repro.adversaries.counterexample import CounterexampleAdversary
 from repro.adversaries.tm_local_progress import TMLocalProgressAdversary
 from repro.adversaries.valency import find_nondeciding_schedule
 from repro.algorithms.consensus import CasConsensus, CommitAdoptConsensus
-from repro.analysis.classification import ClassifiedGrid, Play, classify_grid
+from repro.analysis.batteries import (  # noqa: F401  (families re-exported:
+    # the battery surface moved to repro.analysis.batteries, this module
+    # keeps the historical import path alive for external callers)
+    CONSENSUS_SCHEDULE_FAMILIES,
+    TM_SCHEDULE_FAMILIES,
+    consensus_plays,
+    lk_points,
+    tm_plays,
+)
+from repro.analysis.classification import ClassifiedGrid, classify_grid
 from repro.analysis.registry import (
-    AGREEMENT_VALIDITY,
     COUNTEREXAMPLE_S,
     OPACITY,
-    RegistryEntry,
     consensus_registry,
     entries_ensuring,
     select_entries,
@@ -56,32 +56,16 @@ from repro.core.history import History
 from repro.core.lattice import LivenessOrder
 from repro.core.liveness import enumerate_summaries
 from repro.core.progress import NXLiveness, SFreedom
-from repro.core.properties import Certainty, ExecutionSummary
-from repro.engine.batch import PlayTask, run_play_batch
-from repro.fuzz.driver import fuzz_workload
 from repro.fuzz.oracle import differential_check
-from repro.fuzz.shrink import shrink_schedule
-from repro.fuzz.trace import ReplayTrace, replay_schedule
-from repro.fuzz.workloads import get_workload
 from repro.objects.consensus import AgreementValidity
 from repro.objects.counterexample_s import counterexample_safety
 from repro.objects.opacity import OpacityChecker
+from repro.scenarios import get_scenario, resolve_backend, verify
 from repro.setmodel import theorem44, theorem49
 from repro.setmodel.theorem44 import first_event_adversary_sets, verify_theorem44
 from repro.setmodel.theorem49 import verify_lemma48, verify_theorem49
-from repro.sim.crash import parse_crash_spec
-from repro.sim.drivers import ComposedDriver
-from repro.sim.record import RunResult
 from repro.sim.runtime import play
-from repro.sim.schedulers import (
-    GroupScheduler,
-    LockstepScheduler,
-    RandomScheduler,
-    RoundRobinScheduler,
-    SoloScheduler,
-)
-from repro.sim.workload import TransactionWorkload, propose_workload
-from repro.util.errors import UsageError
+from repro.util.errors import UsageError, unknown_choice
 
 
 @dataclass(frozen=True)
@@ -119,261 +103,6 @@ class ExperimentResult:
 
 
 # ---------------------------------------------------------------------------
-# Play batteries
-# ---------------------------------------------------------------------------
-
-#: Schedule families addressable by the ``scheduler`` grid axis.
-CONSENSUS_SCHEDULE_FAMILIES = ("solo", "lockstep", "round-robin", "random")
-TM_SCHEDULE_FAMILIES = (
-    "round-robin",
-    "group",
-    "tm-adversary",
-    "counterexample",
-    "random",
-)
-
-
-def _select_families(
-    schedulers, known: Sequence[str], seed: Optional[int]
-) -> List[str]:
-    """Resolve the ``scheduler`` axis to a list of schedule families.
-
-    ``None`` selects every deterministic family, plus ``random`` when a
-    ``seed`` is given (the seed axis is what makes random plays
-    reproducible).  Explicit values — one family, a comma-separated
-    string, or a sequence — are validated against ``known``.
-    """
-    if schedulers is None:
-        families = [family for family in known if family != "random"]
-        if seed is not None:
-            families.append("random")
-        return families
-    if isinstance(schedulers, str):
-        schedulers = [part.strip() for part in schedulers.split(",") if part.strip()]
-    unknown = [family for family in schedulers if family not in known]
-    if unknown:
-        raise UsageError(
-            f"unknown scheduler family(ies) {unknown!r}; known: {list(known)}"
-        )
-    if seed is not None and "random" not in schedulers:
-        raise UsageError(
-            "a seed only affects the 'random' schedule family, which the "
-            f"scheduler selection {list(schedulers)!r} excludes — sweeping "
-            "seeds would run identical batteries; add 'random' or drop the "
-            "seed axis"
-        )
-    return list(schedulers)
-
-
-def _lk_points(n: int, lk) -> Optional[List[Tuple[int, int]]]:
-    """Resolve the ``lk`` axis (``"LxK"`` caps) to grid points.
-
-    ``None`` means the full ``1 <= l <= k <= n`` triangle; ``"2x3"``
-    restricts to points with ``l <= 2`` and ``k <= 3``.
-    """
-    if lk is None:
-        return None
-    parts = str(lk).lower().split("x")
-    if len(parts) != 2 or not all(part.strip().isdigit() for part in parts):
-        raise UsageError(
-            f"bad lk range {lk!r}; expected 'LxK' caps such as '2x3'"
-        )
-    l_max, k_max = int(parts[0]), int(parts[1])
-    points = [
-        (l, k)
-        for k in range(1, min(k_max, n) + 1)
-        for l in range(1, min(l_max, k) + 1)
-    ]
-    if not points:
-        raise UsageError(f"lk range {lk!r} selects no grid points for n={n}")
-    return points
-
-
-def _assemble_battery(
-    entries: Sequence[RegistryEntry],
-    tasks: Sequence[PlayTask],
-    results: Sequence[RunResult],
-) -> Dict[str, List[Play]]:
-    """Group batch results back into per-implementation play lists."""
-    battery: Dict[str, List[Play]] = {entry.key: [] for entry in entries}
-    modes = {
-        entry.key: entry.make().object_type.progress_mode for entry in entries
-    }
-    for task, result in zip(tasks, results):
-        battery[task.key].append(
-            (result.history, result.summary(modes[task.key]), task.label)
-        )
-    return battery
-
-
-def consensus_plays(
-    n: int,
-    entries: Sequence[RegistryEntry],
-    max_steps: int = 20_000,
-    processes: Optional[int] = None,
-    schedulers=None,
-    crash: Optional[str] = None,
-    seed: Optional[int] = None,
-) -> Dict[str, List[Play]]:
-    """The consensus schedule battery (see module docstring).
-
-    All plays are built as :class:`~repro.engine.batch.PlayTask`\\ s and
-    executed through the engine's batch runner — serially by default,
-    or on a process pool under ``processes`` /
-    ``REPRO_ENGINE_PARALLEL``.
-
-    The campaign grid axes select battery subsets uniformly:
-    ``schedulers`` restricts the schedule families
-    (:data:`CONSENSUS_SCHEDULE_FAMILIES`), ``crash`` injects a crash
-    pattern (:func:`~repro.sim.crash.parse_crash_spec` syntax) into
-    every composed play, and ``seed`` adds a seeded random-scheduler
-    play per implementation.
-    """
-    tasks: List[PlayTask] = []
-    families = _select_families(schedulers, CONSENSUS_SCHEDULE_FAMILIES, seed)
-    crash_factory = parse_crash_spec(crash)
-
-    def add(entry: RegistryEntry, label: str, scheduler_factory, proposals) -> None:
-        tasks.append(
-            PlayTask(
-                key=entry.key,
-                label=label,
-                implementation_factory=entry.make,
-                driver_factory=lambda sf=scheduler_factory, p=tuple(proposals): (
-                    ComposedDriver(
-                        sf(),
-                        propose_workload(list(p)),
-                        crash_plan=None if crash_factory is None else crash_factory(),
-                    )
-                ),
-                max_steps=max_steps,
-            )
-        )
-
-    for entry in entries:
-        if "solo" in families:
-            for pid in range(n):
-                proposals: List[Optional[int]] = [None] * n
-                proposals[pid] = pid
-                add(
-                    entry,
-                    f"solo(p{pid})",
-                    lambda pid=pid: SoloScheduler(pid),
-                    proposals,
-                )
-        if "lockstep" in families:
-            for a in range(n):
-                for b in range(a + 1, n):
-                    proposals = [None] * n
-                    proposals[a], proposals[b] = 0, 1
-                    add(
-                        entry,
-                        f"lockstep(p{a},p{b})",
-                        lambda a=a, b=b: LockstepScheduler([a, b]),
-                        proposals,
-                    )
-        if "round-robin" in families:
-            add(entry, "round-robin(all)", RoundRobinScheduler, list(range(n)))
-        if "random" in families:
-            play_seed = 0 if seed is None else seed
-            add(
-                entry,
-                f"random(seed={play_seed})",
-                lambda s=play_seed: RandomScheduler(s),
-                list(range(n)),
-            )
-
-    return _assemble_battery(entries, tasks, run_play_batch(tasks, processes=processes))
-
-
-def tm_plays(
-    n: int,
-    entries: Sequence[RegistryEntry],
-    variables: Sequence[int] = (0,),
-    transactions: int = 2,
-    max_steps: int = 240,
-    include_counterexample: bool = True,
-    processes: Optional[int] = None,
-    schedulers=None,
-    crash: Optional[str] = None,
-    seed: Optional[int] = None,
-) -> Dict[str, List[Play]]:
-    """The TM schedule-and-adversary battery (engine-batched, like
-    :func:`consensus_plays`, with the same uniform grid axes over
-    :data:`TM_SCHEDULE_FAMILIES`; crash patterns apply to the composed
-    schedule plays, not to the adversary strategies)."""
-    tasks: List[PlayTask] = []
-    families = _select_families(schedulers, TM_SCHEDULE_FAMILIES, seed)
-    crash_factory = parse_crash_spec(crash)
-
-    def crash_plan():
-        return None if crash_factory is None else crash_factory()
-
-    def add(entry: RegistryEntry, label: str, driver_factory) -> None:
-        tasks.append(
-            PlayTask(
-                key=entry.key,
-                label=label,
-                implementation_factory=entry.make,
-                driver_factory=driver_factory,
-                max_steps=max_steps,
-            )
-        )
-
-    for entry in entries:
-        if "round-robin" in families:
-            add(
-                entry,
-                "round-robin(all)",
-                lambda: ComposedDriver(
-                    RoundRobinScheduler(),
-                    TransactionWorkload(n, transactions, variables=variables),
-                    crash_plan=crash_plan(),
-                ),
-            )
-        if "group" in families:
-            for a in range(n):
-                for b in range(a + 1, n):
-                    add(
-                        entry,
-                        f"group(p{a},p{b})",
-                        lambda a=a, b=b: ComposedDriver(
-                            GroupScheduler([a, b]),
-                            TransactionWorkload(n, transactions, variables=variables),
-                            crash_plan=crash_plan(),
-                        ),
-                    )
-        if "random" in families:
-            play_seed = 0 if seed is None else seed
-            add(
-                entry,
-                f"random(seed={play_seed})",
-                lambda s=play_seed: ComposedDriver(
-                    RandomScheduler(s),
-                    TransactionWorkload(n, transactions, variables=variables),
-                    crash_plan=crash_plan(),
-                ),
-            )
-        if "tm-adversary" in families:
-            for victim, helper in ((0, 1), (1, 0)):
-                add(
-                    entry,
-                    f"tm-adversary(victim=p{victim})",
-                    lambda victim=victim, helper=helper: TMLocalProgressAdversary(
-                        victim=victim, helper=helper, variable=variables[0]
-                    ),
-                )
-        if "counterexample" in families and include_counterexample and n >= 3:
-            add(
-                entry,
-                "counterexample-adversary",
-                lambda: CounterexampleAdversary(tuple(range(3))),
-            )
-
-    return _assemble_battery(entries, tasks, run_play_batch(tasks, processes=processes))
-
-
-# ---------------------------------------------------------------------------
 # Figure 1
 # ---------------------------------------------------------------------------
 
@@ -402,7 +131,7 @@ def run_fig1a(
     )
     safety = AgreementValidity()
     grid = classify_grid(
-        n, safety, battery, semantics=semantics, points=_lk_points(n, lk)
+        n, safety, battery, semantics=semantics, points=lk_points(n, lk)
     )
     expected = lambda l, k: not (l == 1 and k == 1)
     result = ExperimentResult(
@@ -460,7 +189,7 @@ def run_fig1b(
     )
     safety = OpacityChecker(deep=True)
     grid = classify_grid(
-        n, safety, battery, semantics=semantics, points=_lk_points(n, lk)
+        n, safety, battery, semantics=semantics, points=lk_points(n, lk)
     )
     expected = lambda l, k: l >= 2
     result = ExperimentResult(
@@ -1202,6 +931,21 @@ def run_sec6(n: int = 3) -> ExperimentResult:
 # ---------------------------------------------------------------------------
 
 
+#: The sampling evidence persisted by every fuzz-flavoured job.
+_SAMPLING_ARTIFACTS = (
+    "interleavings",
+    "coverage",
+    "corpus",
+    "histories_checked",
+    "interleavings_per_second",
+)
+
+
+def _record_sampling_artifacts(result: ExperimentResult, source) -> None:
+    for key in _SAMPLING_ARTIFACTS:
+        result.artifacts[key] = source[key]
+
+
 def run_fuzz(
     workload: str = "agp-opacity",
     mode: str = "fuzz",
@@ -1211,26 +955,19 @@ def run_fuzz(
     crash: Optional[str] = None,
     shrink: bool = True,
 ) -> ExperimentResult:
-    """Fuzz one registered workload, or differential-oracle it.
+    """Fuzz one registered scenario, or differential-oracle it.
 
-    The campaign-facing entry point of :mod:`repro.fuzz`.  ``mode`` is
-    the grid axis that makes fuzzing a first-class campaign job kind:
-
-    * ``"fuzz"`` — sample ``iterations`` random interleavings (swarm
-      scheduler mutation, optional crash injection via the ``crash``
-      axis) and judge them with the workload's safety property; a found
-      violation is ddmin-shrunk to a locally minimal, replay-verified
-      trace which lands in the result artifacts.  The claim compares
-      the verdict against the workload's declared expectation (the
-      faulty fixtures are *expected* to fall).
-    * ``"oracle"`` — additionally run the exhaustive engine on the same
-      (small) instance and assert verdict agreement.  The ``crash`` and
-      ``shrink`` axes apply to ``mode="fuzz"`` only; a crash pattern on
-      an oracle cell is rejected (the exhaustive side enumerates the
-      crash-free space).
-
-    ``max_steps`` doubles as the walk depth bound, matching the uniform
-    axis name of the battery experiments.
+    A thin claim evaluator over the scenario layer: ``mode="fuzz"``
+    judges the uniform :func:`repro.scenarios.verify` verdict of the
+    fuzz backend against the scenario's declared expectation (shrunk,
+    replay-verified counterexample traces land in the artifacts);
+    ``mode="oracle"`` additionally runs the exhaustive backend on the
+    same (small) instance and asserts verdict agreement via
+    :func:`repro.fuzz.oracle.differential_check`.  ``mode`` is the grid
+    axis that makes fuzzing a first-class campaign job kind; ``crash``
+    and ``shrink`` apply to ``mode="fuzz"`` only, and ``max_steps``
+    doubles as the walk depth bound, matching the uniform axis name of
+    the battery experiments.
     """
     if mode not in ("fuzz", "oracle"):
         raise UsageError(f"mode must be 'fuzz' or 'oracle', got {mode!r}")
@@ -1242,7 +979,7 @@ def run_fuzz(
             "the oracle compares verdicts over the crash-free schedule "
             "space the exhaustive engine enumerates"
         )
-    spec = get_workload(workload)
+    spec = get_scenario(workload)
     result = ExperimentResult(
         experiment_id="fuzz",
         title=f"Randomized schedule fuzzer on {workload} [{mode}]",
@@ -1278,73 +1015,171 @@ def run_fuzz(
             )
         report = oracle.fuzz
         result.artifacts["exhaustive_runs"] = oracle.exhaustive_runs
-    else:
-        report = fuzz_workload(
-            spec, seed=seed, iterations=iterations, max_depth=max_steps, crash=crash
+        _record_sampling_artifacts(
+            result,
+            {
+                "interleavings": report.interleavings,
+                "coverage": report.coverage,
+                "corpus": report.corpus,
+                "histories_checked": report.histories_checked,
+                "interleavings_per_second": round(
+                    report.interleavings_per_second, 1
+                ),
+            },
         )
-        expectation = "violation" if spec.expect_violation else "no violation"
-        measured = (
-            f"violation at iteration {report.violation.iteration}"
-            if report.violation is not None
-            else f"no violation in {report.interleavings} interleavings"
-        )
+        return result
+
+    verdict = verify(
+        spec,
+        backend="fuzz",
+        seed=seed,
+        iterations=iterations,
+        max_depth=max_steps,
+        crash=crash,
+        shrink=shrink,
+    )
+    stats = verdict.stats
+    expectation = "violation" if spec.expect_violation else "no violation"
+    if verdict.budget_exhausted:
+        # The safety checker's own search budget blew mid-fuzz: report
+        # a failed claim rather than crashing the job.
         result.claims.append(
             Claim(
                 name="fuzz verdict",
                 expected=expectation,
-                measured=measured,
-                ok=(report.violation is not None) == spec.expect_violation,
+                measured=f"budget exhausted: {stats.get('error', '')}",
+                ok=False,
             )
+        )
+        return result
+    measured = (
+        f"violation at iteration {stats['violation_iteration']}"
+        if verdict.violated
+        else f"no violation in {stats['interleavings']} interleavings"
+    )
+    result.claims.append(
+        Claim(
+            name="fuzz verdict",
+            expected=expectation,
+            measured=measured,
+            ok=verdict.expected,
+        )
+    )
+    result.claims.append(
+        Claim(
+            name="coverage map",
+            expected="> 0 unique configurations",
+            measured=str(stats["coverage"]),
+            ok=stats["coverage"] > 0,
+        )
+    )
+    if verdict.counterexample is not None and shrink:
+        replays = bool(stats.get("counterexample_replays"))
+        measured_shrink = (
+            f"{stats['shrunk_from']} -> "
+            f"{stats['counterexample_length']} steps, replay "
+            f"{'violates' if replays else 'passes (!)'}"
+            if "shrunk_from" in stats
+            else "minimization aborted: "
+            + stats.get("witness_check_error", "unknown error")
         )
         result.claims.append(
             Claim(
-                name="coverage map",
-                expected="> 0 unique configurations",
-                measured=str(report.coverage),
-                ok=report.coverage > 0,
+                name="shrunk counterexample",
+                expected="locally minimal trace replays to a violation",
+                measured=measured_shrink,
+                ok=replays,
             )
         )
-        if report.violation is not None and shrink:
-            shrunk = shrink_schedule(
-                spec.factory, spec.plan, report.violation.schedule,
-                spec.safety_factory(),
-            )
-            replay = replay_schedule(
-                spec.factory, spec.plan, shrunk.schedule, spec.safety_factory()
-            )
-            result.claims.append(
-                Claim(
-                    name="shrunk counterexample",
-                    expected="locally minimal trace replays to a violation",
-                    measured=(
-                        f"{shrunk.original_length} -> {len(shrunk.schedule)} "
-                        f"steps, replay "
-                        f"{'violates' if replay.violates else 'passes (!)'}"
-                    ),
-                    ok=replay.violates,
+        result.artifacts["shrunk_trace"] = verdict.counterexample.to_document()
+        result.artifacts["shrunk_length"] = stats["counterexample_length"]
+        result.rendered = "shrunk schedule: " + " ".join(
+            f"{kind}(p{pid})" for kind, pid in verdict.counterexample.schedule
+        )
+    _record_sampling_artifacts(result, stats)
+    return result
+
+
+def run_verify(
+    scenario: str = "cas-consensus",
+    backend: str = "auto",
+    seed: Optional[int] = None,
+    iterations: Optional[int] = None,
+    max_steps: Optional[int] = None,
+    crash: Optional[str] = None,
+    shrink: bool = True,
+) -> ExperimentResult:
+    """Verify one registered scenario through the uniform facade.
+
+    The campaign face of :func:`repro.scenarios.verify`: ``scenario``
+    and ``backend`` (``exhaustive``/``fuzz``/``auto``) are grid axes,
+    so ``campaign init --grid verify scenario=... backend=...`` sweeps
+    the scenario catalog as stored, resumable jobs.  The single claim
+    compares the verdict outcome with the scenario's declared
+    expectation; the full verdict document (stats + replayable
+    counterexample trace) is persisted as an artifact.
+    """
+    spec = get_scenario(scenario)
+    resolved = resolve_backend(spec, backend)
+    overrides: Dict[str, object] = {"shrink": shrink}
+    if resolved == "fuzz":
+        overrides["seed"] = 0 if seed is None else seed
+        if iterations is not None:
+            overrides["iterations"] = iterations
+    elif backend != "auto":
+        # Explicit exhaustive cells reject swept sampling knobs loudly
+        # (a seed/iterations axis would run identical jobs — same
+        # policy as the batteries' seed-without-random check); 'auto'
+        # cells may mix backends across one grid, so there the knobs
+        # are dropped for the exhaustive-resolved scenarios instead.
+        for axis, value in (("seed", seed), ("iterations", iterations)):
+            if value is not None:
+                raise UsageError(
+                    f"the {axis!r} axis only affects fuzz cells, and "
+                    "backend='exhaustive' verification is deterministic "
+                    "— sweeping it would run identical jobs; restrict "
+                    f"the {axis!r} axis to backend=fuzz (or backend=auto) "
+                    "cells or drop it"
                 )
+    if max_steps is not None:
+        overrides["max_depth"] = max_steps
+    if crash not in (None, "", "none"):
+        # Passed through on every backend: a crash model changes the
+        # verified space, so an exhaustive cell must fail loudly.
+        overrides["crash"] = crash
+    verdict = verify(spec, backend=resolved, **overrides)
+    result = ExperimentResult(
+        experiment_id="verify",
+        title=f"Scenario verify: {spec.scenario_id} [{verdict.backend}]",
+    )
+    result.claims.append(
+        Claim(
+            name="verdict",
+            expected="violated" if spec.expect_violation else "holds",
+            measured=verdict.outcome,
+            ok=verdict.expected,
+        )
+    )
+    if verdict.counterexample is not None:
+        replays = bool(verdict.stats.get("counterexample_replays"))
+        result.claims.append(
+            Claim(
+                name="counterexample replay",
+                expected="trace replays to a violation on a plain runtime",
+                measured="replays" if replays else "does not replay",
+                ok=replays,
             )
-            trace = ReplayTrace(
-                plan=spec.plan,
-                schedule=shrunk.schedule,
-                workload=spec.name,
-                implementation=spec.factory().name,
-                safety=spec.safety_factory().name,
-                holds=False,
-                reason=report.violation.reason,
-                seed=report.seed,
-            )
-            result.artifacts["shrunk_trace"] = trace.to_document()
-            result.artifacts["shrunk_length"] = len(shrunk.schedule)
-            result.rendered = "shrunk schedule: " + " ".join(
-                f"{kind}(p{pid})" for kind, pid in shrunk.schedule
-            )
-    result.artifacts["interleavings"] = report.interleavings
-    result.artifacts["coverage"] = report.coverage
-    result.artifacts["corpus"] = report.corpus
-    result.artifacts["histories_checked"] = report.histories_checked
-    result.artifacts["interleavings_per_second"] = round(
-        report.interleavings_per_second, 1
+        )
+    result.artifacts["verdict"] = verdict.to_document()
+    if verdict.budget_exhausted:
+        evidence = "search budget exceeded"
+    elif "runs_checked" in verdict.stats:
+        evidence = f"runs_checked={verdict.stats['runs_checked']}"
+    else:
+        evidence = f"interleavings={verdict.stats.get('interleavings')}"
+    result.rendered = (
+        f"{spec.scenario_id}: {verdict.outcome} "
+        f"[{verdict.backend}, {evidence}]"
     )
     return result
 
@@ -1362,16 +1197,41 @@ class ExperimentSpec:
     contract the campaign layer (:mod:`repro.campaign`) uses to expand
     parameter grids: an axis outside this tuple is dropped for this
     experiment (duplicate jobs collapse by fingerprint).
+
+    ``scenarios`` names the registered scenarios this experiment's
+    instances correspond to — validated against the scenario registry
+    at import time, so an experiment can never reference an instance
+    the registry does not know.  Battery experiments list the scenarios
+    of the implementations they quantify over; single-instance
+    experiments (``fuzz``, ``verify``) list their default scenario (the
+    ``workload``/``scenario`` axis selects others); the finite
+    set-model experiments (``thm44``, ``thm49``) run on history-set
+    models with no implementation under test and list none.
     """
 
     experiment_id: str
     title: str
     runner: Callable[..., ExperimentResult]
     grid_axes: Tuple[str, ...] = ()
+    scenarios: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        for scenario_id in self.scenarios:
+            get_scenario(scenario_id)  # unknown ids fail at import time
 
 
 #: The uniform axes every battery-driven grid experiment accepts.
 _BATTERY_AXES = ("registry", "scheduler", "crash", "seed")
+
+#: The scenario slices the batteries quantify over.
+_REGISTER_CONSENSUS = ("commit-adopt-consensus", "silent-consensus")
+_OPAQUE_TMS = (
+    "agp-opacity",
+    "i12-opacity",
+    "trivial-opacity",
+    "global-lock-opacity",
+    "intent-opacity",
+)
 
 EXPERIMENTS: Dict[str, ExperimentSpec] = {
     spec.experiment_id: spec
@@ -1381,30 +1241,42 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
             "Figure 1(a) consensus grid",
             run_fig1a,
             ("n", "max_steps", "semantics", "lk") + _BATTERY_AXES,
+            scenarios=_REGISTER_CONSENSUS,
         ),
         ExperimentSpec(
             "fig1b",
             "Figure 1(b) TM grid",
             run_fig1b,
             ("n", "max_steps", "transactions", "semantics", "lk") + _BATTERY_AXES,
+            scenarios=_OPAQUE_TMS,
         ),
         ExperimentSpec(
             "thm52",
             "Theorem 5.2 extremal consensus freedom",
             run_thm52,
             ("n", "max_steps") + _BATTERY_AXES,
+            scenarios=_REGISTER_CONSENSUS + ("cas-consensus",),
         ),
         ExperimentSpec(
             "thm53",
             "Theorem 5.3 extremal TM freedom",
             run_thm53,
             ("n", "max_steps", "transactions") + _BATTERY_AXES,
+            scenarios=_OPAQUE_TMS,
         ),
         ExperimentSpec(
-            "cor45", "Corollary 4.5 no weakest (consensus)", run_cor45, ("max_steps",)
+            "cor45",
+            "Corollary 4.5 no weakest (consensus)",
+            run_cor45,
+            ("max_steps",),
+            scenarios=_REGISTER_CONSENSUS,
         ),
         ExperimentSpec(
-            "cor46", "Corollary 4.6 no weakest (TM)", run_cor46, ("n", "max_steps")
+            "cor46",
+            "Corollary 4.6 no weakest (TM)",
+            run_cor46,
+            ("n", "max_steps"),
+            scenarios=_OPAQUE_TMS,
         ),
         ExperimentSpec("thm44", "Theorem 4.4 finite models", run_thm44),
         ExperimentSpec("thm49", "Lemma 4.8 / Theorem 4.9 finite models", run_thm49),
@@ -1413,25 +1285,56 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
             "Lemma 5.4 Algorithm I(1,2)",
             run_lem54,
             ("n", "transactions", "max_steps", "scheduler", "crash", "seed"),
+            scenarios=("i12-opacity",),
         ),
         ExperimentSpec(
             "sec53",
             "Section 5.3 counterexample property",
             run_sec53,
             ("n", "transactions", "max_steps") + _BATTERY_AXES,
+            scenarios=("i12-opacity", "trivial-opacity"),
         ),
-        ExperimentSpec("sec6", "Section 6 liveness taxonomies", run_sec6, ("n",)),
+        ExperimentSpec(
+            "sec6",
+            "Section 6 liveness taxonomies",
+            run_sec6,
+            ("n",),
+            scenarios=_REGISTER_CONSENSUS,
+        ),
         ExperimentSpec(
             "fuzz",
             "Randomized schedule/crash fuzzer + differential oracle",
             run_fuzz,
             ("workload", "mode", "seed", "iterations", "max_steps", "crash", "shrink"),
+            scenarios=("agp-opacity",),
+        ),
+        ExperimentSpec(
+            "verify",
+            "Uniform scenario verification (exhaustive/fuzz backends)",
+            run_verify,
+            (
+                "scenario",
+                "backend",
+                "seed",
+                "iterations",
+                "max_steps",
+                "crash",
+                "shrink",
+            ),
+            scenarios=("cas-consensus",),
         ),
     )
 }
 
 
 def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
-    """Run a registered experiment by id."""
+    """Run a registered experiment by id.
+
+    Unknown ids raise :class:`~repro.util.errors.UsageError` with a
+    did-you-mean suggestion (exit code 2 at the CLI), like every other
+    registry lookup.
+    """
+    if experiment_id not in EXPERIMENTS:
+        raise unknown_choice("experiment", experiment_id, EXPERIMENTS)
     spec = EXPERIMENTS[experiment_id]
     return spec.runner(**kwargs)

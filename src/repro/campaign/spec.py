@@ -26,28 +26,13 @@ from itertools import product
 from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from repro.analysis.experiments import EXPERIMENTS
-from repro.util.errors import UsageError
+from repro.util.errors import UsageError, unknown_choice
+from repro.util.params import coerce_scalar  # noqa: F401  (re-exported: the
+# shared key=value grammar lives in repro.util.params; campaign axis
+# values and CLI --param/--set overrides must coerce identically)
 
 #: Inclusive integer range syntax for axis values: ``2..4`` → 2, 3, 4.
 _RANGE = re.compile(r"^(-?\d+)\.\.(-?\d+)$")
-
-
-def coerce_scalar(raw: str) -> Any:
-    """Coerce one textual value: int, float, ``true``/``false``, JSON
-    (``[...]``/``{...}``/quoted strings), bare string as fallback."""
-    if raw.lower() in ("true", "false"):
-        return raw.lower() == "true"
-    for parser in (int, float):
-        try:
-            return parser(raw)
-        except ValueError:
-            pass
-    if raw[:1] in ("[", "{", '"'):
-        try:
-            return json.loads(raw)
-        except json.JSONDecodeError:
-            pass
-    return raw
 
 
 def parse_axis_values(raw: str) -> List[Any]:
@@ -121,11 +106,9 @@ class CampaignSpec:
     name: str = "campaign"
 
     def __post_init__(self) -> None:
-        unknown = [e for e in self.experiments if e not in EXPERIMENTS]
-        if unknown:
-            raise UsageError(
-                f"unknown experiment(s) {unknown!r}; known: {sorted(EXPERIMENTS)}"
-            )
+        for experiment in self.experiments:
+            if experiment not in EXPERIMENTS:
+                raise unknown_choice("experiment", experiment, EXPERIMENTS)
         for axis, values in self.axes.items():
             if not values:
                 raise UsageError(f"axis {axis!r} has no values")

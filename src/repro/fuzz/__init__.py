@@ -8,8 +8,10 @@ coverage map — opening the large-instance regime exhaustive search
 cannot reach, while the differential oracle keeps the two layers
 honest against each other on small instances.
 
-* :mod:`repro.fuzz.workloads` — named instances (implementation, plan,
-  safety, expectations);
+Fuzz targets are the declarative scenarios of :mod:`repro.scenarios`
+(one registry feeding both backends); this package stays *below* the
+scenario layer and takes scenario objects as plain inputs.
+
 * :mod:`repro.fuzz.driver` — :class:`FuzzDriver`: snapshot-restart
   sampling with swarm scheduler mutation, crash-point injection, and
   coverage-guided corpus restarts;
@@ -31,19 +33,11 @@ from repro.fuzz.trace import (
     save_trace,
     schedule_to_decisions,
 )
-from repro.fuzz.workloads import (
-    FUZZ_WORKLOADS,
-    FuzzWorkload,
-    get_workload,
-    oracle_workloads,
-)
 
 __all__ = [
-    "FUZZ_WORKLOADS",
     "FuzzDriver",
     "FuzzReport",
     "FuzzViolation",
-    "FuzzWorkload",
     "OracleResult",
     "ReplayResult",
     "ReplayTrace",
@@ -51,9 +45,7 @@ __all__ = [
     "differential_check",
     "differential_sweep",
     "fuzz_workload",
-    "get_workload",
     "load_trace",
-    "oracle_workloads",
     "replay_schedule",
     "save_trace",
     "schedule_to_decisions",

@@ -48,7 +48,6 @@ from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Set, Tuple
 
 from repro.engine.config import KernelConfig, KernelSnapshot
-from repro.fuzz.workloads import FuzzWorkload
 from repro.sim.crash import CrashPlan, parse_crash_spec
 from repro.sim.drivers import CrashDecision, InvokeDecision, StepDecision
 from repro.sim.explore import Choice, InvocationPlan
@@ -114,7 +113,7 @@ class FuzzDriver:
     ----------
     factory, plan, safety:
         The instance under test (see
-        :class:`~repro.fuzz.workloads.FuzzWorkload`); ``safety=None``
+        :class:`~repro.scenarios.scenario.Scenario`); ``safety=None``
         disables checking (throughput measurements).
     seed:
         Master seed; every random choice derives from it, so equal
@@ -126,6 +125,12 @@ class FuzzDriver:
         Explicit crash pattern (:func:`~repro.sim.crash.parse_crash_spec`
         grammar) applied to every exploration walk; ``None`` lets the
         swarm mutator inject random crash points instead.
+    scheduler_factory:
+        Pinned scheduler for *directed* fuzzing: when given, every
+        exploration walk uses a fresh instance from this factory
+        instead of a mutated random swarm (fast corpus walks keep
+        their uniform tails).  ``None`` (the default) keeps the swarm
+        mutation.
     crash_probability:
         Chance that a mutated exploration walk draws a random crash
         point (ignored when ``crash`` is given).
@@ -154,6 +159,7 @@ class FuzzDriver:
         seed: object = 0,
         max_depth: int = 64,
         crash: Optional[str] = None,
+        scheduler_factory: Optional[Callable[[], Scheduler]] = None,
         crash_probability: float = 0.25,
         corpus_size: int = 128,
         min_corpus_depth: int = 4,
@@ -170,6 +176,7 @@ class FuzzDriver:
         self.seed = normalize_seed(seed)
         self.max_depth = max_depth
         self.crash_spec = crash
+        self.scheduler_factory = scheduler_factory
         self._crash_factory = parse_crash_spec(crash)
         self.crash_probability = crash_probability
         self.corpus_size = corpus_size
@@ -226,6 +233,8 @@ class FuzzDriver:
         return self._invoke_labels[pid]
 
     def _mutate_scheduler(self, rng: DeterministicRng) -> Optional[Scheduler]:
+        if self.scheduler_factory is not None:
+            return self.scheduler_factory()
         family = rng.choice(self._FAMILIES)
         if family == "weighted":
             weights = [rng.randint(1, 8) for _ in range(len(self._pids))]
@@ -426,7 +435,7 @@ class FuzzDriver:
 
 
 def fuzz_workload(
-    workload: FuzzWorkload,
+    scenario,
     seed: object = 0,
     iterations: int = 2_000,
     max_depth: int = 64,
@@ -434,14 +443,24 @@ def fuzz_workload(
     check_safety: bool = True,
     **options,
 ) -> FuzzReport:
-    """One-call convenience: fuzz a registered workload."""
+    """One-call convenience: fuzz one scenario.
+
+    ``scenario`` is any object with the
+    :class:`~repro.scenarios.scenario.Scenario` surface — ``factory``,
+    ``plan``, ``safety_factory``, ``name``, and optionally a pinned
+    ``scheduler_factory`` (the scenario registry's entries, or an
+    ad-hoc stand-in in tests).
+    """
+    options.setdefault(
+        "scheduler_factory", getattr(scenario, "scheduler_factory", None)
+    )
     driver = FuzzDriver(
-        workload.factory,
-        workload.plan,
-        safety=workload.safety_factory() if check_safety else None,
+        scenario.factory,
+        scenario.plan,
+        safety=scenario.safety_factory() if check_safety else None,
         seed=seed,
         max_depth=max_depth,
         crash=crash,
         **options,
     )
-    return driver.run(iterations, workload_name=workload.name)
+    return driver.run(iterations, workload_name=scenario.name)

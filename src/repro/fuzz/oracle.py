@@ -3,8 +3,8 @@
 On instances small enough to exhaust, the randomized fuzzer and the
 exhaustive engine must tell the same story: either both certify the
 safety property over the schedule space, or both produce a violating
-interleaving.  :func:`differential_check` runs both on one
-:class:`~repro.fuzz.workloads.FuzzWorkload` and compares:
+interleaving.  :func:`differential_check` runs both on one registered
+:class:`~repro.scenarios.scenario.Scenario` and compares:
 
 * **verdict agreement** — ``fuzz.holds == exhaustive.holds``.  A fuzz
   violation on a workload the engine certifies would expose a bug in
@@ -17,10 +17,13 @@ interleaving.  :func:`differential_check` runs both on one
   (:func:`~repro.fuzz.trace.replay_schedule`), independent of the
   snapshot engine.
 
-Run over several instances (satisfying and violating — see
-:func:`~repro.fuzz.workloads.oracle_workloads`), this turns the two
-exploration layers into mutual regression tests: CI asserts agreement
-under fixed seeds on every push.
+Run over several instances (satisfying and violating — the scenarios
+tagged ``small``), this turns the two exploration layers into mutual
+regression tests: CI asserts agreement under fixed seeds on every push.
+
+Scenario lookups import :mod:`repro.scenarios` lazily: the scenario
+layer sits *above* fuzz (its verify facade drives this module), so the
+package-level dependency must point only one way.
 """
 
 from __future__ import annotations
@@ -30,14 +33,13 @@ from typing import List, Optional, Union
 
 from repro.fuzz.driver import FuzzReport, fuzz_workload
 from repro.fuzz.trace import replay_schedule
-from repro.fuzz.workloads import FuzzWorkload, get_workload
 from repro.sim.explore import check_all_histories
 from repro.util.errors import UsageError
 
 
 @dataclass
 class OracleResult:
-    """Fuzz-vs-exhaustive comparison on one small instance."""
+    """Fuzz-vs-exhaustive comparison on one small scenario."""
 
     workload: str
     exhaustive_holds: bool
@@ -60,20 +62,25 @@ class OracleResult:
 
 
 def differential_check(
-    workload: Union[FuzzWorkload, str],
+    workload,
     seed: object = 0,
     iterations: int = 2_000,
     max_depth: int = 64,
     max_configurations: int = 200_000,
     **fuzz_options,
 ) -> OracleResult:
-    """Cross-check fuzzer and exhaustive verdicts on one instance."""
+    """Cross-check fuzzer and exhaustive verdicts on one scenario
+    (a :class:`~repro.scenarios.scenario.Scenario` or a registered
+    id)."""
     if isinstance(workload, str):
-        workload = get_workload(workload)
+        from repro.scenarios import get_scenario
+
+        workload = get_scenario(workload)
     if not workload.small:
         raise UsageError(
-            f"workload {workload.name!r} is not small enough for the "
-            "exhaustive oracle (small=False); fuzz it without --oracle"
+            f"scenario {workload.name!r} is not small enough for the "
+            "exhaustive oracle (not tagged 'small'); fuzz it without "
+            "--oracle"
         )
     # The oracle compares verdicts over the *crash-free* schedule space
     # (the space the exhaustive engine enumerates), so random crash
@@ -113,17 +120,17 @@ def differential_check(
 
 
 def differential_sweep(
-    workloads: Optional[List[Union[FuzzWorkload, str]]] = None,
+    workloads: Optional[List[Union[object, str]]] = None,
     seed: object = 0,
     iterations: int = 2_000,
     **options,
 ) -> List[OracleResult]:
-    """Run the oracle over several instances (default: every ``small``
-    workload in the registry)."""
-    from repro.fuzz.workloads import oracle_workloads
-
+    """Run the oracle over several scenarios (default: everything
+    tagged ``small`` in the registry)."""
     if workloads is None:
-        workloads = list(oracle_workloads())
+        from repro.scenarios import iter_scenarios
+
+        workloads = list(iter_scenarios(tags="small"))
     return [
         differential_check(workload, seed=seed, iterations=iterations, **options)
         for workload in workloads

@@ -1,0 +1,244 @@
+"""The shipped scenario catalog.
+
+Every named instance the repository verifies lives here — the former
+fuzz workload registry (same ids, same plans, same expectations, so
+fixed-seed fuzz runs reproduce exactly), widened with the remaining
+implementations of the analysis registries (TAS/silent consensus, the
+trivial, global-lock, and intent TMs).  Registration happens at import
+time; :mod:`repro.scenarios` imports this module, so
+``from repro.scenarios import iter_scenarios`` always sees the full
+catalog.
+
+The plans mirror the exhaustive benchmarks (``benchmarks/
+engine_timing.py``), so ``agp-opacity`` here is the same instance whose
+snapshot-vs-replay timings ``BENCH_engine.json`` records — fuzz-vs-
+exhaustive throughput comparisons are therefore like for like.  The
+``-deep`` and 3-process variants open the regime exhaustive search
+cannot reach; they are fuzz-only (no ``small`` tag).
+
+Tag vocabulary: ``consensus``/``tm`` (object kind), ``small``
+(exhaustible, hence oracle-eligible), ``satisfying``/``violating``
+(the expected verdict), ``registers-only`` (the hypothesis of the
+register-model corollaries).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.algorithms.consensus import (
+    CasConsensus,
+    CommitAdoptConsensus,
+    InventingConsensus,
+    SilentConsensus,
+    StubbornConsensus,
+    TasConsensus,
+)
+from repro.algorithms.tm import (
+    AgpTransactionalMemory,
+    GlobalLockTransactionalMemory,
+    I12TransactionalMemory,
+    IntentTransactionalMemory,
+    TrivialTransactionalMemory,
+)
+from repro.objects.consensus import AgreementValidity
+from repro.objects.opacity import OpacityChecker
+from repro.scenarios.registry import register
+from repro.scenarios.scenario import (
+    TAG_SATISFYING,
+    TAG_SMALL,
+    TAG_VIOLATING,
+    Bounds,
+    Scenario,
+)
+from repro.sim.explore import InvocationPlan
+
+PROPOSE_PLAN: InvocationPlan = {0: [("propose", (0,))], 1: [("propose", (1,))]}
+
+TM_PLAN: InvocationPlan = {
+    0: [("start", ()), ("write", (0, 1)), ("tryC", ())],
+    1: [("start", ()), ("read", (0,)), ("tryC", ())],
+}
+
+TM_DEEP_PLAN: InvocationPlan = {
+    0: [("start", ()), ("write", (0, 1)), ("tryC", ()), ("start", ()), ("tryC", ())],
+    1: [("start", ()), ("read", (0,)), ("tryC", ())],
+}
+
+TM_3P_PLAN: InvocationPlan = {
+    0: [("start", ()), ("write", (0, 1)), ("tryC", ())],
+    1: [("start", ()), ("read", (0,)), ("write", (0, 2)), ("tryC", ())],
+    2: [("start", ()), ("read", (0,)), ("tryC", ())],
+}
+
+#: The all-abort TM rejects ``start`` itself, so the only well-formed
+#: *static* plan against it is repeated start attempts (the reactive
+#: ``TransactionWorkload`` of the battery experiments adapts instead).
+TM_START_ONLY_PLAN: InvocationPlan = {
+    0: [("start", ()), ("start", ())],
+    1: [("start", ()), ("start", ())],
+}
+
+
+def _scenario(
+    scenario_id: str,
+    factory,
+    plan: InvocationPlan,
+    safety_factory,
+    kind: str,
+    expect_violation: bool = False,
+    small: bool = False,
+    extra_tags: Tuple[str, ...] = (),
+    bounds: Optional[Bounds] = None,
+    notes: str = "",
+) -> Scenario:
+    """Build-and-register helper keeping the derived tags consistent."""
+    tags = (kind,)
+    tags += (TAG_VIOLATING,) if expect_violation else (TAG_SATISFYING,)
+    if small:
+        tags += (TAG_SMALL,)
+    tags += extra_tags
+    return register(
+        Scenario(
+            scenario_id=scenario_id,
+            factory=factory,
+            plan=plan,
+            safety_factory=safety_factory,
+            bounds=bounds if bounds is not None else Bounds(),
+            tags=tags,
+            expect_violation=expect_violation,
+            notes=notes,
+        )
+    )
+
+
+# -- consensus ---------------------------------------------------------------
+
+_scenario(
+    "cas-consensus",
+    lambda: CasConsensus(2),
+    PROPOSE_PLAN,
+    AgreementValidity,
+    kind="consensus",
+    small=True,
+    notes="wait-free consensus; satisfying oracle instance",
+)
+_scenario(
+    "tas-consensus",
+    lambda: TasConsensus(2),
+    PROPOSE_PLAN,
+    AgreementValidity,
+    kind="consensus",
+    small=True,
+    notes="wait-free for 2 processes (consensus number 2)",
+)
+_scenario(
+    "commit-adopt-consensus",
+    lambda: CommitAdoptConsensus(2),
+    PROPOSE_PLAN,
+    AgreementValidity,
+    kind="consensus",
+    extra_tags=("registers-only",),
+    notes="obstruction-free register consensus; its round counter "
+    "blows up the depth-64 configuration graph (~7.5k maximal "
+    "runs, tens of seconds exhaustive), so it is fuzz-only",
+)
+_scenario(
+    "silent-consensus",
+    lambda: SilentConsensus(2),
+    PROPOSE_PLAN,
+    AgreementValidity,
+    kind="consensus",
+    small=True,
+    extra_tags=("registers-only",),
+    notes="never responds (Theorem 4.9's trivial implementation); "
+    "safety holds vacuously on every interleaving",
+)
+_scenario(
+    "stubborn-consensus",
+    lambda: StubbornConsensus(2),
+    PROPOSE_PLAN,
+    AgreementValidity,
+    kind="consensus",
+    expect_violation=True,
+    small=True,
+    extra_tags=("registers-only",),
+    notes="planted agreement violation (negative fixture)",
+)
+_scenario(
+    "inventing-consensus",
+    lambda: InventingConsensus(2),
+    PROPOSE_PLAN,
+    AgreementValidity,
+    kind="consensus",
+    expect_violation=True,
+    small=True,
+    extra_tags=("registers-only",),
+    notes="planted validity violation (negative fixture)",
+)
+
+# -- transactional memory ----------------------------------------------------
+
+_scenario(
+    "agp-opacity",
+    lambda: AgpTransactionalMemory(2, variables=(0,)),
+    TM_PLAN,
+    OpacityChecker,
+    kind="tm",
+    small=True,
+    notes="the BENCH_engine.json reference TM instance",
+)
+_scenario(
+    "i12-opacity",
+    lambda: I12TransactionalMemory(2, variables=(0,)),
+    TM_PLAN,
+    OpacityChecker,
+    kind="tm",
+    small=True,
+    notes="the paper's Algorithm 1 under the reference TM plan",
+)
+_scenario(
+    "trivial-opacity",
+    lambda: TrivialTransactionalMemory(2, variables=(0,)),
+    TM_START_ONLY_PLAN,
+    OpacityChecker,
+    kind="tm",
+    small=True,
+    notes="aborts everything (even start, hence the start-only plan); "
+    "the degenerate safe corner",
+)
+_scenario(
+    "global-lock-opacity",
+    lambda: GlobalLockTransactionalMemory(2, variables=(0,)),
+    TM_PLAN,
+    OpacityChecker,
+    kind="tm",
+    small=True,
+    notes="blocking TM; opaque, marks the non-blocking boundary",
+)
+_scenario(
+    "intent-opacity",
+    lambda: IntentTransactionalMemory(2, variables=(0,)),
+    TM_PLAN,
+    OpacityChecker,
+    kind="tm",
+    small=True,
+    notes="obstruction-free intent TM; livelocks under contention "
+    "but every history stays opaque",
+)
+_scenario(
+    "agp-opacity-deep",
+    lambda: AgpTransactionalMemory(2, variables=(0,)),
+    TM_DEEP_PLAN,
+    OpacityChecker,
+    kind="tm",
+    notes="double-depth plan; exhaustive search takes ~10s here",
+)
+_scenario(
+    "agp-opacity-3p",
+    lambda: AgpTransactionalMemory(3, variables=(0,)),
+    TM_3P_PLAN,
+    OpacityChecker,
+    kind="tm",
+    notes="3-process regime beyond the exhaustive benchmarks",
+)

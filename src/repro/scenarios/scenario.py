@@ -1,0 +1,179 @@
+"""The declarative scenario model: one instance, every backend.
+
+A :class:`Scenario` bundles everything any verification backend needs
+about one named instance — the implementation under test, the
+invocation plan whose schedules are explored, and the safety property
+that judges histories — plus the *policy* around it: an optional pinned
+scheduler for directed fuzzing, an optional crash model, default search
+bounds, and free-form tags that make the registry sliceable
+(``iter_scenarios(tags="small")``).
+
+The same ``Scenario`` is consumed by the exhaustive engine (every
+schedule, a depth/configuration-bounded proof), the fuzzer (seeded
+random sampling, horizon evidence), the differential oracle (both,
+compared), campaign grids (by id), and the CLI.  The
+:func:`~repro.scenarios.verify.verify` facade normalizes all of them to
+one :class:`Verdict` shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.fuzz.trace import ReplayTrace
+from repro.util.errors import UsageError
+
+#: The verdict outcomes every backend normalizes to.
+OUTCOMES = ("holds", "violated", "budget-exhausted")
+
+#: Tags with registry-wide meaning (free-form tags are also fine).
+TAG_SMALL = "small"  #: exhaustible => oracle-eligible
+TAG_VIOLATING = "violating"  #: a violation is the expected verdict
+TAG_SATISFYING = "satisfying"  #: the property is expected to hold
+
+
+@dataclass(frozen=True)
+class Bounds:
+    """Default search budgets of a scenario (overridable per call).
+
+    ``max_depth`` bounds schedule length on both backends;
+    ``iterations`` is the fuzz sampling budget; ``max_configurations``
+    is the exhaustive engine's unique-configuration budget (exceeding
+    it yields a ``budget-exhausted`` verdict, never a silent
+    truncation).
+    """
+
+    max_depth: int = 64
+    iterations: int = 2_000
+    max_configurations: int = 200_000
+
+    def override(self, **changes: Any) -> "Bounds":
+        """A copy with the given fields replaced (None values ignored)."""
+        return replace(
+            self, **{k: v for k, v in changes.items() if v is not None}
+        )
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named, declarative verification instance (see module doc)."""
+
+    scenario_id: str
+    #: Fresh-implementation factory (the object under test).
+    factory: Callable[[], Any]
+    #: The invocation plan whose interleavings are explored/sampled.
+    plan: Any  # InvocationPlan; kept loose for frozen-dataclass typing
+    #: Fresh-property factory (the checker judging each history).
+    safety_factory: Callable[[], Any]
+    #: Optional pinned scheduler factory: when given, fuzz exploration
+    #: walks use it instead of mutating random swarms (directed fuzzing).
+    scheduler_factory: Optional[Callable[[], Any]] = None
+    #: Optional crash model (``parse_crash_spec`` grammar, e.g.
+    #: ``"p0@40"``) applied by the fuzz backend unless overridden.
+    crash: Optional[str] = None
+    bounds: Bounds = field(default_factory=Bounds)
+    tags: Tuple[str, ...] = ()
+    #: Whether the expected verdict is a violation (planted fixtures).
+    expect_violation: bool = False
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.scenario_id or not isinstance(self.scenario_id, str):
+            raise UsageError(
+                f"scenario id must be a non-empty string, got "
+                f"{self.scenario_id!r}"
+            )
+
+    # -- derived views ------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Alias for :attr:`scenario_id` (the former ``FuzzWorkload``
+        field name; the fuzz driver and trace artifacts use it)."""
+        return self.scenario_id
+
+    @property
+    def small(self) -> bool:
+        """Small enough to exhaust — eligible for the exhaustive
+        backend's full proof and therefore for the differential
+        oracle."""
+        return TAG_SMALL in self.tags
+
+    def has_tags(self, wanted) -> bool:
+        """Whether every tag in ``wanted`` (a string or an iterable of
+        strings) is present."""
+        if isinstance(wanted, str):
+            wanted = (wanted,)
+        return all(tag in self.tags for tag in wanted)
+
+    def describe(self) -> Dict[str, str]:
+        """The catalog row: id, object, property, tags, notes.
+
+        Instantiates the factories (implementations are stateless and
+        cheap by the kernel's determinism contract) to report the real
+        registered names rather than repeating the id.
+        """
+        return {
+            "id": self.scenario_id,
+            "object": getattr(self.factory(), "name", "?"),
+            "property": getattr(self.safety_factory(), "name", "?"),
+            "tags": ", ".join(self.tags),
+            "notes": self.notes,
+        }
+
+
+@dataclass
+class Verdict:
+    """The uniform outcome every backend reduces to.
+
+    ``outcome`` is one of :data:`OUTCOMES`: the property held over the
+    explored/sampled space, a genuine violation was found (see
+    :attr:`counterexample`), or the exhaustive engine ran out of its
+    configuration budget before finishing.  ``expected`` compares the
+    outcome against the scenario's declared expectation — the CLI's
+    exit-0 condition.  ``stats`` carries backend-specific evidence
+    (runs checked, interleavings sampled, coverage, certainty,
+    timings); ``counterexample`` is a replay-verified
+    :class:`~repro.fuzz.trace.ReplayTrace` whenever a violation was
+    found, replayable by ``python -m repro fuzz --replay``.
+    """
+
+    scenario_id: str
+    backend: str
+    outcome: str
+    expected: bool
+    stats: Dict[str, Any] = field(default_factory=dict)
+    counterexample: Optional[ReplayTrace] = None
+
+    def __post_init__(self) -> None:
+        if self.outcome not in OUTCOMES:
+            raise UsageError(
+                f"verdict outcome must be one of {OUTCOMES}, got "
+                f"{self.outcome!r}"
+            )
+
+    @property
+    def holds(self) -> bool:
+        return self.outcome == "holds"
+
+    @property
+    def violated(self) -> bool:
+        return self.outcome == "violated"
+
+    @property
+    def budget_exhausted(self) -> bool:
+        return self.outcome == "budget-exhausted"
+
+    def to_document(self) -> Dict[str, Any]:
+        """A JSON-safe encoding (the ``verify --out`` artifact)."""
+        document: Dict[str, Any] = {
+            "scenario": self.scenario_id,
+            "backend": self.backend,
+            "outcome": self.outcome,
+            "expected": self.expected,
+            "stats": dict(self.stats),
+        }
+        if self.counterexample is not None:
+            document["counterexample"] = self.counterexample.to_document()
+        return document

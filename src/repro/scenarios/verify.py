@@ -1,0 +1,343 @@
+"""``verify()``: one facade, every backend, one verdict shape.
+
+``verify(scenario, backend="exhaustive"|"fuzz", **overrides)`` resolves
+a scenario (by id or object), runs the requested backend with the
+scenario's bounds (overridable per call), and normalizes the outcome to
+a :class:`~repro.scenarios.scenario.Verdict`:
+
+* ``exhaustive`` — enumerate every interleaving of the plan through the
+  snapshot engine (:func:`repro.sim.explore.check_all_histories`).  A
+  completed enumeration is a depth-bounded *proof* (``certainty:
+  "proof"``); blowing the configuration budget is reported as the
+  ``budget-exhausted`` outcome instead of an exception.
+* ``fuzz`` — sample seeded random interleavings
+  (:func:`repro.fuzz.driver.fuzz_workload`); a clean run is *horizon*
+  evidence only (``certainty: "horizon"``).
+
+Either way a found violation is ddmin-shrunk (unless ``shrink=False``),
+re-executed on a fresh plain runtime independent of the snapshot
+machinery, and attached as a replayable
+:class:`~repro.fuzz.trace.ReplayTrace` — the same artifact
+``python -m repro fuzz --replay`` consumes.
+
+Unknown override keys and overrides the chosen backend cannot honour
+raise :class:`~repro.util.errors.UsageError` (exit code 2 at the CLI)
+rather than being silently dropped.
+"""
+
+from __future__ import annotations
+
+import time
+
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.engine.frontier import SearchBudgetExceeded
+from repro.objects.opacity import (
+    SearchBudgetExceeded as CheckerBudgetExceeded,
+)
+from repro.fuzz.driver import fuzz_workload
+from repro.fuzz.shrink import shrink_schedule
+from repro.fuzz.trace import ReplayTrace, replay_schedule
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.scenario import Scenario, Verdict
+from repro.sim.explore import check_all_histories
+from repro.util.errors import UsageError, unknown_choice
+
+#: The verification backends the facade dispatches on.
+BACKENDS = ("exhaustive", "fuzz")
+
+#: Overrides each backend honours (everything else is an error).
+_EXHAUSTIVE_OVERRIDES = (
+    "max_depth",
+    "max_configurations",
+    "mode",
+    "processes",
+    "shrink",
+    "crash",  # accepted only as none: the enumerated space is crash-free
+)
+_FUZZ_OVERRIDES = (
+    "seed",
+    "iterations",
+    "max_depth",
+    "crash",
+    "shrink",
+    "crash_probability",
+    "corpus_size",
+    "min_corpus_depth",
+    "explore_every",
+)
+
+#: Sampling knobs only the fuzz backend understands.  Auto-mode callers
+#: (the CLI, the ``verify`` experiment) drop these for scenarios that
+#: resolve to the exhaustive backend instead of erroring — ``crash`` is
+#: deliberately NOT here: a crash model changes the verified space, so
+#: an exhaustive cell must fail loudly rather than silently run
+#: crash-free.
+FUZZ_ONLY_OVERRIDES = tuple(
+    key for key in _FUZZ_OVERRIDES if key not in _EXHAUSTIVE_OVERRIDES and key != "crash"
+)
+
+#: The mirror image: budget knobs only the exhaustive backend
+#: understands, dropped by auto-mode callers for fuzz-resolved
+#: scenarios so one override set can serve a mixed-backend list.
+EXHAUSTIVE_ONLY_OVERRIDES = tuple(
+    key for key in _EXHAUSTIVE_OVERRIDES if key not in _FUZZ_OVERRIDES
+)
+
+#: The budget exceptions the exhaustive backend folds into the
+#: ``budget-exhausted`` outcome: the engine's configuration budget and
+#: the opacity checker's per-history serialization-search budget (two
+#: distinct classes sharing a name).
+_BUDGET_ERRORS = (SearchBudgetExceeded, CheckerBudgetExceeded)
+
+
+def resolve_backend(scenario: Union[str, Scenario], backend: str) -> str:
+    """Resolve ``"auto"`` to a concrete backend: ``exhaustive`` for
+    scenarios tagged ``small`` (a full proof is affordable there),
+    ``fuzz`` otherwise.  Concrete backends pass through unchanged."""
+    if backend == "auto":
+        return "exhaustive" if get_scenario(scenario).small else "fuzz"
+    return backend
+
+
+def _expected(scenario: Scenario, outcome: str) -> bool:
+    """A budget-exhausted run is never the expected verdict; otherwise
+    the outcome must match the scenario's declared expectation."""
+    if outcome == "budget-exhausted":
+        return False
+    return (outcome == "violated") == scenario.expect_violation
+
+
+def _check_overrides(backend: str, overrides: Dict[str, Any], known) -> None:
+    for key in overrides:
+        if key not in known:
+            raise unknown_choice(f"{backend!r}-backend verify override", key, known)
+
+
+def _counterexample(
+    scenario: Scenario,
+    schedule: Tuple,
+    reason: Optional[str],
+    seed: Optional[int],
+    shrink: bool,
+) -> Tuple[ReplayTrace, Dict[str, Any]]:
+    """Minimize (optionally), replay-verify, and package a violation.
+
+    ``reason=None`` derives the recorded failure reason from the replay
+    verdict (the exhaustive backend's path — the enumeration does not
+    keep the failing verdict, and re-checking a deep history just for
+    its reason would repeat the most expensive check of the run).
+    """
+    stats: Dict[str, Any] = {"counterexample_length": len(schedule)}
+    replay = None
+    try:
+        if shrink:
+            shrunk = shrink_schedule(
+                scenario.factory, scenario.plan, schedule,
+                scenario.safety_factory(),
+            )
+            schedule = shrunk.schedule
+            stats["shrunk_from"] = shrunk.original_length
+            stats["counterexample_length"] = len(schedule)
+        replay = replay_schedule(
+            scenario.factory, scenario.plan, schedule, scenario.safety_factory()
+        )
+        stats["counterexample_replays"] = replay.violates
+    except _BUDGET_ERRORS as exc:
+        # The violation itself stands (the real checker judged a real
+        # history); only minimization/replay of *candidate* schedules
+        # blew the checker's search budget.  Keep the best witness we
+        # have and record why the follow-up checks are missing.
+        stats["witness_check_error"] = str(exc)
+    if reason is None:
+        reason = (
+            replay.verdict.reason or ""
+            if replay is not None and replay.verdict is not None
+            else ""
+        )
+    trace = ReplayTrace(
+        plan=scenario.plan,
+        schedule=tuple(schedule),
+        workload=scenario.scenario_id,
+        implementation=getattr(scenario.factory(), "name", None),
+        safety=getattr(scenario.safety_factory(), "name", None),
+        holds=False,
+        reason=reason,
+        seed=seed,
+    )
+    return trace, stats
+
+
+def _verify_exhaustive(scenario: Scenario, overrides: Dict[str, Any]) -> Verdict:
+    _check_overrides("exhaustive", overrides, _EXHAUSTIVE_OVERRIDES)
+    crash = overrides.get("crash")
+    if crash not in (None, "", "none"):
+        raise UsageError(
+            f"the exhaustive backend enumerates the crash-free schedule "
+            f"space; a crash model (got {crash!r}) only applies to "
+            "backend='fuzz'"
+        )
+    bounds = scenario.bounds.override(
+        max_depth=overrides.get("max_depth"),
+        max_configurations=overrides.get("max_configurations"),
+    )
+    mode = overrides.get("mode", "snapshot")
+    stats: Dict[str, Any] = {
+        "max_depth": bounds.max_depth,
+        "max_configurations": bounds.max_configurations,
+        "mode": mode,
+    }
+    started = time.perf_counter()
+    try:
+        report = check_all_histories(
+            scenario.factory,
+            scenario.plan,
+            scenario.safety_factory(),
+            max_depth=bounds.max_depth,
+            max_configurations=bounds.max_configurations,
+            mode=mode,
+            processes=int(overrides.get("processes", 0)),
+        )
+    except _BUDGET_ERRORS as exc:
+        stats["elapsed"] = round(time.perf_counter() - started, 4)
+        stats["error"] = str(exc)
+        return Verdict(
+            scenario_id=scenario.scenario_id,
+            backend="exhaustive",
+            outcome="budget-exhausted",
+            expected=_expected(scenario, "budget-exhausted"),
+            stats=stats,
+        )
+    stats["elapsed"] = round(time.perf_counter() - started, 4)
+    stats["runs_checked"] = report.runs_checked
+    if report.counterexample is None:
+        stats["certainty"] = "proof"
+        return Verdict(
+            scenario_id=scenario.scenario_id,
+            backend="exhaustive",
+            outcome="holds",
+            expected=_expected(scenario, "holds"),
+            stats=stats,
+        )
+    run = report.counterexample
+    trace, witness_stats = _counterexample(
+        scenario,
+        run.schedule,
+        reason=None,  # derived from the replay verdict
+        seed=None,
+        shrink=bool(overrides.get("shrink", True)),
+    )
+    stats.update(witness_stats)
+    stats["reason"] = trace.reason
+    return Verdict(
+        scenario_id=scenario.scenario_id,
+        backend="exhaustive",
+        outcome="violated",
+        expected=_expected(scenario, "violated"),
+        stats=stats,
+        counterexample=trace,
+    )
+
+
+def _verify_fuzz(scenario: Scenario, overrides: Dict[str, Any]) -> Verdict:
+    _check_overrides("fuzz", overrides, _FUZZ_OVERRIDES)
+    bounds = scenario.bounds.override(
+        max_depth=overrides.get("max_depth"),
+        iterations=overrides.get("iterations"),
+    )
+    seed = overrides.get("seed", 0)
+    crash = overrides.get("crash", scenario.crash)
+    options = {
+        key: overrides[key]
+        for key in (
+            "crash_probability",
+            "corpus_size",
+            "min_corpus_depth",
+            "explore_every",
+        )
+        if key in overrides
+    }
+    try:
+        report = fuzz_workload(
+            scenario,
+            seed=seed,
+            iterations=bounds.iterations,
+            max_depth=bounds.max_depth,
+            crash=crash,
+            **options,
+        )
+    except CheckerBudgetExceeded as exc:
+        # The safety checker's own search budget (e.g. the opacity
+        # serialization search) folds into the same explicit outcome.
+        return Verdict(
+            scenario_id=scenario.scenario_id,
+            backend="fuzz",
+            outcome="budget-exhausted",
+            expected=_expected(scenario, "budget-exhausted"),
+            stats={
+                "seed": seed,
+                "iterations": bounds.iterations,
+                "max_depth": bounds.max_depth,
+                "error": str(exc),
+            },
+        )
+    stats: Dict[str, Any] = {
+        "seed": report.seed,
+        "iterations": report.iterations,
+        "max_depth": bounds.max_depth,
+        "interleavings": report.interleavings,
+        "coverage": report.coverage,
+        "corpus": report.corpus,
+        "histories_checked": report.histories_checked,
+        "elapsed": round(report.elapsed, 4),
+        "interleavings_per_second": round(report.interleavings_per_second, 1),
+    }
+    if crash:
+        stats["crash"] = crash
+    if report.violation is None:
+        stats["certainty"] = "horizon"
+        return Verdict(
+            scenario_id=scenario.scenario_id,
+            backend="fuzz",
+            outcome="holds",
+            expected=_expected(scenario, "holds"),
+            stats=stats,
+        )
+    stats["violation_iteration"] = report.violation.iteration
+    stats["reason"] = report.violation.reason
+    trace, witness_stats = _counterexample(
+        scenario,
+        report.violation.schedule,
+        report.violation.reason,
+        seed=report.seed,
+        shrink=bool(overrides.get("shrink", True)),
+    )
+    stats.update(witness_stats)
+    return Verdict(
+        scenario_id=scenario.scenario_id,
+        backend="fuzz",
+        outcome="violated",
+        expected=_expected(scenario, "violated"),
+        stats=stats,
+        counterexample=trace,
+    )
+
+
+def verify(
+    scenario: Union[str, Scenario],
+    backend: str = "exhaustive",
+    **overrides: Any,
+) -> Verdict:
+    """Verify one scenario under one backend; see the module docstring.
+
+    ``backend="auto"`` picks ``exhaustive`` for scenarios tagged
+    ``small`` (a full proof is affordable there) and ``fuzz``
+    otherwise — the CLI default.
+    """
+    scenario = get_scenario(scenario)
+    backend = resolve_backend(scenario, backend)
+    if backend not in BACKENDS:
+        raise unknown_choice("verify backend", backend, BACKENDS + ("auto",))
+    if backend == "exhaustive":
+        return _verify_exhaustive(scenario, overrides)
+    return _verify_fuzz(scenario, overrides)

@@ -173,7 +173,10 @@ def explore_histories(
             if run is not None:
                 yield run
     except SearchBudgetExceeded:
-        raise RuntimeError(
+        # Re-raise with the exploration-level budget in the message; the
+        # type (a RuntimeError subclass) is part of the API — the verify
+        # facade turns it into a ``budget-exhausted`` verdict.
+        raise SearchBudgetExceeded(
             f"exploration exceeded {max_configurations} configurations"
         ) from None
 

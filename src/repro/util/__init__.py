@@ -1,4 +1,5 @@
-"""Small shared utilities: error types, deterministic RNG, id helpers."""
+"""Small shared utilities: error types, deterministic RNG, CLI param
+coercion, id helpers."""
 
 from repro.util.errors import (
     ReproError,
@@ -7,7 +8,10 @@ from repro.util.errors import (
     SimulationError,
     AdversaryError,
     ModelError,
+    UsageError,
+    unknown_choice,
 )
+from repro.util.params import coerce_scalar, parse_params
 from repro.util.rng import DeterministicRng
 
 __all__ = [
@@ -17,5 +21,9 @@ __all__ = [
     "SimulationError",
     "AdversaryError",
     "ModelError",
+    "UsageError",
+    "unknown_choice",
+    "coerce_scalar",
+    "parse_params",
     "DeterministicRng",
 ]

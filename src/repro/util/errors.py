@@ -12,6 +12,26 @@ class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
 
 
+def unknown_choice(kind: str, name: object, known) -> "UsageError":
+    """A uniform lookup failure: ``UsageError`` with a did-you-mean hint.
+
+    Every registry (scenarios, experiments, fuzz targets, backends)
+    routes its unknown-key path through here so a mistyped id fails the
+    same way everywhere: exit code 2 at the CLI, the close matches
+    suggested, the known ids listed.
+    """
+    import difflib
+
+    choices = sorted(str(choice) for choice in known)
+    matches = difflib.get_close_matches(str(name), choices, n=3, cutoff=0.5)
+    hint = (
+        "; did you mean " + " or ".join(repr(m) for m in matches) + "?"
+        if matches
+        else ""
+    )
+    return UsageError(f"unknown {kind} {name!r}{hint} (known: {choices})")
+
+
 class UsageError(ReproError):
     """The caller supplied an invalid parameter, flag, or environment
     setting.

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.__main__ import _parse_params, main
+from repro.util.errors import UsageError
 
 
 class TestParams:
@@ -36,8 +37,10 @@ class TestParams:
         assert _parse_params(["v=[1, 2"]) == {"v": "[1, 2"}
 
     def test_malformed_pair_rejected(self):
-        with pytest.raises(SystemExit):
+        # A usage error, not a bare SystemExit: main() maps it to exit 2.
+        with pytest.raises(UsageError):
             _parse_params(["oops"])
+        assert main(["run", "thm44", "--param", "oops"]) == 2
 
 
 class TestCommands:

@@ -9,6 +9,7 @@ back OK.
 import pytest
 
 from repro.analysis import EXPERIMENTS, run_experiment
+from repro.util.errors import UsageError
 
 
 class TestRegistry:
@@ -26,10 +27,11 @@ class TestRegistry:
             "sec53",
             "sec6",
             "fuzz",
+            "verify",
         }
 
     def test_unknown_experiment_raises(self):
-        with pytest.raises(KeyError):
+        with pytest.raises(UsageError, match="unknown experiment"):
             run_experiment("fig9z")
 
 

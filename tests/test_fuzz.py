@@ -8,34 +8,33 @@ from repro.__main__ import main
 from repro.analysis.experiments import run_experiment
 from repro.core.events import Crash
 from repro.fuzz import (
-    FUZZ_WORKLOADS,
     FuzzDriver,
     ReplayTrace,
     differential_check,
     differential_sweep,
     fuzz_workload,
-    get_workload,
     load_trace,
     replay_schedule,
     save_trace,
     schedule_to_decisions,
 )
+from repro.scenarios import get_scenario, iter_scenarios
 from repro.sim.drivers import CrashDecision, InvokeDecision, StepDecision
 from repro.util.errors import UsageError
 
-SAT = get_workload("cas-consensus")
-VIOL = get_workload("stubborn-consensus")
-TM = get_workload("agp-opacity")
+SAT = get_scenario("cas-consensus")
+VIOL = get_scenario("stubborn-consensus")
+TM = get_scenario("agp-opacity")
 
 
 class TestWorkloadRegistry:
     def test_registry_spans_expectations(self):
-        expectations = {w.expect_violation for w in FUZZ_WORKLOADS.values()}
+        expectations = {s.expect_violation for s in iter_scenarios()}
         assert expectations == {True, False}
 
     def test_unknown_workload_raises_usage_error(self):
         with pytest.raises(UsageError):
-            get_workload("no-such-workload")
+            get_scenario("no-such-workload")
 
 
 class TestFuzzDriver:

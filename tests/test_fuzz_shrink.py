@@ -5,14 +5,14 @@ import pytest
 
 from repro.fuzz import (
     fuzz_workload,
-    get_workload,
     replay_schedule,
     shrink_schedule,
 )
+from repro.scenarios import get_scenario
 from repro.util.errors import UsageError
 
-VIOL = get_workload("stubborn-consensus")
-INVENT = get_workload("inventing-consensus")
+VIOL = get_scenario("stubborn-consensus")
+INVENT = get_scenario("inventing-consensus")
 
 
 def find_violation(workload, seed):

@@ -95,3 +95,51 @@ class TestErrorHierarchy:
             SpecificationError,
         ):
             assert issubclass(error_type, ReproError)
+
+
+class TestParams:
+    """The shared key=value grammar (repro.util.params)."""
+
+    def test_coercion_grammar(self):
+        from repro.util.params import coerce_scalar
+
+        assert coerce_scalar("4") == 4
+        assert coerce_scalar("0.25") == 0.25
+        assert coerce_scalar("true") is True
+        assert coerce_scalar("[0, 1]") == [0, 1]
+        assert coerce_scalar("p0@40") == "p0@40"
+
+    def test_parse_params_rejects_duplicates_and_empty_keys(self):
+        from repro.util.errors import UsageError
+        from repro.util.params import parse_params
+
+        assert parse_params(["n=2", "seed=7"]) == {"n": 2, "seed": 7}
+        with pytest.raises(UsageError, match="twice"):
+            parse_params(["n=2", "n=3"])
+        with pytest.raises(UsageError, match="empty key"):
+            parse_params(["=3"])
+        with pytest.raises(UsageError, match="--set"):
+            parse_params(["oops"], option="--set")
+
+    def test_campaign_spec_reexports_the_shared_coercion(self):
+        # One grammar for campaign axes and CLI overrides (no drift).
+        from repro.campaign.spec import coerce_scalar as campaign_coerce
+        from repro.util.params import coerce_scalar
+
+        assert campaign_coerce is coerce_scalar
+
+
+class TestUnknownChoice:
+    def test_suggests_close_matches(self):
+        from repro.util.errors import UsageError, unknown_choice
+
+        error = unknown_choice("scenario", "cas-consensu", ["cas-consensus", "i12-opacity"])
+        assert isinstance(error, UsageError)
+        assert "did you mean 'cas-consensus'" in str(error)
+
+    def test_lists_known_without_matches(self):
+        from repro.util.errors import unknown_choice
+
+        message = str(unknown_choice("backend", "qqq", ["exhaustive", "fuzz"]))
+        assert "did you mean" not in message
+        assert "exhaustive" in message and "fuzz" in message
