@@ -12,6 +12,7 @@ Usage::
     python -m repro verify agp-opacity                # exhaustive proof
     python -m repro verify agp-opacity-3p --backend fuzz --set seed=7
     python -m repro verify stubborn-consensus --out verdict.json
+    python -m repro verify trivial-local-progress-f1 --backend liveness
 
     python -m repro campaign init --grid fig1a n=2..4 seed=0..4
     python -m repro campaign init --grid verify scenario=agp-opacity backend=fuzz seed=0..4
@@ -370,13 +371,7 @@ def cmd_scenarios(arguments) -> int:
 
 
 def cmd_verify(arguments) -> int:
-    from repro.scenarios import (
-        EXHAUSTIVE_ONLY_OVERRIDES,
-        FUZZ_ONLY_OVERRIDES,
-        get_scenario,
-        resolve_backend,
-        verify,
-    )
+    from repro.scenarios import get_scenario, verify
 
     overrides = _parse_params(arguments.set, option="--set")
     # Fail fast on unknown ids, before any scenario runs.
@@ -384,27 +379,21 @@ def cmd_verify(arguments) -> int:
     documents = []
     surprises = 0
     for scenario in scenarios:
-        backend = resolve_backend(scenario, arguments.backend)
-        call_overrides = dict(overrides)
-        if arguments.backend == "auto":
-            # Auto mode may mix backends across the listed scenarios,
-            # so one --set list serves both: each scenario drops the
-            # knobs the *other* backend owns (an explicit --backend
-            # stays strict).
-            dropped = (
-                FUZZ_ONLY_OVERRIDES
-                if backend == "exhaustive"
-                else EXHAUSTIVE_ONLY_OVERRIDES
-            )
-            for key in dropped:
-                call_overrides.pop(key, None)
-        verdict = verify(scenario, backend=backend, **call_overrides)
+        # Auto mode may mix backends across the listed scenarios; the
+        # library-level facade drops the knobs the resolved backend
+        # does not own (an explicit --backend stays strict).
+        verdict = verify(scenario, backend=arguments.backend, **overrides)
         documents.append(verdict.to_document())
         stats = verdict.stats
         if verdict.budget_exhausted:
             evidence = "search budget exceeded"
         elif "runs_checked" in stats:
             evidence = f"{stats['runs_checked']} runs enumerated"
+        elif "runs" in stats:
+            evidence = (
+                f"{stats['runs']} maximal runs classified, "
+                f"certainty {stats.get('certainty')}"
+            )
         else:
             evidence = f"{stats.get('interleavings', 0)} interleavings sampled"
         print(
@@ -412,6 +401,15 @@ def cmd_verify(arguments) -> int:
             f"({evidence}) -> "
             f"{'expected' if verdict.expected else 'SURPRISE'}"
         )
+        if verdict.lasso is not None:
+            replays = stats.get("lasso_replays")
+            print(
+                f"  lasso certificate ({verdict.lasso.fingerprint_kind}: "
+                f"stem {stats.get('lasso_stem')} + cycle "
+                f"{stats.get('lasso_cycle')} steps, starving "
+                f"{list(verdict.lasso.starving)}, replay "
+                f"{'re-certifies' if replays else 'FAILS (!)'})"
+            )
         if verdict.counterexample is not None:
             rendered = " ".join(
                 f"{kind}(p{pid})" for kind, pid in verdict.counterexample.schedule
@@ -601,14 +599,17 @@ def _add_verify_parser(subparsers) -> None:
         help="scenario ids (see 'scenarios list')",
     )
     verify.add_argument(
-        "--backend", choices=("auto", "exhaustive", "fuzz"), default="auto",
+        "--backend", choices=("auto", "exhaustive", "fuzz", "liveness"),
+        default="auto",
         help="verification backend; 'auto' (default) picks 'exhaustive' "
-        "for scenarios tagged small and 'fuzz' otherwise",
+        "for scenarios tagged small and 'fuzz' otherwise; 'liveness' "
+        "judges the scenario's liveness property over every maximal "
+        "run (scenarios tagged 'liveness' only)",
     )
     verify.add_argument(
         "--set", action="append", default=[], metavar="key=value",
         help="verify override as key=value (repeatable): seed, iterations, "
-        "max_depth, max_configurations, crash, shrink, ...",
+        "max_depth, max_configurations, crash, shrink, lasso_stride, ...",
     )
     verify.add_argument(
         "--out", default=None, metavar="FILE",

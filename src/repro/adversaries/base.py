@@ -55,6 +55,17 @@ class AdversaryDriver(Driver):
     def machine_state(self) -> Optional[Hashable]:
         """The full strategy state, or ``None`` to disable lassos."""
 
+    def restore_machine_state(self, state: Hashable) -> None:
+        """Inverse of :meth:`machine_state` (branch restore).
+
+        Subclasses that participate in the branching liveness search
+        implement this; the default refuses so a missing implementation
+        fails loudly instead of silently resuming a stale strategy.
+        """
+        raise NotImplementedError(
+            f"adversary {self.name!r} does not support state restore"
+        )
+
     def fingerprint(self) -> Optional[Hashable]:
         state = self.machine_state()
         if state is None:
@@ -63,6 +74,17 @@ class AdversaryDriver(Driver):
 
     def reset(self) -> None:
         self.escaped = False
+
+    # -- capture/restore (Driver contract) ----------------------------------
+
+    def capture_state(self) -> Hashable:
+        """Machine state plus the :attr:`escaped` flag, restorable."""
+        return (self.machine_state(), self.escaped)
+
+    def restore_state(self, state: Hashable) -> None:
+        machine_state, escaped = state
+        self.restore_machine_state(machine_state)
+        self.escaped = escaped
 
     # -- small-step helpers -------------------------------------------------
 

@@ -139,6 +139,9 @@ class LockstepConsensusAdversary(AdversaryDriver):
     def machine_state(self) -> Optional[Hashable]:
         return (self._phase, self._turn)
 
+    def restore_machine_state(self, state: Hashable) -> None:
+        self._phase, self._turn = state
+
     def reset(self) -> None:
         super().reset()
         self._phase = 0

@@ -1112,12 +1112,14 @@ def run_verify(
     """Verify one registered scenario through the uniform facade.
 
     The campaign face of :func:`repro.scenarios.verify`: ``scenario``
-    and ``backend`` (``exhaustive``/``fuzz``/``auto``) are grid axes,
-    so ``campaign init --grid verify scenario=... backend=...`` sweeps
-    the scenario catalog as stored, resumable jobs.  The single claim
-    compares the verdict outcome with the scenario's declared
-    expectation; the full verdict document (stats + replayable
-    counterexample trace) is persisted as an artifact.
+    and ``backend`` (``exhaustive``/``fuzz``/``liveness``/``auto``) are
+    grid axes, so ``campaign init --grid verify scenario=...
+    backend=...`` sweeps the scenario catalog as stored, resumable
+    jobs.  The single claim compares the verdict outcome with the
+    scenario's declared expectation for the backend's property kind
+    (``expect_liveness_violation`` for liveness cells); the full
+    verdict document (stats + replayable counterexample / lasso trace)
+    is persisted as an artifact.
     """
     spec = get_scenario(scenario)
     resolved = resolve_backend(spec, backend)
@@ -1127,16 +1129,17 @@ def run_verify(
         if iterations is not None:
             overrides["iterations"] = iterations
     elif backend != "auto":
-        # Explicit exhaustive cells reject swept sampling knobs loudly
-        # (a seed/iterations axis would run identical jobs — same
-        # policy as the batteries' seed-without-random check); 'auto'
-        # cells may mix backends across one grid, so there the knobs
-        # are dropped for the exhaustive-resolved scenarios instead.
+        # Explicit exhaustive/liveness cells reject swept sampling
+        # knobs loudly (a seed/iterations axis would run identical jobs
+        # — same policy as the batteries' seed-without-random check);
+        # 'auto' cells may mix backends across one grid, so there the
+        # knobs are dropped for the non-fuzz-resolved scenarios
+        # instead.
         for axis, value in (("seed", seed), ("iterations", iterations)):
             if value is not None:
                 raise UsageError(
                     f"the {axis!r} axis only affects fuzz cells, and "
-                    "backend='exhaustive' verification is deterministic "
+                    f"backend={resolved!r} verification is deterministic "
                     "— sweeping it would run identical jobs; restrict "
                     f"the {axis!r} axis to backend=fuzz (or backend=auto) "
                     "cells or drop it"
@@ -1145,17 +1148,23 @@ def run_verify(
         overrides["max_depth"] = max_steps
     if crash not in (None, "", "none"):
         # Passed through on every backend: a crash model changes the
-        # verified space, so an exhaustive cell must fail loudly.
+        # verified space, so an exhaustive or liveness cell must fail
+        # loudly.
         overrides["crash"] = crash
     verdict = verify(spec, backend=resolved, **overrides)
     result = ExperimentResult(
         experiment_id="verify",
         title=f"Scenario verify: {spec.scenario_id} [{verdict.backend}]",
     )
+    expect_violation = (
+        spec.expect_liveness_violation
+        if resolved == "liveness"
+        else spec.expect_violation
+    )
     result.claims.append(
         Claim(
             name="verdict",
-            expected="violated" if spec.expect_violation else "holds",
+            expected="violated" if expect_violation else "holds",
             measured=verdict.outcome,
             ok=verdict.expected,
         )
@@ -1170,11 +1179,27 @@ def run_verify(
                 ok=replays,
             )
         )
+    if verdict.lasso is not None:
+        replays = bool(verdict.stats.get("lasso_replays"))
+        result.claims.append(
+            Claim(
+                name="lasso certificate replay",
+                expected="stem+cycle re-certifies starvation on a plain runtime",
+                measured="replays" if replays else "does not replay",
+                ok=replays,
+            )
+        )
     result.artifacts["verdict"] = verdict.to_document()
     if verdict.budget_exhausted:
         evidence = "search budget exceeded"
     elif "runs_checked" in verdict.stats:
         evidence = f"runs_checked={verdict.stats['runs_checked']}"
+    elif "runs" in verdict.stats:
+        evidence = (
+            f"runs={verdict.stats['runs']}, "
+            f"lassos={verdict.stats.get('lassos', 0)}, "
+            f"certainty={verdict.stats.get('certainty')}"
+        )
     else:
         evidence = f"interleavings={verdict.stats.get('interleavings')}"
     result.rendered = (
@@ -1310,7 +1335,7 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
         ),
         ExperimentSpec(
             "verify",
-            "Uniform scenario verification (exhaustive/fuzz backends)",
+            "Uniform scenario verification (exhaustive/fuzz/liveness backends)",
             run_verify,
             (
                 "scenario",
@@ -1321,7 +1346,7 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
                 "crash",
                 "shrink",
             ),
-            scenarios=("cas-consensus",),
+            scenarios=("cas-consensus", "trivial-local-progress-f1"),
         ),
     )
 }

@@ -77,9 +77,10 @@ def _json_value(value: Any) -> bool:
     """Whether an artifact round-trips through JSON as-is.
 
     Scalars always do; lists/dicts are probed with an actual encode so
-    structured artifacts (e.g. the fuzzer's shrunk replay traces) are
-    persisted while object-valued artifacts (grids, witnesses,
-    certificates) stay excluded.
+    structured artifacts (e.g. the fuzzer's shrunk replay traces, and
+    the liveness backend's verdict documents with their embedded lasso
+    certificates) are persisted while object-valued artifacts (grids,
+    witnesses, certificates) stay excluded.
     """
     if isinstance(value, (bool, int, float, str)):
         return True

@@ -209,6 +209,11 @@ class KernelConfig:
         runtime.step_count = snapshot.step_count
         runtime.events = list(snapshot.events)
         runtime.last_response.clear()
+        # A restore is a restart: fingerprints the lasso detector saw
+        # before the rewind belong to a different run and would fabricate
+        # bogus cross-run lassos (engine configurations keep detection
+        # off, so this is insurance for detection-enabled embeddings).
+        runtime.reset_lasso()
         self._events_tuple = snapshot.events
         for process_snapshot in snapshot.processes:
             pid = process_snapshot.pid
@@ -332,6 +337,28 @@ class KernelConfig:
                 for pid in range(self.n_processes)
             ),
             self._events(),
+        )
+
+    def kernel_fingerprint(self) -> Hashable:
+        """The configuration fingerprint *without* the event history.
+
+        :meth:`fingerprint` includes the event sequence because safety
+        verdicts depend on real-time order — but along any infinite run
+        the history grows monotonically, so a repeated-configuration
+        (lasso) detector must key on the forward-determining state only:
+        pool state plus per-process frames/memories.  This is the
+        incremental-cached equivalent of
+        :func:`repro.sim.runtime.kernel_state_fingerprint` and must
+        compute the same value — certificate replay compares against
+        that shared definition.
+        """
+        runtime = self.runtime
+        return (
+            runtime.pool.snapshot_state(),
+            tuple(
+                self._process_fingerprint(pid)
+                for pid in range(self.n_processes)
+            ),
         )
 
     def _events(self) -> Tuple[object, ...]:

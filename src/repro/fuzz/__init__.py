@@ -17,8 +17,10 @@ scenario layer and takes scenario objects as plain inputs.
   coverage-guided corpus restarts;
 * :mod:`repro.fuzz.shrink` — ddmin minimization of violating schedules
   to locally minimal, replay-verified traces;
-* :mod:`repro.fuzz.trace` — the JSON replay artifact, replayed through
-  the plain :mod:`repro.sim.runtime` (independent of the engine);
+* :mod:`repro.fuzz.trace` — the JSON replay artifacts (schedule
+  counterexamples and the liveness backend's lasso certificates),
+  replayed through the plain :mod:`repro.sim.runtime` (independent of
+  the engine);
 * :mod:`repro.fuzz.oracle` — fuzz-vs-exhaustive verdict comparison.
 """
 
@@ -26,10 +28,15 @@ from repro.fuzz.driver import FuzzDriver, FuzzReport, FuzzViolation, fuzz_worklo
 from repro.fuzz.oracle import OracleResult, differential_check, differential_sweep
 from repro.fuzz.shrink import ShrinkResult, shrink_schedule
 from repro.fuzz.trace import (
+    LassoTrace,
     ReplayResult,
     ReplayTrace,
+    decisions_to_labels,
+    labels_to_decisions,
+    load_lasso_trace,
     load_trace,
     replay_schedule,
+    save_lasso_trace,
     save_trace,
     schedule_to_decisions,
 )
@@ -38,15 +45,20 @@ __all__ = [
     "FuzzDriver",
     "FuzzReport",
     "FuzzViolation",
+    "LassoTrace",
     "OracleResult",
     "ReplayResult",
     "ReplayTrace",
     "ShrinkResult",
+    "decisions_to_labels",
     "differential_check",
     "differential_sweep",
     "fuzz_workload",
+    "labels_to_decisions",
+    "load_lasso_trace",
     "load_trace",
     "replay_schedule",
+    "save_lasso_trace",
     "save_trace",
     "schedule_to_decisions",
     "shrink_schedule",

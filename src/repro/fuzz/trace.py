@@ -229,3 +229,174 @@ def save_trace(path: str, trace: ReplayTrace) -> None:
 def load_trace(path: str) -> ReplayTrace:
     with open(path, "r", encoding="utf-8") as handle:
         return ReplayTrace.from_json(handle.read())
+
+
+# ---------------------------------------------------------------------------
+# Lasso traces: the liveness backend's counterexample artifact
+# ---------------------------------------------------------------------------
+
+LASSO_FORMAT = "repro-lasso-trace"
+LASSO_VERSION = 1
+
+
+def decisions_to_labels(decisions: Sequence[Decision]) -> List[List[Any]]:
+    """Encode full runtime decisions as JSON-safe labels.
+
+    Unlike schedule labels (which resolve invocations through a plan
+    cursor), lasso traces carry the operations and arguments verbatim —
+    adversary strategies compute invocation arguments from earlier
+    responses, so there is no static plan to resolve against.
+    Encodings: ``["invoke", pid, operation, [args]]``,
+    ``["step", pid]``, ``["crash", pid]``.
+    """
+    labels: List[List[Any]] = []
+    for decision in decisions:
+        if isinstance(decision, InvokeDecision):
+            labels.append(
+                ["invoke", decision.pid, decision.operation, _plain(decision.args)]
+            )
+        elif isinstance(decision, StepDecision):
+            labels.append(["step", decision.pid])
+        elif isinstance(decision, CrashDecision):
+            labels.append(["crash", decision.pid])
+        else:
+            raise UsageError(f"cannot encode decision {decision!r}")
+    return labels
+
+
+def labels_to_decisions(labels: Sequence[Sequence[Any]]) -> List[Decision]:
+    """Decode :func:`decisions_to_labels` output."""
+    decisions: List[Decision] = []
+    for label in labels:
+        kind = label[0]
+        if kind == "invoke":
+            _, pid, operation, args = label
+            decisions.append(InvokeDecision(int(pid), str(operation), _tupled(args)))
+        elif kind == "step":
+            decisions.append(StepDecision(int(label[1])))
+        elif kind == "crash":
+            decisions.append(CrashDecision(int(label[1])))
+        else:
+            raise UsageError(f"unknown decision label kind {kind!r}")
+    return decisions
+
+
+@dataclass
+class LassoTrace:
+    """A serialized starvation certificate: ``stem · cycle^ω``.
+
+    The liveness counterpart of :class:`ReplayTrace`.  ``stem`` and
+    ``cycle`` are full decision labels (see :func:`decisions_to_labels`);
+    replaying them through the plain runtime re-verifies the state
+    repetition under ``fingerprint_kind`` (``"exact"``/``"abstract"``,
+    or ``"finite"`` for a complete fair finite execution with an empty
+    cycle) and that the ``starving`` processes receive no good response
+    inside the cycle.
+
+    Trace document (format version 1)::
+
+        {
+          "format": "repro-lasso-trace", "version": 1,
+          "scenario": "trivial-local-progress-f1",   # registry id
+          "implementation": "trivial-tm",            # informational
+          "liveness": "local-progress",              # property name
+          "fingerprint_kind": "exact",               # exact|abstract|finite
+          "stem": [["invoke", 0, "start", []], ["step", 0]],
+          "cycle": [["invoke", 0, "start", []], ["step", 0]],
+          "starving": [0],                           # starving processes
+          "reason": "correct processes [0] make no progress"
+        }
+    """
+
+    stem: Tuple[Tuple[Any, ...], ...]
+    cycle: Tuple[Tuple[Any, ...], ...]
+    fingerprint_kind: str
+    scenario: Optional[str] = None
+    implementation: Optional[str] = None
+    liveness: Optional[str] = None
+    starving: Tuple[int, ...] = ()
+    reason: str = ""
+
+    def stem_decisions(self) -> List[Decision]:
+        return labels_to_decisions(self.stem)
+
+    def cycle_decisions(self) -> List[Decision]:
+        return labels_to_decisions(self.cycle)
+
+    def replay(self, factory):
+        """Re-execute the certificate on a fresh plain runtime.
+
+        Returns :class:`repro.sim.lasso_shrink.LassoReplayResult`; the
+        certificate stands iff ``result.certifies(self.fingerprint_kind)``
+        and the starving processes collected no good response in the
+        cycle (finite kind: none at all).
+        """
+        from repro.sim.lasso_shrink import replay_lasso
+
+        return replay_lasso(
+            factory,
+            self.stem_decisions(),
+            self.cycle_decisions(),
+            self.fingerprint_kind,
+        )
+
+    def to_document(self) -> Dict[str, Any]:
+        document: Dict[str, Any] = {
+            "format": LASSO_FORMAT,
+            "version": LASSO_VERSION,
+            "fingerprint_kind": self.fingerprint_kind,
+            "stem": [_plain(label) for label in self.stem],
+            "cycle": [_plain(label) for label in self.cycle],
+            "starving": list(self.starving),
+        }
+        for key in ("scenario", "implementation", "liveness"):
+            value = getattr(self, key)
+            if value is not None:
+                document[key] = value
+        if self.reason:
+            document["reason"] = self.reason
+        return document
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_document(), sort_keys=True, indent=2) + "\n"
+
+    @classmethod
+    def from_document(cls, document: Dict[str, Any]) -> "LassoTrace":
+        if document.get("format") != LASSO_FORMAT:
+            raise UsageError(
+                f"not a {LASSO_FORMAT} document (format="
+                f"{document.get('format')!r})"
+            )
+        if document.get("version") != LASSO_VERSION:
+            raise UsageError(
+                f"unsupported lasso trace version {document.get('version')!r} "
+                f"(this build reads version {LASSO_VERSION})"
+            )
+        return cls(
+            stem=tuple(_tupled(label) for label in document["stem"]),
+            cycle=tuple(_tupled(label) for label in document["cycle"]),
+            fingerprint_kind=document["fingerprint_kind"],
+            scenario=document.get("scenario"),
+            implementation=document.get("implementation"),
+            liveness=document.get("liveness"),
+            starving=tuple(int(pid) for pid in document.get("starving", [])),
+            reason=document.get("reason", ""),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "LassoTrace":
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise UsageError(f"bad lasso trace JSON: {exc}") from None
+        return cls.from_document(document)
+
+
+def save_lasso_trace(path: str, trace: LassoTrace) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(trace.to_json())
+
+
+def load_lasso_trace(path: str) -> LassoTrace:
+    with open(path, "r", encoding="utf-8") as handle:
+        return LassoTrace.from_json(handle.read())

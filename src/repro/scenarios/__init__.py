@@ -17,6 +17,7 @@ by id), and ``python -m repro scenarios list`` / ``verify``.
 
 from repro.scenarios.scenario import (
     OUTCOMES,
+    TAG_LIVENESS,
     TAG_SATISFYING,
     TAG_SMALL,
     TAG_VIOLATING,
@@ -47,6 +48,7 @@ __all__ = [
     "Bounds",
     "OUTCOMES",
     "Scenario",
+    "TAG_LIVENESS",
     "TAG_SATISFYING",
     "TAG_SMALL",
     "TAG_VIOLATING",

@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, Optional, Tuple
 
-from repro.fuzz.trace import ReplayTrace
+from repro.fuzz.trace import LassoTrace, ReplayTrace
 from repro.util.errors import UsageError
 
 #: The verdict outcomes every backend normalizes to.
@@ -31,6 +31,7 @@ OUTCOMES = ("holds", "violated", "budget-exhausted")
 TAG_SMALL = "small"  #: exhaustible => oracle-eligible
 TAG_VIOLATING = "violating"  #: a violation is the expected verdict
 TAG_SATISFYING = "satisfying"  #: the property is expected to hold
+TAG_LIVENESS = "liveness"  #: carries a liveness property (backend=liveness)
 
 
 @dataclass(frozen=True)
@@ -47,6 +48,11 @@ class Bounds:
     max_depth: int = 64
     iterations: int = 2_000
     max_configurations: int = 200_000
+    #: Step horizon of the liveness backend: runs neither lassoed nor
+    #: fairly finished by here are classified as horizon evidence.
+    #: Separate from ``max_depth`` because starvation cycles need far
+    #: longer runs than schedule-space sampling does.
+    horizon: int = 2_000
 
     def override(self, **changes: Any) -> "Bounds":
         """A copy with the given fields replaced (None values ignored)."""
@@ -77,6 +83,20 @@ class Scenario:
     #: Whether the expected verdict is a violation (planted fixtures).
     expect_violation: bool = False
     notes: str = ""
+    #: Optional fresh-liveness-property factory
+    #: (:class:`~repro.core.properties.LivenessProperty`); required by
+    #: ``backend="liveness"``, ignored by the safety backends.
+    liveness_factory: Optional[Callable[[], Any]] = None
+    #: Optional adversary strategy factory
+    #: (:class:`~repro.sim.drivers.Driver`): when given, the liveness
+    #: backend plays this strategy; when ``None`` it branches over every
+    #: scheduler choice of :attr:`plan` instead.
+    adversary_factory: Optional[Callable[[], Any]] = None
+    #: The liveness backend's expected verdict — independent of
+    #: :attr:`expect_violation`, which judges the *safety* backends (the
+    #: paper's core cases are exactly the safety-holds /
+    #: liveness-violated combinations).
+    expect_liveness_violation: bool = False
 
     def __post_init__(self) -> None:
         if not self.scenario_id or not isinstance(self.scenario_id, str):
@@ -114,10 +134,13 @@ class Scenario:
         cheap by the kernel's determinism contract) to report the real
         registered names rather than repeating the id.
         """
+        prop = getattr(self.safety_factory(), "name", "?")
+        if self.liveness_factory is not None:
+            prop += " + " + getattr(self.liveness_factory(), "name", "?")
         return {
             "id": self.scenario_id,
             "object": getattr(self.factory(), "name", "?"),
-            "property": getattr(self.safety_factory(), "name", "?"),
+            "property": prop,
             "tags": ", ".join(self.tags),
             "notes": self.notes,
         }
@@ -136,7 +159,9 @@ class Verdict:
     (runs checked, interleavings sampled, coverage, certainty,
     timings); ``counterexample`` is a replay-verified
     :class:`~repro.fuzz.trace.ReplayTrace` whenever a violation was
-    found, replayable by ``python -m repro fuzz --replay``.
+    found, replayable by ``python -m repro fuzz --replay``; ``lasso``
+    is the liveness backend's counterpart — a replay-verified
+    :class:`~repro.fuzz.trace.LassoTrace` starvation certificate.
     """
 
     scenario_id: str
@@ -145,6 +170,7 @@ class Verdict:
     expected: bool
     stats: Dict[str, Any] = field(default_factory=dict)
     counterexample: Optional[ReplayTrace] = None
+    lasso: Optional[LassoTrace] = None
 
     def __post_init__(self) -> None:
         if self.outcome not in OUTCOMES:
@@ -176,4 +202,6 @@ class Verdict:
         }
         if self.counterexample is not None:
             document["counterexample"] = self.counterexample.to_document()
+        if self.lasso is not None:
+            document["lasso"] = self.lasso.to_document()
         return document

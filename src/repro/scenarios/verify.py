@@ -1,9 +1,9 @@
 """``verify()``: one facade, every backend, one verdict shape.
 
-``verify(scenario, backend="exhaustive"|"fuzz", **overrides)`` resolves
-a scenario (by id or object), runs the requested backend with the
-scenario's bounds (overridable per call), and normalizes the outcome to
-a :class:`~repro.scenarios.scenario.Verdict`:
+``verify(scenario, backend="exhaustive"|"fuzz"|"liveness", **overrides)``
+resolves a scenario (by id or object), runs the requested backend with
+the scenario's bounds (overridable per call), and normalizes the
+outcome to a :class:`~repro.scenarios.scenario.Verdict`:
 
 * ``exhaustive`` — enumerate every interleaving of the plan through the
   snapshot engine (:func:`repro.sim.explore.check_all_histories`).  A
@@ -13,16 +13,33 @@ a :class:`~repro.scenarios.scenario.Verdict`:
 * ``fuzz`` — sample seeded random interleavings
   (:func:`repro.fuzz.driver.fuzz_workload`); a clean run is *horizon*
   evidence only (``certainty: "horizon"``).
+* ``liveness`` — play the scenario's adversary strategy (or branch
+  exhaustively over the scheduler choices of its plan) through the
+  snapshot engine (:class:`repro.sim.liveness_search.LivenessSearch`)
+  and judge the scenario's liveness property on every maximal run.  A
+  fair cycle in which the victims collect no good response is an exact
+  starvation *proof* (``outcome: "violated"``, ``certainty: "proof"``)
+  packaged as a replayable
+  :class:`~repro.fuzz.trace.LassoTrace`; horizon-truncated runs yield
+  ``certainty: "horizon"`` evidence either way.
 
-Either way a found violation is ddmin-shrunk (unless ``shrink=False``),
+A safety violation is ddmin-shrunk (unless ``shrink=False``),
 re-executed on a fresh plain runtime independent of the snapshot
 machinery, and attached as a replayable
 :class:`~repro.fuzz.trace.ReplayTrace` — the same artifact
-``python -m repro fuzz --replay`` consumes.
+``python -m repro fuzz --replay`` consumes.  A liveness proof is
+cycle/stem-shrunk (:func:`repro.sim.lasso_shrink.shrink_lasso`) and
+replay-verified the same way.  Either artifact failing to re-violate on
+the independent replay is surfaced loudly (``shrink_unfaithful`` /
+``lasso_shrink_unfaithful`` stats), never silently.
 
 Unknown override keys and overrides the chosen backend cannot honour
 raise :class:`~repro.util.errors.UsageError` (exit code 2 at the CLI)
-rather than being silently dropped.
+rather than being silently dropped — except under ``backend="auto"``,
+where the resolved backend drops the *other* backend's exclusive knobs
+(:data:`FUZZ_ONLY_OVERRIDES` / :data:`EXHAUSTIVE_ONLY_OVERRIDES`) so
+one override set can serve a mixed-backend sweep, at the CLI and at the
+library level alike.
 """
 
 from __future__ import annotations
@@ -37,14 +54,25 @@ from repro.objects.opacity import (
 )
 from repro.fuzz.driver import fuzz_workload
 from repro.fuzz.shrink import shrink_schedule
-from repro.fuzz.trace import ReplayTrace, replay_schedule
+from repro.fuzz.trace import (
+    LassoTrace,
+    ReplayTrace,
+    decisions_to_labels,
+    replay_schedule,
+)
 from repro.scenarios.registry import get_scenario
 from repro.scenarios.scenario import Scenario, Verdict
 from repro.sim.explore import check_all_histories
+from repro.sim.lasso_shrink import certifies_starvation, shrink_lasso
+from repro.sim.liveness_search import (
+    AdversaryPolicy,
+    LivenessSearch,
+    PlanPolicy,
+)
 from repro.util.errors import UsageError, unknown_choice
 
 #: The verification backends the facade dispatches on.
-BACKENDS = ("exhaustive", "fuzz")
+BACKENDS = ("exhaustive", "fuzz", "liveness")
 
 #: Overrides each backend honours (everything else is an error).
 _EXHAUSTIVE_OVERRIDES = (
@@ -65,6 +93,12 @@ _FUZZ_OVERRIDES = (
     "corpus_size",
     "min_corpus_depth",
     "explore_every",
+)
+_LIVENESS_OVERRIDES = (
+    "max_depth",  # the step horizon (default: Bounds.horizon)
+    "max_configurations",
+    "shrink",  # cycle/stem minimization of the lasso certificate
+    "lasso_stride",
 )
 
 #: Sampling knobs only the fuzz backend understands.  Auto-mode callers
@@ -100,12 +134,18 @@ def resolve_backend(scenario: Union[str, Scenario], backend: str) -> str:
     return backend
 
 
-def _expected(scenario: Scenario, outcome: str) -> bool:
+def _expected(scenario: Scenario, outcome: str, backend: str = "exhaustive") -> bool:
     """A budget-exhausted run is never the expected verdict; otherwise
-    the outcome must match the scenario's declared expectation."""
+    the outcome must match the scenario's declared expectation for the
+    backend's property kind (safety vs liveness)."""
     if outcome == "budget-exhausted":
         return False
-    return (outcome == "violated") == scenario.expect_violation
+    expectation = (
+        scenario.expect_liveness_violation
+        if backend == "liveness"
+        else scenario.expect_violation
+    )
+    return (outcome == "violated") == expectation
 
 
 def _check_overrides(backend: str, overrides: Dict[str, Any], known) -> None:
@@ -127,22 +167,53 @@ def _counterexample(
     verdict (the exhaustive backend's path — the enumeration does not
     keep the failing verdict, and re-checking a deep history just for
     its reason would repeat the most expensive check of the run).
+
+    Shrinking can lose the violation only when the safety checker is
+    non-monotone across calls (stateful, or not prefix-closed over the
+    replayed candidates) — then the shrunk schedule, or even the
+    original, fails to re-violate on a fresh replay.  That is never
+    silent: the unshrunk schedule is replayed as a fallback for the
+    recorded reason, and a ``shrink_unfaithful`` stat flags the witness
+    as suspect alongside ``counterexample_replays``.
     """
+    original = tuple(schedule)
     stats: Dict[str, Any] = {"counterexample_length": len(schedule)}
     replay = None
     try:
         if shrink:
-            shrunk = shrink_schedule(
-                scenario.factory, scenario.plan, schedule,
-                scenario.safety_factory(),
-            )
-            schedule = shrunk.schedule
-            stats["shrunk_from"] = shrunk.original_length
-            stats["counterexample_length"] = len(schedule)
+            try:
+                shrunk = shrink_schedule(
+                    scenario.factory, scenario.plan, schedule,
+                    scenario.safety_factory(),
+                )
+                schedule = shrunk.schedule
+                stats["shrunk_from"] = shrunk.original_length
+                stats["counterexample_length"] = len(schedule)
+            except UsageError as exc:
+                # The enumerated witness itself does not replay to a
+                # violation (non-monotone/stateful checker): keep it,
+                # but loudly.
+                stats["shrink_unfaithful"] = True
+                stats["shrink_error"] = str(exc)
         replay = replay_schedule(
             scenario.factory, scenario.plan, schedule, scenario.safety_factory()
         )
         stats["counterexample_replays"] = replay.violates
+        if not replay.violates and tuple(schedule) != original:
+            # The shrunk schedule lost the violation: fall back to the
+            # unshrunk witness for the reason (and, if it still
+            # violates, for the recorded schedule too).
+            stats["shrink_unfaithful"] = True
+            fallback = replay_schedule(
+                scenario.factory, scenario.plan, original,
+                scenario.safety_factory(),
+            )
+            stats["unshrunk_replays"] = fallback.violates
+            if fallback.violates:
+                schedule = original
+                replay = fallback
+                stats["counterexample_replays"] = True
+                stats["counterexample_length"] = len(original)
     except _BUDGET_ERRORS as exc:
         # The violation itself stands (the real checker judged a real
         # history); only minimization/replay of *candidate* schedules
@@ -152,7 +223,9 @@ def _counterexample(
     if reason is None:
         reason = (
             replay.verdict.reason or ""
-            if replay is not None and replay.verdict is not None
+            if replay is not None
+            and replay.verdict is not None
+            and replay.violates
             else ""
         )
     trace = ReplayTrace(
@@ -323,6 +396,207 @@ def _verify_fuzz(scenario: Scenario, overrides: Dict[str, Any]) -> Verdict:
     )
 
 
+# ---------------------------------------------------------------------------
+# The liveness backend
+# ---------------------------------------------------------------------------
+
+#: Preference order when several proof-certainty violations compete for
+#: the packaged certificate: exact lassos are unconditionally sound,
+#: abstract ones conditionally (bisimulation-quotient contract), finite
+#: fair executions carry no cycle at all.
+_CERTIFICATE_RANK = {"exact": 0, "abstract": 1, "finite": 2}
+
+
+def _lasso_artifact(
+    scenario: Scenario,
+    liveness,
+    progress_mode,
+    run,
+    starving,
+    reason: str,
+    shrink: bool,
+) -> Tuple[LassoTrace, Dict[str, Any]]:
+    """Split, minimize (optionally), replay-verify, and package a
+    proof-certainty starvation witness as a :class:`LassoTrace`."""
+    certificate = run.result.lasso
+    if certificate is not None:
+        stem = tuple(run.decisions[: certificate.cycle_start])
+        cycle = tuple(
+            run.decisions[certificate.cycle_start : certificate.cycle_end]
+        )
+        kind = certificate.fingerprint_kind
+    else:  # a complete fair finite execution that starves the victims
+        stem = tuple(run.decisions)
+        cycle = ()
+        kind = "finite"
+    stats: Dict[str, Any] = {"lasso_kind": kind}
+    if shrink:
+        shrunk = shrink_lasso(
+            scenario.factory, stem, cycle, kind, liveness, progress_mode,
+            starving=starving,
+        )
+        if shrunk.faithful:
+            if (len(shrunk.stem), len(shrunk.cycle)) != (len(stem), len(cycle)):
+                stats["lasso_shrunk_from"] = [len(stem), len(cycle)]
+            stem, cycle = shrunk.stem, shrunk.cycle
+        else:
+            stats["lasso_shrink_unfaithful"] = True
+        # faithful == the kept stem/cycle passed certifies_starvation
+        # during shrinking (replays are deterministic) — re-running the
+        # same replay here would be pure duplication.
+        replays = shrunk.faithful
+    else:
+        replays = certifies_starvation(
+            scenario.factory, stem, cycle, kind, liveness, progress_mode,
+            starving,
+        )
+    stats["lasso_replays"] = replays
+    stats["lasso_stem"] = len(stem)
+    stats["lasso_cycle"] = len(cycle)
+    trace = LassoTrace(
+        stem=tuple(tuple(label) for label in decisions_to_labels(stem)),
+        cycle=tuple(tuple(label) for label in decisions_to_labels(cycle)),
+        fingerprint_kind=kind,
+        scenario=scenario.scenario_id,
+        implementation=getattr(scenario.factory(), "name", None),
+        liveness=getattr(liveness, "name", None),
+        starving=tuple(starving),
+        reason=reason,
+    )
+    return trace, stats
+
+
+def _verify_liveness(scenario: Scenario, overrides: Dict[str, Any]) -> Verdict:
+    from repro.core.properties import Certainty
+
+    _check_overrides("liveness", overrides, _LIVENESS_OVERRIDES)
+    if scenario.liveness_factory is None:
+        raise UsageError(
+            f"scenario {scenario.scenario_id!r} declares no liveness "
+            "property; backend='liveness' needs Scenario.liveness_factory "
+            "(and optionally an adversary_factory)"
+        )
+    liveness = scenario.liveness_factory()
+    progress_mode = scenario.factory().object_type.progress_mode
+    horizon = int(overrides.get("max_depth", scenario.bounds.horizon))
+    budget = int(
+        overrides.get("max_configurations", scenario.bounds.max_configurations)
+    )
+    policy = (
+        AdversaryPolicy(scenario.adversary_factory())
+        if scenario.adversary_factory is not None
+        else PlanPolicy(scenario.plan)
+    )
+    search = LivenessSearch(
+        scenario.factory,
+        policy,
+        max_depth=horizon,
+        max_configurations=budget,
+        lasso_stride=int(overrides.get("lasso_stride", 1)),
+    )
+    stats: Dict[str, Any] = {
+        "liveness": getattr(liveness, "name", "?"),
+        "policy": policy.name,
+        "max_depth": horizon,
+        "max_configurations": budget,
+    }
+    counts = {"lasso": 0, "finite": 0, "horizon": 0}
+    runs = escaped = 0
+    all_proved = True
+    best_proof = None  # (rank, run, starving, reason)
+    best_horizon = None  # (run, starving, reason)
+    started = time.perf_counter()
+    try:
+        for run in search.runs():
+            runs += 1
+            counts[run.kind] += 1
+            if run.escaped:
+                escaped += 1
+            summary = run.result.summary(progress_mode)
+            verdict = liveness.evaluate(summary)
+            if verdict.holds:
+                if verdict.certainty is not Certainty.PROVED:
+                    all_proved = False
+                continue
+            starving = sorted(summary.correct - summary.progressors)
+            if verdict.certainty is Certainty.PROVED:
+                kind = (
+                    run.result.lasso.fingerprint_kind
+                    if run.result.lasso is not None
+                    else "finite"
+                )
+                rank = _CERTIFICATE_RANK.get(kind, len(_CERTIFICATE_RANK))
+                if best_proof is None or rank < best_proof[0]:
+                    best_proof = (rank, run, starving, verdict.reason)
+            elif best_horizon is None:
+                best_horizon = (run, starving, verdict.reason)
+    except SearchBudgetExceeded as exc:
+        stats["elapsed"] = round(time.perf_counter() - started, 4)
+        stats["error"] = str(exc)
+        stats["runs"] = runs
+        return Verdict(
+            scenario_id=scenario.scenario_id,
+            backend="liveness",
+            outcome="budget-exhausted",
+            expected=_expected(scenario, "budget-exhausted", "liveness"),
+            stats=stats,
+        )
+    stats["elapsed"] = round(time.perf_counter() - started, 4)
+    stats["runs"] = runs
+    stats["lassos"] = counts["lasso"]
+    stats["finite_runs"] = counts["finite"]
+    stats["horizon_runs"] = counts["horizon"]
+    stats["configurations"] = search.configurations
+    if search.merges:
+        stats["merged_schedules"] = search.merges
+    if escaped:
+        stats["escaped"] = escaped
+    if best_proof is not None:
+        _, run, starving, reason = best_proof
+        stats["certainty"] = "proof"
+        stats["starving"] = starving
+        stats["reason"] = reason
+        trace, witness_stats = _lasso_artifact(
+            scenario,
+            liveness,
+            progress_mode,
+            run,
+            starving,
+            reason,
+            shrink=bool(overrides.get("shrink", True)),
+        )
+        stats.update(witness_stats)
+        return Verdict(
+            scenario_id=scenario.scenario_id,
+            backend="liveness",
+            outcome="violated",
+            expected=_expected(scenario, "violated", "liveness"),
+            stats=stats,
+            lasso=trace,
+        )
+    if best_horizon is not None:
+        run, starving, reason = best_horizon
+        stats["certainty"] = "horizon"
+        stats["starving"] = starving
+        stats["reason"] = reason
+        stats["horizon_steps"] = run.result.total_steps
+        return Verdict(
+            scenario_id=scenario.scenario_id,
+            backend="liveness",
+            outcome="violated",
+            expected=_expected(scenario, "violated", "liveness"),
+            stats=stats,
+        )
+    stats["certainty"] = "proof" if all_proved and runs else "horizon"
+    return Verdict(
+        scenario_id=scenario.scenario_id,
+        backend="liveness",
+        outcome="holds",
+        expected=_expected(scenario, "holds", "liveness"),
+        stats=stats,
+    )
+
+
 def verify(
     scenario: Union[str, Scenario],
     backend: str = "exhaustive",
@@ -332,12 +606,27 @@ def verify(
 
     ``backend="auto"`` picks ``exhaustive`` for scenarios tagged
     ``small`` (a full proof is affordable there) and ``fuzz``
-    otherwise — the CLI default.
+    otherwise — the CLI default.  Auto mode may resolve the scenarios
+    of one mixed list to different backends, so it drops the overrides
+    exclusive to the backend it did *not* pick
+    (:data:`FUZZ_ONLY_OVERRIDES` / :data:`EXHAUSTIVE_ONLY_OVERRIDES`)
+    instead of erroring; an explicit backend stays strict.
     """
     scenario = get_scenario(scenario)
-    backend = resolve_backend(scenario, backend)
-    if backend not in BACKENDS:
-        raise unknown_choice("verify backend", backend, BACKENDS + ("auto",))
-    if backend == "exhaustive":
+    resolved = resolve_backend(scenario, backend)
+    if resolved not in BACKENDS:
+        raise unknown_choice("verify backend", resolved, BACKENDS + ("auto",))
+    if backend == "auto":
+        dropped = (
+            FUZZ_ONLY_OVERRIDES
+            if resolved == "exhaustive"
+            else EXHAUSTIVE_ONLY_OVERRIDES
+        )
+        overrides = {
+            key: value for key, value in overrides.items() if key not in dropped
+        }
+    if resolved == "exhaustive":
         return _verify_exhaustive(scenario, overrides)
+    if resolved == "liveness":
+        return _verify_liveness(scenario, overrides)
     return _verify_fuzz(scenario, overrides)

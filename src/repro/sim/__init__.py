@@ -32,6 +32,20 @@ from repro.sim.workload import (
 from repro.sim.crash import CrashAfterInvocations, CrashAtStep, CrashPlan, NoCrashes
 from repro.sim.record import LassoCertificate, ProcessStats, RunResult
 from repro.sim.lasso import LassoDetector
+from repro.sim.lasso_shrink import (
+    LassoReplayResult,
+    ShrunkLasso,
+    certifies_starvation,
+    replay_lasso,
+    shrink_lasso,
+)
+from repro.sim.liveness_search import (
+    AdversaryPolicy,
+    LivenessRun,
+    LivenessSearch,
+    PlanPolicy,
+    SchedulePolicy,
+)
 from repro.sim.runtime import Runtime, RuntimeView, play
 from repro.sim.explore import (
     ExplorationReport,
@@ -77,6 +91,16 @@ __all__ = [
     "ProcessStats",
     "RunResult",
     "LassoDetector",
+    "LassoReplayResult",
+    "ShrunkLasso",
+    "certifies_starvation",
+    "replay_lasso",
+    "shrink_lasso",
+    "AdversaryPolicy",
+    "LivenessRun",
+    "LivenessSearch",
+    "PlanPolicy",
+    "SchedulePolicy",
     "Runtime",
     "RuntimeView",
     "play",

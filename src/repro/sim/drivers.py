@@ -89,6 +89,27 @@ class Driver(ABC):
     def reset(self) -> None:
         """Return to the initial strategy state (fresh runs)."""
 
+    # -- state capture (the branching liveness search) ----------------------
+
+    def capture_state(self) -> Hashable:
+        """A restorable copy of the full strategy state.
+
+        The liveness search snapshots driver state alongside the kernel
+        configuration so a branch can resume mid-strategy.  The default
+        raises: a driver that cannot be captured can only be played
+        straight-line (which the adversary strategies never need — they
+        all implement :meth:`capture_state`/:meth:`restore_state`).
+        """
+        raise NotImplementedError(
+            f"driver {self.name!r} does not support state capture"
+        )
+
+    def restore_state(self, state: Hashable) -> None:
+        """Restore a state captured by :meth:`capture_state`."""
+        raise NotImplementedError(
+            f"driver {self.name!r} does not support state restore"
+        )
+
 
 class ComposedDriver(Driver):
     """Scheduler × workload × crash-plan composition.

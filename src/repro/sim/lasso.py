@@ -84,6 +84,36 @@ class LassoDetector:
         return None
 
     def reset(self) -> None:
-        """Forget all observed configurations."""
+        """Forget all observed configurations.
+
+        Must be called on every *restart* path — any run that begins
+        from a fresh (or restored) configuration while reusing the
+        detector.  Stale fingerprints from a previous run would match a
+        configuration of the new run and fabricate a bogus cross-run
+        "lasso"; the regression tests in ``tests/test_sim_lasso.py``
+        pin this down.
+        """
         self._seen_exact.clear()
         self._seen_abstract.clear()
+
+    # -- branch bookkeeping (the liveness search) ---------------------------
+
+    def snapshot(self) -> Tuple[Dict[Hashable, int], Dict[Hashable, int]]:
+        """The observed-configuration maps, copied.
+
+        A lasso is a repetition *along one run*; a search that branches
+        over scheduler choices must therefore fork the detector state at
+        every branch point (a repeat across two sibling branches is a
+        DAG merge, not a cycle).  ``snapshot``/``restore`` make the
+        per-path maps restorable exactly like kernel configurations.
+        """
+        return (dict(self._seen_exact), dict(self._seen_abstract))
+
+    def restore(
+        self, state: Tuple[Dict[Hashable, int], Dict[Hashable, int]]
+    ) -> None:
+        """Overwrite the maps with a :meth:`snapshot` (copied again, so
+        one snapshot may seed many branches)."""
+        exact, abstract = state
+        self._seen_exact = dict(exact)
+        self._seen_abstract = dict(abstract)

@@ -89,6 +89,50 @@ class RuntimeView:
         return History(self._runtime.events, validate=False)
 
 
+def kernel_state_fingerprint(runtime: "Runtime") -> Hashable:
+    """The kernel half of an exact lasso fingerprint: pool state plus
+    per-process frames/memories.
+
+    THE one definition of the exact repetition key.  Every consumer —
+    the runtime's own detector, the liveness search
+    (:meth:`repro.engine.config.KernelConfig.kernel_fingerprint` is the
+    incremental-cached equivalent and must compute the same value), and
+    the certificate replay (:mod:`repro.sim.lasso_shrink`) — must agree
+    byte-for-byte, or engine-found lassos would fail their independent
+    replay.
+    """
+    return (
+        runtime.pool.snapshot_state(),
+        tuple(state.fingerprint() for state in runtime.processes),
+    )
+
+
+def abstract_state_fingerprint(runtime: "Runtime") -> Optional[Hashable]:
+    """The kernel half of an abstract lasso fingerprint, or ``None``
+    when the implementation offers no quotient.
+
+    Frames are folded in as the pending operation name only: the
+    intra-operation position is deliberately *not* included (it grows
+    without bound in looping operations).  Implementations providing an
+    abstraction must therefore encode their control position in process
+    memory (a ``pc`` key); the shipped abstractions all do.  Shared by
+    the runtime's detector, the liveness search, and certificate replay
+    for the same agree-byte-for-byte reason as
+    :func:`kernel_state_fingerprint`.
+    """
+    abstraction = runtime.implementation.liveness_abstraction(
+        runtime.pool, tuple(state.memory for state in runtime.processes)
+    )
+    if abstraction is None:
+        return None
+    pending = tuple(
+        state.frame.invocation.operation if state.frame is not None else None
+        for state in runtime.processes
+    )
+    crashed = tuple(state.crashed for state in runtime.processes)
+    return (abstraction, pending, crashed)
+
+
 class Runtime:
     """One playable instance of driver-vs-implementation.
 
@@ -140,6 +184,17 @@ class Runtime:
         self.step_count = 0
         self._view = RuntimeView(self)
         self._detector = LassoDetector(check_every=lasso_stride)
+
+    def reset_lasso(self) -> None:
+        """Forget every configuration the lasso detector has observed.
+
+        Every *restart* path — anything that rewinds this runtime to an
+        earlier (or different) configuration, such as
+        :meth:`repro.engine.config.KernelConfig.restore_from` — must
+        call this: fingerprints left over from before the rewind would
+        match configurations of the new run and fabricate a bogus
+        cross-run "lasso"."""
+        self._detector.reset()
 
     @property
     def view(self) -> RuntimeView:
@@ -236,33 +291,16 @@ class Runtime:
         driver_fp = self.driver.fingerprint()
         if driver_fp is None:
             return None
-        return (
-            driver_fp,
-            self.pool.snapshot_state(),
-            tuple(state.fingerprint() for state in self.processes),
-        )
+        return (driver_fp, kernel_state_fingerprint(self))
 
     def _abstract_fingerprint(self) -> Optional[Hashable]:
         driver_fp = self.driver.fingerprint()
         if driver_fp is None:
             return None
-        abstraction = self.implementation.liveness_abstraction(
-            self.pool, tuple(state.memory for state in self.processes)
-        )
+        abstraction = abstract_state_fingerprint(self)
         if abstraction is None:
             return None
-        # Frames are folded in as the pending operation name only: the
-        # intra-operation position is deliberately *not* included (it
-        # grows without bound in looping operations).  Implementations
-        # providing an abstraction must therefore encode their control
-        # position in process memory (a ``pc`` key); the shipped
-        # abstractions all do.
-        pending = tuple(
-            state.frame.invocation.operation if state.frame is not None else None
-            for state in self.processes
-        )
-        crashed = tuple(state.crashed for state in self.processes)
-        return (driver_fp, abstraction, pending, crashed)
+        return (driver_fp, abstraction)
 
     # -- the loop -----------------------------------------------------------------
 

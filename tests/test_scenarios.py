@@ -247,6 +247,57 @@ class TestVerifyRoundTrip:
             verify("cas-consensus", backend="exhaustive", crash="p0@4")
 
 
+class TestLivenessScenarioRoundTrip:
+    """Every liveness-tagged scenario is a full citizen of the
+    registry: the safety backends verify its plan, the liveness backend
+    verifies its liveness property, and the two expectations are
+    declared (and judged) independently — the paper's headline cases
+    are exactly *safety holds, liveness violated*."""
+
+    def test_liveness_scenarios_are_registered(self):
+        ids = {s.scenario_id for s in iter_scenarios(tags="liveness")}
+        assert {
+            "trivial-local-progress-f1",
+            "trivial-local-progress-f2",
+            "agp-local-progress",
+            "i12-local-progress",
+            "trivial-local-progress-schedules",
+            "commit-adopt-starvation",
+            "cas-escapes-lockstep",
+            "cas-wait-freedom-schedules",
+        } <= ids
+
+    def test_every_liveness_scenario_round_trips_all_three_backends(self):
+        for scenario in iter_scenarios(tags="liveness"):
+            liveness = verify(scenario, backend="liveness")
+            assert liveness.expected, (scenario.scenario_id, liveness.outcome)
+            fuzz = verify(scenario, backend="fuzz", **SMOKE_FUZZ)
+            assert fuzz.expected, (scenario.scenario_id, fuzz.outcome)
+            if scenario.small:
+                exhaustive = verify(scenario, backend="exhaustive")
+                assert exhaustive.expected, (
+                    scenario.scenario_id,
+                    exhaustive.outcome,
+                )
+
+    def test_proof_verdicts_carry_replaying_certificates(self):
+        for scenario_id in (
+            "trivial-local-progress-f1",
+            "trivial-local-progress-f2",
+            "commit-adopt-starvation",
+            "trivial-local-progress-schedules",
+        ):
+            verdict = verify(scenario_id, backend="liveness")
+            assert verdict.violated
+            assert verdict.stats["certainty"] == "proof"
+            assert verdict.stats["lasso_replays"] is True, scenario_id
+
+    def test_liveness_expectation_is_independent_of_safety(self):
+        scenario = get_scenario("trivial-local-progress-f1")
+        assert not scenario.expect_violation  # opaque: safety satisfied
+        assert scenario.expect_liveness_violation  # but starves
+
+
 class TestExperimentIntegration:
     def test_every_experiment_scenario_reference_resolves(self):
         """The acceptance criterion: ExperimentSpec scenario references

@@ -1,8 +1,13 @@
 """Tests for lasso detection and summary semantics of runs."""
 
+import pytest
+
+from repro.adversaries.tm_local_progress import TMLocalProgressAdversary
 from repro.algorithms.consensus import CommitAdoptConsensus, SilentConsensus
+from repro.algorithms.tm import TrivialTransactionalMemory
 from repro.core.object_type import ProgressMode
 from repro.core.properties import Certainty
+from repro.engine.config import KernelConfig
 from repro.sim import (
     ComposedDriver,
     LockstepScheduler,
@@ -44,6 +49,115 @@ class TestLassoDetector:
         detector.observe(1, "x", None)
         detector.reset()
         assert detector.observe(2, "x", None) is None
+
+    @pytest.mark.parametrize(
+        "period,stride", [(3, 2), (5, 2), (2, 3), (4, 3), (7, 4), (6, 4)]
+    )
+    def test_stride_detects_non_multiple_periods(self, period, stride):
+        """The stride-soundness claim of the module docstring: a lasso
+        whose period is *not* a multiple of ``check_every`` is still
+        found once the stride divides a multiple of the period — at the
+        cost of a longer reported cycle, never a miss."""
+        assert period % stride != 0
+        detector = LassoDetector(check_every=stride)
+        certificate = None
+        for step in range(1, 10 * period * stride):
+            certificate = detector.observe(step, step % period, None)
+            if certificate is not None:
+                break
+        assert certificate is not None
+        # Both endpoints were observed (multiples of the stride) and the
+        # reported cycle is a whole number of true periods.
+        assert certificate.cycle_start % stride == 0
+        assert certificate.cycle_end % stride == 0
+        assert certificate.cycle_length % period == 0
+        assert certificate.cycle_length >= period
+
+    def test_stride_property_on_a_real_run(self):
+        """Runtime-level stride soundness: the trivial TM's starvation
+        cycle has period 2, not a multiple of stride 3 — the run still
+        ends in a proved lasso, with the cycle a multiple of 2."""
+        run = play(
+            TrivialTransactionalMemory(2, variables=(0,)),
+            TMLocalProgressAdversary(victim=0, helper=1, variable=0),
+            max_steps=2_000,
+            lasso_stride=3,
+        )
+        assert run.stop_reason == "lasso"
+        assert run.lasso is not None
+        assert run.lasso.cycle_length % 2 == 0
+
+    def test_snapshot_restore_isolates_branches(self):
+        """The branching liveness search forks detector state per path:
+        an observation made after a snapshot must not leak into a
+        sibling branch restored from it."""
+        detector = LassoDetector()
+        detector.observe(1, "shared", None)
+        fork = detector.snapshot()
+        assert detector.observe(2, "left-only", None) is None
+        detector.restore(fork)
+        # The sibling never saw "left-only" ...
+        assert detector.observe(2, "left-only", None) is None
+        # ... but still remembers the common prefix.
+        assert detector.observe(3, "shared", None) is not None
+
+
+class TestDetectorResetOnRestart:
+    """Satellite regression: every engine restart path must reset the
+    lasso detector — stale fingerprints from a previous run would
+    fabricate a bogus cross-run 'lasso'."""
+
+    def test_kernel_config_restore_resets_the_detector(self):
+        config = KernelConfig(TrivialTransactionalMemory(2, variables=(0,)))
+        snapshot = config.capture()
+        runtime = config.runtime
+        # Simulate a detection-enabled embedding observing a state.
+        assert runtime._detector.observe(1, "stale", None) is None
+        config.restore_from(snapshot)
+        # Without the reset this would report a bogus cross-run lasso.
+        assert runtime._detector.observe(1, "stale", None) is None
+
+    def test_restarting_a_runtime_twice_from_the_same_snapshot(self):
+        """Drive the same snapshot twice through a detection-enabled
+        loop; the second pass must reproduce the first (no cross-run
+        contamination)."""
+        from repro.sim.drivers import InvokeDecision, StepDecision
+
+        config = KernelConfig(TrivialTransactionalMemory(2, variables=(0,)))
+        snapshot = config.capture()
+        decisions = [
+            InvokeDecision(0, "start", ()),
+            StepDecision(0),
+            InvokeDecision(0, "start", ()),
+            StepDecision(0),
+        ]
+
+        def run_once():
+            config.restore_from(snapshot)
+            detector = config.runtime._detector
+            observations = []
+            for decision in decisions:
+                config.apply(decision)
+                observations.append(
+                    detector.observe(
+                        config.runtime.step_count,
+                        config.kernel_fingerprint(),
+                        None,
+                    )
+                )
+            return observations
+
+        first = run_once()
+        second = run_once()
+        assert [c is not None for c in first] == [
+            c is not None for c in second
+        ]
+        for a, b in zip(first, second):
+            if a is not None:
+                assert (a.cycle_start, a.cycle_end) == (
+                    b.cycle_start,
+                    b.cycle_end,
+                )
 
 
 class TestLassoRuns:
