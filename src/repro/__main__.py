@@ -9,7 +9,10 @@ Usage::
 
     python -m repro scenarios list                    # the scenario catalog
     python -m repro scenarios list --tag small --format md
+    python -m repro scenarios list --family tm-grid   # generated instances
+    python -m repro scenarios list --no-families      # curated catalog only
     python -m repro verify agp-opacity                # exhaustive proof
+    python -m repro verify tm-grid:impl=norec,n=2,plan=rw,vars=2
     python -m repro verify agp-opacity-3p --backend fuzz --set seed=7
     python -m repro verify stubborn-consensus --out verdict.json
     python -m repro verify trivial-local-progress-f1 --backend liveness
@@ -25,6 +28,10 @@ Usage::
     python -m repro fuzz small --oracle               # vs exhaustive
     python -m repro fuzz stubborn-consensus --artifact-dir artifacts/
     python -m repro fuzz --replay artifacts/fuzz-....json
+
+    python -m repro mutate --list                     # the seeded mutants
+    python -m repro mutate --backend fuzz --backend liveness --out kill.json
+    python -m repro mutate --mutant agp-dropped-cas --md
 
 Exit codes: 0 all claims OK (verify/fuzz: every verdict as expected /
 oracle agreement), 1 a paper claim mismatched, a job failed, or a
@@ -333,13 +340,25 @@ def cmd_fuzz(arguments) -> int:
 # ---------------------------------------------------------------------------
 
 
-def _scenario_rows(tags: List[str]) -> List[Dict[str, str]]:
-    from repro.scenarios import iter_scenarios
+def _scenario_rows(
+    tags: List[str], family: str = None, no_families: bool = False
+) -> List[Dict[str, str]]:
+    from repro.scenarios import TAG_FAMILY, get_family, iter_scenarios
 
-    scenarios = iter_scenarios(tags=tags or None)
+    wanted = list(tags or [])
+    if family is not None:
+        get_family(family)  # unknown family ids fail with a suggestion
+        wanted.append(f"family:{family}")
+    scenarios = iter_scenarios(tags=wanted or None)
+    if no_families:
+        scenarios = [
+            scenario
+            for scenario in scenarios
+            if not scenario.has_tags(TAG_FAMILY)
+        ]
     if not scenarios:
         raise UsageError(
-            f"no registered scenario carries all of the tags {tags!r}"
+            f"no registered scenario carries all of the tags {wanted!r}"
         )
     return [scenario.describe() for scenario in scenarios]
 
@@ -347,7 +366,14 @@ def _scenario_rows(tags: List[str]) -> List[Dict[str, str]]:
 def cmd_scenarios(arguments) -> int:
     if arguments.scenarios_command != "list":  # pragma: no cover - argparse
         raise UsageError(f"unknown scenarios command {arguments.scenarios_command!r}")
-    rows = _scenario_rows(arguments.tag)
+    if arguments.family is not None and arguments.no_families:
+        raise UsageError(
+            "--family selects generated instances and --no-families hides "
+            "them; the combination can never match a scenario"
+        )
+    rows = _scenario_rows(
+        arguments.tag, family=arguments.family, no_families=arguments.no_families
+    )
     columns = ("id", "object", "property", "tags", "notes")
     if arguments.format == "md":
         print("| " + " | ".join(columns) + " |")
@@ -437,6 +463,71 @@ def cmd_verify(arguments) -> int:
             handle.write("\n")
         print(f"wrote {arguments.out}")
     return 1 if surprises else 0
+
+
+def cmd_mutate(arguments) -> int:
+    from repro.mutate import get_mutant, iter_mutants, kill_matrix
+
+    if arguments.list_mutants:
+        mutants = iter_mutants()
+        width = max(len(mutant.mutant_id) for mutant in mutants)
+        for mutant in mutants:
+            print(
+                f"{mutant.mutant_id:<{width}}  [{mutant.kind} on "
+                f"{mutant.target}; expected killers: "
+                f"{', '.join(mutant.expected_killers)}]  {mutant.description}"
+            )
+        return 0
+
+    # Fail fast on unknown mutant ids, before any cell runs.
+    chosen = (
+        [get_mutant(mutant_id) for mutant_id in arguments.mutant]
+        if arguments.mutant
+        else None
+    )
+    matrix = kill_matrix(
+        mutants=chosen,
+        seed=arguments.seed,
+        iterations=arguments.iterations,
+        backends=arguments.backend or None,
+    )
+    for mutant in matrix.mutants:
+        killed_by = matrix.killed_by(mutant.mutant_id)
+        cells = matrix.cells_for(mutant.mutant_id)
+        missed = [
+            cell.backend
+            for cell in cells
+            if cell.expected_kill and not cell.killed
+        ]
+        false = [cell.backend for cell in cells if cell.false_kill]
+        status = "killed by " + ", ".join(killed_by) if killed_by else "SURVIVED"
+        if missed:
+            status += f"; MISSED by expected {', '.join(missed)}"
+        if false:
+            status += f"; FALSE KILL on baseline ({', '.join(false)})"
+        print(f"[{mutant.mutant_id}] {status}")
+    expected = matrix.expected_cells
+    achieved = sum(1 for cell in expected if cell.killed)
+    ok = (
+        matrix.sensitivity >= arguments.min_sensitivity
+        and not matrix.false_kills
+    )
+    print(
+        f"sensitivity {matrix.sensitivity:.2f} "
+        f"({achieved}/{len(expected)} expected kills), "
+        f"{len(matrix.false_kills)} false kill(s) -> "
+        f"{'OK' if ok else 'FAIL'} "
+        f"(gate: >= {arguments.min_sensitivity:.2f}, 0 false kills)"
+    )
+    if arguments.md:
+        print()
+        print(matrix.render_markdown())
+    if arguments.out is not None:
+        with open(arguments.out, "w", encoding="utf-8") as handle:
+            json.dump(matrix.to_document(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {arguments.out}")
+    return 0 if ok else 1
 
 
 def cmd_campaign(arguments) -> int:
@@ -587,6 +678,56 @@ def _add_scenarios_parser(subparsers) -> None:
         help="output format: aligned text (default) or a Markdown table "
         "(the README scenario catalog is generated with --format=md)",
     )
+    lister.add_argument(
+        "--family", default=None, metavar="FAMILY",
+        help="only instances generated by this scenario family "
+        "(shorthand for --tag family:FAMILY, with id validation)",
+    )
+    lister.add_argument(
+        "--no-families", action="store_true",
+        help="hide generated family instances (the curated catalog only; "
+        "the README table is generated with this flag)",
+    )
+
+
+def _add_mutate_parser(subparsers) -> None:
+    mutate = subparsers.add_parser(
+        "mutate",
+        help="mutation-test the oracles: seeded bugs vs the verify backends",
+    )
+    mutate.add_argument(
+        "--list", action="store_true", dest="list_mutants",
+        help="list the seeded mutants and their expected killers",
+    )
+    mutate.add_argument(
+        "--mutant", action="append", default=[], metavar="ID",
+        help="restrict the matrix to this mutant (repeatable; "
+        "default: all mutants)",
+    )
+    mutate.add_argument(
+        "--backend", action="append", default=[],
+        choices=("exhaustive", "fuzz", "liveness"), metavar="BACKEND",
+        help="restrict the evaluated backends (repeatable; the CI "
+        "mutation-smoke job runs the fast fuzz+liveness slice)",
+    )
+    mutate.add_argument("--seed", type=int, default=0, help="fuzz seed")
+    mutate.add_argument(
+        "--iterations", type=int, default=None,
+        help="fuzz sampling budget per cell (default: scenario bounds)",
+    )
+    mutate.add_argument(
+        "--min-sensitivity", type=float, default=1.0, metavar="SCORE",
+        help="fail (exit 1) when the achieved/expected kill ratio drops "
+        "below this (default: 1.0, the seed score)",
+    )
+    mutate.add_argument(
+        "--md", action="store_true",
+        help="also print the kill matrix as a Markdown table",
+    )
+    mutate.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the kill-matrix JSON artifact (repro-kill-matrix v1)",
+    )
 
 
 def _add_verify_parser(subparsers) -> None:
@@ -639,6 +780,7 @@ def main(argv: List[str] = None) -> int:
     _add_verify_parser(subparsers)
     _add_campaign_parser(subparsers)
     _add_fuzz_parser(subparsers)
+    _add_mutate_parser(subparsers)
     arguments = parser.parse_args(argv)
     try:
         if arguments.command == "list":
@@ -651,6 +793,8 @@ def main(argv: List[str] = None) -> int:
             return cmd_campaign(arguments)
         if arguments.command == "fuzz":
             return cmd_fuzz(arguments)
+        if arguments.command == "mutate":
+            return cmd_mutate(arguments)
         return cmd_run(arguments.experiments, _parse_params(arguments.param))
     except UsageError as error:
         print(f"usage error: {error}", file=sys.stderr)

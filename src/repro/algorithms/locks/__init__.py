@@ -2,6 +2,14 @@
 
 from repro.algorithms.locks.lock_type import GRANTED, RELEASED, lock_object_type
 from repro.algorithms.locks.bakery import BakeryLock
+from repro.algorithms.locks.mcs_lock import McsLock
 from repro.algorithms.locks.tas_lock import TasLock
 
-__all__ = ["GRANTED", "RELEASED", "lock_object_type", "BakeryLock", "TasLock"]
+__all__ = [
+    "GRANTED",
+    "RELEASED",
+    "lock_object_type",
+    "BakeryLock",
+    "McsLock",
+    "TasLock",
+]

@@ -1,0 +1,87 @@
+"""An MCS-style FIFO queue lock.
+
+The shape of Mellor-Crummey & Scott's queue lock adapted to the
+simulator's base objects: instead of per-process qnodes linked through
+a tail pointer, one compare-and-swap object holds the whole waiter
+queue as a tuple of process ids.  ``acquire`` enqueues itself with a
+CAS (retrying on contention) and then spins until it reaches the head;
+``release`` pops the head with a CAS (retrying against concurrent
+enqueuers at the tail).
+
+The FIFO handoff is what distinguishes it from :class:`TasLock`:
+whoever enqueues first is granted first, so no waiter can be overtaken
+forever — the queue gives starvation freedom under fair schedules,
+where the test-and-set lock only gives deadlock freedom.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.base_objects.base import ObjectPool
+from repro.base_objects.cas import CompareAndSwap
+from repro.core.object_type import ObjectType
+from repro.sim.kernel import Algorithm, Implementation, Op
+from repro.util.errors import SimulationError
+
+from repro.algorithms.locks.lock_type import GRANTED, RELEASED, lock_object_type
+
+
+class McsLock(Implementation):
+    """FIFO queue lock: CAS-append to enqueue, spin until head."""
+
+    name = "mcs-lock"
+
+    def __init__(self, n_processes: int, object_type: Optional[ObjectType] = None):
+        super().__init__(object_type or lock_object_type(), n_processes)
+
+    def create_pool(self) -> ObjectPool:
+        return ObjectPool([CompareAndSwap("queue", initial=())])
+
+    def algorithm(
+        self,
+        pid: int,
+        operation: str,
+        args: Tuple[Any, ...],
+        memory: Dict[str, Any],
+    ) -> Algorithm:
+        if operation == "acquire":
+            return self._acquire(pid, memory)
+        if operation == "release":
+            return self._release(pid, memory)
+        raise SimulationError(f"lock has acquire/release; got {operation!r}")
+
+    @staticmethod
+    def _acquire(pid: int, memory: Dict[str, Any]) -> Algorithm:
+        if memory.get("holding"):
+            raise SimulationError(f"p{pid} acquires while holding the lock")
+        memory["pc"] = "enqueue"
+        while True:
+            queue = yield Op("queue", "read")
+            enrolled = yield Op(
+                "queue", "compare_and_swap", (queue, queue + (pid,))
+            )
+            if enrolled:
+                break
+        memory["pc"] = "spin-head"
+        while True:
+            queue = yield Op("queue", "read")
+            if queue and queue[0] == pid:
+                break
+        memory["holding"] = True
+        return GRANTED
+
+    @staticmethod
+    def _release(pid: int, memory: Dict[str, Any]) -> Algorithm:
+        if not memory.get("holding"):
+            raise SimulationError(f"p{pid} releases without holding the lock")
+        memory["pc"] = "dequeue"
+        while True:
+            queue = yield Op("queue", "read")
+            # Only the head ever dequeues, so the CAS can lose only to a
+            # concurrent tail enqueue — retry until it lands.
+            popped = yield Op("queue", "compare_and_swap", (queue, queue[1:]))
+            if popped:
+                break
+        memory["holding"] = False
+        return RELEASED

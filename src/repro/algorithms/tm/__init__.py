@@ -5,6 +5,7 @@ from repro.algorithms.tm.i12 import I12TransactionalMemory
 from repro.algorithms.tm.trivial import TrivialTransactionalMemory
 from repro.algorithms.tm.global_lock import GlobalLockTransactionalMemory
 from repro.algorithms.tm.dstm import IntentTransactionalMemory
+from repro.algorithms.tm.norec import NorecTransactionalMemory
 
 __all__ = [
     "AgpTransactionalMemory",
@@ -12,4 +13,5 @@ __all__ = [
     "TrivialTransactionalMemory",
     "GlobalLockTransactionalMemory",
     "IntentTransactionalMemory",
+    "NorecTransactionalMemory",
 ]

@@ -1,0 +1,172 @@
+"""A NOrec-style transactional memory: one seqlock clock, no ownership records.
+
+The shape of Dalessandro, Spear & Scott's NOrec scaled down to the
+simulator: a single compare-and-swap object ``clock`` doubles as a
+global sequence lock (even = quiescent, odd = a writer is publishing)
+and a :class:`~repro.base_objects.register.RegisterArray` ``store``
+holds the committed variable values cell by cell.
+
+* ``start`` spins until the clock is even and records it as the
+  transaction's snapshot;
+* ``read(x)`` returns the local write-set value if present; otherwise
+  it reads the cell and *re-reads the clock* — any change since the
+  snapshot means a writer may have published in between, so the read
+  retries (the blocking twin of NOrec's value-less validation: static
+  plans keep issuing operations after an abort, so mid-transaction
+  aborts are off the table);
+* ``write`` buffers locally;
+* ``tryC`` commits read-only transactions outright (every read was
+  validated against the snapshot clock, so all of them belong to the
+  snapshot version); writers acquire the seqlock with
+  ``cas(clock, snap, snap+1)``, publish the write set cell by cell,
+  and release by writing ``snap+2``.  A failed CAS means a concurrent
+  commit — abort.
+
+Opaque: the clock goes odd *before* any cell is written, so a reader
+that could observe a torn cell necessarily sees a changed clock and
+retries until the publish completes; committed writers are fully
+serialized by the seqlock.  Unlike
+:class:`~repro.algorithms.tm.agp.AgpTransactionalMemory` the publish is
+per-cell rather than one big CAS, which is exactly the window the
+``norec-skipped-validation`` mutant (:mod:`repro.mutate`) opens into a
+torn read.  Blocking like the global-lock TM: a writer crashing
+mid-publish leaves the clock odd forever.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from repro.base_objects.base import ObjectPool
+from repro.base_objects.cas import CompareAndSwap
+from repro.base_objects.register import RegisterArray
+from repro.core.object_type import ObjectType
+from repro.objects.tm import ABORTED, COMMITTED, OK, tm_object_type
+from repro.sim.kernel import Algorithm, Implementation, Op
+from repro.util.errors import SimulationError
+
+
+class NorecTransactionalMemory(Implementation):
+    """Seqlock-clock TM with value-free validation (NOrec-style)."""
+
+    name = "norec-tm"
+
+    def __init__(
+        self,
+        n_processes: int,
+        variables: Sequence[int] = (0, 1),
+        initial_value: Any = 0,
+        object_type: Optional[ObjectType] = None,
+    ):
+        super().__init__(
+            object_type or tm_object_type(variables=variables), n_processes
+        )
+        self.variables = tuple(variables)
+        self.initial_value = initial_value
+
+    def create_pool(self) -> ObjectPool:
+        return ObjectPool(
+            [
+                CompareAndSwap("clock", initial=0),
+                RegisterArray(
+                    "store", size=len(self.variables), initial=self.initial_value
+                ),
+            ]
+        )
+
+    def _index(self, variable: Any) -> int:
+        try:
+            return self.variables.index(variable)
+        except ValueError:
+            raise SimulationError(
+                f"unknown transactional variable {variable!r}; "
+                f"declared: {self.variables}"
+            ) from None
+
+    def algorithm(
+        self,
+        pid: int,
+        operation: str,
+        args: Tuple[Any, ...],
+        memory: Dict[str, Any],
+    ) -> Algorithm:
+        if operation == "start":
+            return self._start(memory)
+        if operation == "read":
+            return self._read(args[0], memory)
+        if operation == "write":
+            return self._write(args[0], args[1], memory)
+        if operation == "tryC":
+            return self._try_commit(memory)
+        raise SimulationError(f"TM has start/read/write/tryC; got {operation!r}")
+
+    def _start(self, memory: Dict[str, Any]) -> Algorithm:
+        memory["pc"] = "start-snapshot"
+        while True:
+            snap = yield Op("clock", "read")
+            if snap % 2 == 0:
+                break
+        memory["snap"] = snap
+        memory["wset"] = ()
+        memory["in_tx"] = True
+        return OK
+
+    def _read(self, variable: Any, memory: Dict[str, Any]) -> Algorithm:
+        self._require_tx(memory)
+        for written, value in memory["wset"]:
+            if written == variable:
+                return value
+        index = self._index(variable)
+        while True:
+            memory["pc"] = "read-cell"
+            value = yield Op("store", "read", (index,))
+            memory["pc"] = "read-validate"
+            clock = yield Op("clock", "read")
+            if clock == memory["snap"]:
+                return value
+            # The clock moved since the snapshot: the cell value may be
+            # torn.  Real NOrec aborts here; under this repository's
+            # static plans aborts may only surface at tryC (the plan
+            # would keep invoking operations into the aborted
+            # transaction), so the read blocks conservatively instead —
+            # the clock is monotonic, making a doomed reader spin
+            # forever, which is the blocking twin of the abort and
+            # keeps every completed read consistent.
+            continue
+
+    def _write(self, variable: Any, value: Any, memory: Dict[str, Any]) -> Algorithm:
+        self._require_tx(memory)
+        self._index(variable)  # validate the variable name
+        kept = tuple(
+            entry for entry in memory["wset"] if entry[0] != variable
+        )
+        memory["wset"] = kept + ((variable, value),)
+        return OK
+        yield  # pragma: no cover - makes this a generator
+
+    def _try_commit(self, memory: Dict[str, Any]) -> Algorithm:
+        self._require_tx(memory)
+        memory["in_tx"] = False
+        if not memory["wset"]:
+            # Read-only: every read validated against the snapshot clock,
+            # so the transaction serializes at its snapshot.
+            return COMMITTED
+        memory["pc"] = "tryC-seqlock"
+        acquired = yield Op(
+            "clock", "compare_and_swap", (memory["snap"], memory["snap"] + 1)
+        )
+        if not acquired:
+            return ABORTED
+        for variable, value in memory["wset"]:
+            memory["pc"] = ("publish", variable)
+            yield Op("store", "write", (self._index(variable), value))
+        memory["pc"] = "tryC-release"
+        yield Op("clock", "write", (memory["snap"] + 2,))
+        return COMMITTED
+
+    @staticmethod
+    def _require_tx(memory: Dict[str, Any]) -> None:
+        if not memory.get("in_tx"):
+            raise SimulationError(
+                "transactional operation outside a transaction (no start)"
+            )

@@ -1210,6 +1210,85 @@ def run_verify(
 
 
 # ---------------------------------------------------------------------------
+# Mutation testing (oracle sensitivity)
+# ---------------------------------------------------------------------------
+
+
+def run_mutation(
+    seed: int = 0,
+    iterations: Optional[int] = None,
+    mutant: Optional[str] = None,
+    backend: Optional[str] = None,
+    min_sensitivity: float = 1.0,
+) -> ExperimentResult:
+    """Score the verification backends against the seeded mutants.
+
+    Runs the kill matrix (:mod:`repro.mutate`) and claims: every mutant
+    whose expected killer is evaluated gets killed, the pristine
+    baselines are never flagged (zero false kills), and the resulting
+    oracle-sensitivity score stays at/above ``min_sensitivity`` (the
+    seed score is 1.0).  ``mutant`` / ``backend`` restrict the matrix —
+    the campaign axes and the ``mutation-smoke`` CI job use them to
+    carve out seconds-fast slices.
+    """
+    from repro.mutate import get_mutant, kill_matrix
+
+    mutants = None if mutant is None else [get_mutant(mutant)]
+    backends = None if backend is None else (backend,)
+    matrix = kill_matrix(
+        mutants=mutants, seed=seed, iterations=iterations, backends=backends
+    )
+    result = ExperimentResult(
+        experiment_id="mutation",
+        title="Mutation-tested oracle sensitivity (kill matrix)",
+    )
+    expected_cells = matrix.expected_cells
+    achieved = sum(1 for cell in expected_cells if cell.killed)
+    result.claims.append(
+        Claim(
+            name="oracle sensitivity",
+            expected=f">= {min_sensitivity:.2f}",
+            measured=(
+                f"{matrix.sensitivity:.2f} "
+                f"({achieved}/{len(expected_cells)} expected kills)"
+            ),
+            ok=matrix.sensitivity >= min_sensitivity,
+        )
+    )
+    result.claims.append(
+        Claim(
+            name="false kills",
+            expected="0 (the unmutated zoo is never flagged)",
+            measured=str(len(matrix.false_kills)),
+            ok=not matrix.false_kills,
+        )
+    )
+    # Mutants whose every expected killer was filtered out of this run
+    # cannot be judged; the kill claim quantifies over the rest.
+    judgeable = [
+        m
+        for m in matrix.mutants
+        if any(
+            cell.expected_kill for cell in matrix.cells_for(m.mutant_id)
+        )
+    ]
+    surviving = [
+        m.mutant_id for m in judgeable if not matrix.killed_by(m.mutant_id)
+    ]
+    result.claims.append(
+        Claim(
+            name="every mutant killed",
+            expected="each seeded bug caught by >= 1 backend",
+            measured="all killed" if not surviving else f"surviving: {surviving}",
+            ok=not surviving,
+        )
+    )
+    result.artifacts["kill_matrix"] = matrix.to_document()
+    result.rendered = matrix.render_markdown()
+    return result
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 
@@ -1347,6 +1426,14 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
                 "shrink",
             ),
             scenarios=("cas-consensus", "trivial-local-progress-f1"),
+        ),
+        ExperimentSpec(
+            "mutation",
+            "Mutation-tested oracle sensitivity (kill matrix)",
+            run_mutation,
+            ("seed", "iterations", "mutant", "backend", "min_sensitivity"),
+            # The hunting scenarios are deliberately unregistered (they
+            # wrap broken implementations); no registry ids to declare.
         ),
     )
 }

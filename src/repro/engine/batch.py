@@ -16,13 +16,12 @@ with identical results.
 from __future__ import annotations
 
 import multiprocessing
-import os
 
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.sim.drivers import Driver
-from repro.util.errors import UsageError
+from repro.util.params import env_int
 from repro.sim.kernel import Implementation
 from repro.sim.record import RunResult
 from repro.sim.runtime import play
@@ -63,17 +62,10 @@ def default_parallelism() -> int:
 
     Negative values clamp to 0 (serial); a non-integer value raises
     :class:`~repro.util.errors.UsageError` rather than being silently
-    ignored.
+    ignored (the shared ``REPRO_*`` env grammar of
+    :func:`repro.util.params.env_int`).
     """
-    raw = os.environ.get("REPRO_ENGINE_PARALLEL", "0").strip()
-    try:
-        value = int(raw or "0")
-    except ValueError:
-        raise UsageError(
-            f"REPRO_ENGINE_PARALLEL must be an integer worker count, "
-            f"got {raw!r}"
-        ) from None
-    return max(0, value)
+    return env_int("REPRO_ENGINE_PARALLEL", default=0, minimum=0)
 
 
 def run_play_batch(

@@ -1,0 +1,30 @@
+"""Implementation-mutation layer: seeded bugs that score the oracles.
+
+The inverse of the scenario catalog: instead of asking "does the
+implementation satisfy the property?", this package plants known bugs
+(:mod:`repro.mutate.mutants` — factory-wrapper subclasses, never source
+patches) and asks "do the verification backends catch them?".  The
+resulting kill matrix (:mod:`repro.mutate.matrix`) is the repository's
+oracle-sensitivity score, gated in CI by the ``mutation-smoke`` job and
+the ``mutation`` experiment.
+"""
+
+from repro.mutate.mutants import (
+    MUTANTS,
+    Mutant,
+    get_mutant,
+    iter_mutants,
+    mutant_ids,
+)
+from repro.mutate.matrix import KillMatrix, MatrixCell, kill_matrix
+
+__all__ = [
+    "KillMatrix",
+    "MUTANTS",
+    "MatrixCell",
+    "Mutant",
+    "get_mutant",
+    "iter_mutants",
+    "kill_matrix",
+    "mutant_ids",
+]

@@ -1,0 +1,259 @@
+"""The kill matrix: which backend catches which seeded bug.
+
+:func:`kill_matrix` runs every (mutant, backend) cell through the one
+:func:`~repro.scenarios.verify.verify` facade — the mutated hunting
+scenario *and* its pristine baseline — and folds the verdicts into a
+:class:`KillMatrix`:
+
+* a cell **kills** when the mutated implementation yields a violation;
+* a cell is a **false kill** when the *baseline* (the unmutated zoo
+  implementation under the identical plan and property) yields one —
+  the oracle flagging correct code, the one unforgivable outcome;
+* the **sensitivity** score is the fraction of *expected* kills
+  achieved: every mutant declares which backends must catch it
+  (`Mutant.expected_killers`), and CI gates on the score staying at
+  its seed value of 1.0.
+
+Counterexample shrinking is off by default — the matrix wants verdicts,
+not minimal traces, and ddmin replays cost multiples of the search.
+
+The JSON artifact (``KillMatrix.to_document``, schema
+``repro-kill-matrix`` v1) is uploaded by the ``mutation-smoke`` CI job;
+``render_markdown`` produces the human-readable table for docs and the
+``mutate --md`` CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.mutate.mutants import MUTANTS, Mutant
+from repro.scenarios.verify import verify
+
+__all__ = ["KillMatrix", "MatrixCell", "kill_matrix"]
+
+#: Schema identifier of the JSON artifact.
+SCHEMA = "repro-kill-matrix"
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class MatrixCell:
+    """One (mutant, backend) evaluation: mutated and baseline verdicts."""
+
+    mutant_id: str
+    backend: str
+    outcome: str  #: verify() outcome of the mutated implementation
+    killed: bool  #: the mutated implementation was caught violating
+    expected_kill: bool  #: this backend is a declared expected killer
+    baseline_outcome: str  #: verify() outcome of the pristine implementation
+    false_kill: bool  #: the pristine implementation was flagged — oracle bug
+
+    def to_document(self) -> Dict[str, Any]:
+        return {
+            "backend": self.backend,
+            "outcome": self.outcome,
+            "killed": self.killed,
+            "expected_kill": self.expected_kill,
+            "baseline_outcome": self.baseline_outcome,
+            "false_kill": self.false_kill,
+        }
+
+
+@dataclass(frozen=True)
+class KillMatrix:
+    """Every cell plus the derived oracle-sensitivity verdicts."""
+
+    seed: int
+    iterations: Optional[int]
+    mutants: Tuple[Mutant, ...]
+    cells: Tuple[MatrixCell, ...]
+
+    # -- derived views ------------------------------------------------------
+
+    def cells_for(self, mutant_id: str) -> List[MatrixCell]:
+        return [cell for cell in self.cells if cell.mutant_id == mutant_id]
+
+    def killed_by(self, mutant_id: str) -> List[str]:
+        return [
+            cell.backend for cell in self.cells_for(mutant_id) if cell.killed
+        ]
+
+    @property
+    def surviving_mutants(self) -> List[str]:
+        """Mutant ids no backend killed — blind spots of the oracles."""
+        return [
+            mutant.mutant_id
+            for mutant in self.mutants
+            if not self.killed_by(mutant.mutant_id)
+        ]
+
+    @property
+    def false_kills(self) -> List[MatrixCell]:
+        """Cells whose pristine baseline was flagged as violating."""
+        return [cell for cell in self.cells if cell.false_kill]
+
+    @property
+    def expected_cells(self) -> List[MatrixCell]:
+        return [cell for cell in self.cells if cell.expected_kill]
+
+    @property
+    def sensitivity(self) -> float:
+        """Achieved expected kills / declared expected kills (0..1)."""
+        expected = self.expected_cells
+        if not expected:
+            return 1.0
+        achieved = sum(1 for cell in expected if cell.killed)
+        return achieved / len(expected)
+
+    @property
+    def ok(self) -> bool:
+        """The CI gate: full sensitivity and not a single false kill."""
+        return self.sensitivity == 1.0 and not self.false_kills
+
+    # -- artifacts ----------------------------------------------------------
+
+    def to_document(self) -> Dict[str, Any]:
+        """The JSON artifact (schema ``repro-kill-matrix`` v1)."""
+        mutant_docs = []
+        for mutant in self.mutants:
+            cells = self.cells_for(mutant.mutant_id)
+            mutant_docs.append(
+                {
+                    "mutant": mutant.mutant_id,
+                    "kind": mutant.kind,
+                    "target": mutant.target,
+                    "description": mutant.description,
+                    "expected_killers": list(mutant.expected_killers),
+                    "killed_by": self.killed_by(mutant.mutant_id),
+                    "killed": bool(self.killed_by(mutant.mutant_id)),
+                    "backends": {
+                        cell.backend: cell.to_document() for cell in cells
+                    },
+                }
+            )
+        expected = self.expected_cells
+        return {
+            "schema": SCHEMA,
+            "version": SCHEMA_VERSION,
+            "seed": self.seed,
+            "iterations": self.iterations,
+            "mutants": mutant_docs,
+            "summary": {
+                "mutants": len(self.mutants),
+                "killed": len(self.mutants) - len(self.surviving_mutants),
+                "surviving": self.surviving_mutants,
+                "false_kills": [
+                    {"mutant": cell.mutant_id, "backend": cell.backend}
+                    for cell in self.false_kills
+                ],
+                "expected_kills": len(expected),
+                "expected_achieved": sum(
+                    1 for cell in expected if cell.killed
+                ),
+                "sensitivity": self.sensitivity,
+                "ok": self.ok,
+            },
+        }
+
+    def render_markdown(self) -> str:
+        """The kill matrix as a GitHub-flavored markdown table."""
+        backends = ("exhaustive", "fuzz", "liveness")
+        lines = [
+            "| mutant | kind | " + " | ".join(backends) + " | killed by |",
+            "|---|---|" + "---|" * (len(backends) + 1),
+        ]
+        by_backend = {
+            (cell.mutant_id, cell.backend): cell for cell in self.cells
+        }
+        for mutant in self.mutants:
+            row = [f"`{mutant.mutant_id}`", mutant.kind]
+            for backend in backends:
+                cell = by_backend.get((mutant.mutant_id, backend))
+                if cell is None:
+                    row.append("—")
+                    continue
+                mark = "killed" if cell.killed else "survived"
+                if cell.expected_kill:
+                    mark += " *"
+                if cell.false_kill:
+                    mark += " (FALSE KILL)"
+                row.append(mark)
+            row.append(", ".join(self.killed_by(mutant.mutant_id)) or "—")
+            lines.append("| " + " | ".join(row) + " |")
+        lines.append("")
+        lines.append(
+            f"Sensitivity: **{self.sensitivity:.2f}** "
+            f"({len([c for c in self.expected_cells if c.killed])}"
+            f"/{len(self.expected_cells)} expected kills; `*` marks "
+            f"expected killers); false kills: "
+            f"**{len(self.false_kills)}**."
+        )
+        return "\n".join(lines)
+
+
+def _overrides(
+    backend: str, seed: int, iterations: Optional[int]
+) -> Dict[str, Any]:
+    """Per-backend verify() overrides: no shrinking, pinned fuzz seed."""
+    overrides: Dict[str, Any] = {"shrink": False}
+    if backend == "fuzz":
+        overrides["seed"] = seed
+        if iterations is not None:
+            overrides["iterations"] = iterations
+    return overrides
+
+
+def kill_matrix(
+    mutants: Optional[Sequence[Mutant]] = None,
+    seed: int = 0,
+    iterations: Optional[int] = None,
+    backends: Optional[Sequence[str]] = None,
+) -> KillMatrix:
+    """Evaluate mutants × backends into one :class:`KillMatrix`.
+
+    ``seed``/``iterations`` pin the fuzz backend (the exhaustive and
+    liveness backends are deterministic already), keeping the matrix
+    reproducible run to run — the property the CI gate relies on.
+    Baselines run under the same overrides, so a false kill can never
+    hide behind a budget difference.
+
+    ``backends`` restricts the evaluated columns (the sensitivity score
+    then covers only the expected kills of those columns) — the
+    ``mutation-smoke`` CI job runs the seconds-fast fuzz + liveness
+    slice, leaving the exhaustive columns to the full battery.
+    """
+    chosen = tuple(MUTANTS if mutants is None else mutants)
+    cells: List[MatrixCell] = []
+    for mutant in chosen:
+        evaluated = tuple(
+            backend
+            for backend in mutant.backends
+            if backends is None or backend in backends
+        )
+        for backend in evaluated:
+            overrides = _overrides(backend, seed, iterations)
+            verdict = verify(
+                mutant.scenario_factory(), backend=backend, **overrides
+            )
+            baseline = verify(
+                mutant.baseline_factory(), backend=backend, **overrides
+            )
+            cells.append(
+                MatrixCell(
+                    mutant_id=mutant.mutant_id,
+                    backend=backend,
+                    outcome=verdict.outcome,
+                    killed=verdict.violated,
+                    expected_kill=backend in mutant.expected_killers,
+                    baseline_outcome=baseline.outcome,
+                    false_kill=baseline.violated,
+                )
+            )
+    return KillMatrix(
+        seed=seed,
+        iterations=iterations,
+        mutants=chosen,
+        cells=tuple(cells),
+    )

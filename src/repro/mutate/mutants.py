@@ -1,0 +1,604 @@
+"""Named implementation mutants: seeded bugs the oracles must catch.
+
+Mutation testing for the verification stack itself.  Each
+:class:`Mutant` pairs a *hunting scenario* — an *unregistered*
+:class:`~repro.scenarios.scenario.Scenario` whose implementation
+factory builds a deliberately broken subclass of a zoo algorithm —
+with a *baseline scenario* that runs the pristine implementation under
+the exact same plan and property.  A backend **kills** a mutant when
+:func:`~repro.scenarios.verify.verify` returns a violation; the
+baseline must hold everywhere (a baseline violation is a *false kill*
+and fails the whole matrix, because it means the oracle flags correct
+code).
+
+The mutants are factory wrappers — subclasses overriding exactly one
+method — never patches to the shipped sources, so the zoo under test
+is byte-identical to the zoo in production.  Every mutant models a
+classic concurrency-implementation slip:
+
+=========================  =================================================
+``agp-dropped-cas``        commit publishes with a blind write, no validation
+``agp-swallowed-abort``    a failed commit CAS still reports ``COMMITTED``
+``global-lock-reordered-release``  the lock is released before the publish
+``norec-skipped-validation``       reads skip the seqlock clock re-check
+``i12-off-by-one-quorum``  the timestamp-rule threshold is off by one
+``mcs-barging-acquire``    acquire returns after enqueueing, skipping the spin
+``bakery-off-by-one-ticket``       the bakery ticket is ``max`` not ``max+1``
+``cas-spinning-loser``     a losing proposer retries the CAS forever
+=========================  =================================================
+
+The first seven are safety bugs (opacity, the Section 5.3 property
+``S``, mutual exclusion, respectively) and must be killed by the
+exhaustive backend; the last is a pure *liveness* bug — agreement and
+validity still hold because the loser simply never responds — and only
+the lasso-certified liveness backend can kill it.  That asymmetry is
+the point: the kill matrix (:mod:`repro.mutate.matrix`) records which
+backend catches which bug class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.algorithms.consensus import CasConsensus
+from repro.algorithms.consensus.cas_consensus import UNDECIDED
+from repro.algorithms.locks import GRANTED, BakeryLock, McsLock
+from repro.algorithms.tm import (
+    AgpTransactionalMemory,
+    GlobalLockTransactionalMemory,
+    I12TransactionalMemory,
+    NorecTransactionalMemory,
+)
+from repro.core.liveness import WaitFreedom
+from repro.objects.consensus import AgreementValidity
+from repro.objects.counterexample_s import counterexample_safety
+from repro.objects.mutex import MutualExclusionChecker
+from repro.objects.opacity import OpacityChecker
+from repro.objects.tm import ABORTED, COMMITTED
+from repro.scenarios.scenario import Scenario
+from repro.sim.kernel import Algorithm, Op
+from repro.util.errors import SimulationError, unknown_choice
+
+__all__ = [
+    "Mutant",
+    "MUTANTS",
+    "get_mutant",
+    "iter_mutants",
+    "mutant_ids",
+]
+
+
+# ---------------------------------------------------------------------------
+# The broken implementations (one overridden method each)
+# ---------------------------------------------------------------------------
+
+
+class _AgpDroppedCas(AgpTransactionalMemory):
+    """AGP whose commit forgot the CAS: a blind, unvalidated write."""
+
+    name = "agp-tm!dropped-cas"
+
+    def _try_commit(self, memory: Dict[str, Any]) -> Algorithm:
+        self._require_tx(memory)
+        memory["pc"] = "tryC-blind-write"
+        # The bug: no compare against the snapshot version, so a stale
+        # transaction resurrects values a concurrent commit replaced.
+        yield Op("C", "write", ((memory["version"] + 1, memory["values"]),))
+        memory["in_tx"] = False
+        memory["version"] = None
+        return COMMITTED
+
+
+class _AgpSwallowedAbort(AgpTransactionalMemory):
+    """AGP that runs the CAS but ignores its answer."""
+
+    name = "agp-tm!swallowed-abort"
+
+    def _try_commit(self, memory: Dict[str, Any]) -> Algorithm:
+        self._require_tx(memory)
+        memory["pc"] = "tryC-cas"
+        expected = (memory["version"], memory["oldval"])
+        replacement = (memory["version"] + 1, memory["values"])
+        yield Op("C", "compare_and_swap", (expected, replacement))
+        memory["in_tx"] = False
+        memory["version"] = None
+        # The bug: the swap outcome is dropped on the floor, so a
+        # transaction whose validation failed still reports success.
+        return COMMITTED
+
+
+class _GlobalLockReorderedRelease(GlobalLockTransactionalMemory):
+    """Global-lock TM releasing the lock *before* publishing."""
+
+    name = "global-lock-tm!reordered-release"
+
+    def _try_commit(self, memory: Dict[str, Any]) -> Algorithm:
+        self._require_tx(memory)
+        # The bug: the unlock and the publish swapped places, opening a
+        # window where a new transaction loads the store, the delayed
+        # publish then clobbers it with stale values.
+        memory["pc"] = "unlock-early"
+        yield Op("lock", "clear")
+        memory["pc"] = "publish-late"
+        yield Op("store", "write", (memory["values"],))
+        memory["in_tx"] = False
+        return COMMITTED
+
+
+class _NorecSkippedValidation(NorecTransactionalMemory):
+    """NOrec whose read skips the seqlock clock re-check."""
+
+    name = "norec-tm!skipped-validation"
+
+    def _read(self, variable: Any, memory: Dict[str, Any]) -> Algorithm:
+        self._require_tx(memory)
+        for written, value in memory["wset"]:
+            if written == variable:
+                return value
+        memory["pc"] = "read-cell-unvalidated"
+        # The bug: the cell is returned without re-reading the clock, so
+        # a reader overlapping a per-cell publish sees a torn snapshot.
+        value = yield Op("store", "read", (self._index(variable),))
+        return value
+
+
+class _I12OffByOneQuorum(I12TransactionalMemory):
+    """I(1,2) with the timestamp-rule threshold off by one."""
+
+    name = "i12-tm!off-by-one-quorum"
+
+    def _try_commit(self, memory: Dict[str, Any]) -> Algorithm:
+        self._require_tx(memory)
+        memory["pc"] = "tryC-scan"
+        snapshot = yield Op("R", "scan")
+        for component in snapshot:
+            if component >= memory["timestamp"]:
+                memory["count"] = memory["count"] + 1
+        # The bug: ``>= 4`` instead of the paper's ``>= 3``, so a group
+        # of exactly three concurrent transactions slips past the abort
+        # rule of the Section 5.3 property S.
+        if memory["count"] >= 4:
+            memory["count"] = 0
+            memory["in_tx"] = False
+            return ABORTED
+        memory["count"] = 0
+        memory["pc"] = "tryC-cas"
+        expected = (memory["version"], memory["oldval"])
+        replacement = (memory["version"] + 1, memory["values"])
+        swapped = yield Op("C", "compare_and_swap", (expected, replacement))
+        memory["version"] = None
+        memory["in_tx"] = False
+        return COMMITTED if swapped else ABORTED
+
+
+class _McsBargingAcquire(McsLock):
+    """MCS lock granting right after the enqueue, never reaching the head."""
+
+    name = "mcs-lock!barging-acquire"
+
+    @staticmethod
+    def _acquire(pid: int, memory: Dict[str, Any]) -> Algorithm:
+        if memory.get("holding"):
+            raise SimulationError(f"p{pid} acquires while holding the lock")
+        memory["pc"] = "enqueue"
+        while True:
+            queue = yield Op("queue", "read")
+            enrolled = yield Op(
+                "queue", "compare_and_swap", (queue, queue + (pid,))
+            )
+            if enrolled:
+                break
+        # The bug: the spin-until-head loop is gone — enqueueing alone
+        # "grants" the lock, so two enqueuers hold it together.
+        memory["holding"] = True
+        return GRANTED
+
+
+class _BakeryOffByOneTicket(BakeryLock):
+    """Bakery lock taking ticket ``max`` instead of ``max + 1``."""
+
+    name = "bakery-lock!off-by-one-ticket"
+
+    def _acquire(self, pid: int, memory: Dict[str, Any]) -> Algorithm:
+        if memory.get("holding"):
+            raise SimulationError(f"p{pid} acquires while holding the lock")
+        memory["pc"] = "choosing"
+        yield Op("choosing", "write", (pid, True))
+        memory["max"] = 0
+        for j in range(self.n_processes):
+            memory["pc"] = ("scan-number", j)
+            ticket = yield Op("number", "read", (j,))
+            if ticket > memory["max"]:
+                memory["max"] = ticket
+        # The bug: dropping the ``+ 1`` hands out ticket 0, which every
+        # wait loop treats as "not competing" — the holder is invisible.
+        memory["ticket"] = memory["max"]
+        memory["pc"] = "take-ticket"
+        yield Op("number", "write", (pid, memory["ticket"]))
+        memory["pc"] = "done-choosing"
+        yield Op("choosing", "write", (pid, False))
+        for j in range(self.n_processes):
+            if j == pid:
+                continue
+            while True:
+                memory["pc"] = ("wait-choosing", j)
+                busy = yield Op("choosing", "read", (j,))
+                if not busy:
+                    break
+            while True:
+                memory["pc"] = ("wait-ticket", j)
+                ticket = yield Op("number", "read", (j,))
+                if ticket == 0 or (ticket, j) > (memory["ticket"], pid):
+                    break
+        memory["holding"] = True
+        return GRANTED
+
+
+class _CasSpinningLoser(CasConsensus):
+    """CAS consensus whose loser retries the CAS instead of reading."""
+
+    name = "cas-consensus!spinning-loser"
+
+    @staticmethod
+    def _propose(proposal: Any, memory: Dict[str, Any]) -> Algorithm:
+        memory["pc"] = "cas"
+        while True:
+            won = yield Op(
+                "decision", "compare_and_swap", (UNDECIDED, proposal)
+            )
+            if won:
+                return proposal
+            # The bug: instead of reading the decided value, the loser
+            # retries a CAS that can never succeed again.  Agreement and
+            # validity survive — the loser simply never responds — so
+            # only the liveness backend (wait-freedom) can see it.
+
+
+# ---------------------------------------------------------------------------
+# Descriptors
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Mutant:
+    """One named, seeded bug plus everything needed to hunt it.
+
+    ``scenario_factory`` and ``baseline_factory`` build *unregistered*
+    scenarios (ids ``mutant:<id>`` / ``mutant-baseline:<id>``) sharing
+    one plan and property; only the implementation differs.
+    ``backends`` are the verify backends the matrix evaluates, and
+    ``expected_killers`` the subset that must return a violation for
+    the oracle-sensitivity score to stay at 1.0.
+    """
+
+    mutant_id: str
+    kind: str
+    target: str
+    description: str
+    scenario_factory: Callable[[], Scenario]
+    baseline_factory: Callable[[], Scenario]
+    backends: Tuple[str, ...]
+    expected_killers: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        unknown = set(self.expected_killers) - set(self.backends)
+        if unknown:
+            raise ValueError(
+                f"mutant {self.mutant_id}: expected killers {sorted(unknown)} "
+                f"not in evaluated backends {self.backends}"
+            )
+
+
+def _scenario_pair(
+    mutant_id: str,
+    mutated_factory: Callable[[], Any],
+    pristine_factory: Callable[[], Any],
+    plan: Dict[int, List[Tuple[str, Tuple[Any, ...]]]],
+    safety_factory: Callable[[], Any],
+    expect_violation: bool = True,
+    liveness_factory: Optional[Callable[[], Any]] = None,
+    expect_liveness_violation: bool = False,
+) -> Tuple[Callable[[], Scenario], Callable[[], Scenario]]:
+    """The (hunting, baseline) scenario factories of one mutant."""
+
+    def hunting() -> Scenario:
+        return Scenario(
+            scenario_id=f"mutant:{mutant_id}",
+            factory=mutated_factory,
+            plan=plan,
+            safety_factory=safety_factory,
+            tags=("mutant",),
+            expect_violation=expect_violation,
+            liveness_factory=liveness_factory,
+            expect_liveness_violation=expect_liveness_violation,
+        )
+
+    def baseline() -> Scenario:
+        return Scenario(
+            scenario_id=f"mutant-baseline:{mutant_id}",
+            factory=pristine_factory,
+            plan=plan,
+            safety_factory=safety_factory,
+            tags=("mutant-baseline",),
+            expect_violation=False,
+            liveness_factory=liveness_factory,
+            expect_liveness_violation=False,
+        )
+
+    return hunting, baseline
+
+
+def _make_mutants() -> Tuple[Mutant, ...]:
+    mutants: List[Mutant] = []
+
+    # -- agp-dropped-cas ---------------------------------------------------
+    # p1 commits x0=2; p0's stale blind write resurrects x0=0; p1's
+    # second transaction — real-time after its first — then reads the
+    # resurrected 0, which no serialization can explain.
+    plan = {
+        0: [("start", ()), ("write", (1, 1)), ("tryC", ())],
+        1: [
+            ("start", ()),
+            ("write", (0, 2)),
+            ("tryC", ()),
+            ("start", ()),
+            ("read", (0,)),
+            ("tryC", ()),
+        ],
+    }
+    hunting, baseline = _scenario_pair(
+        "agp-dropped-cas",
+        lambda: _AgpDroppedCas(2, variables=(0, 1)),
+        lambda: AgpTransactionalMemory(2, variables=(0, 1)),
+        plan,
+        OpacityChecker,
+    )
+    mutants.append(
+        Mutant(
+            mutant_id="agp-dropped-cas",
+            kind="dropped-cas",
+            target="agp-tm",
+            description="commit publishes with a blind write instead of the "
+            "validating CAS; stale transactions resurrect overwritten values",
+            scenario_factory=hunting,
+            baseline_factory=baseline,
+            backends=("exhaustive", "fuzz"),
+            expected_killers=("exhaustive", "fuzz"),
+        )
+    )
+
+    # -- agp-swallowed-abort -----------------------------------------------
+    # Two read-modify-write increments from the same snapshot: the CAS
+    # loser's abort is swallowed, committing a classic lost update.
+    plan = {
+        pid: [
+            ("start", ()),
+            ("read", (0,)),
+            ("write", (0, pid + 1)),
+            ("tryC", ()),
+        ]
+        for pid in range(2)
+    }
+    hunting, baseline = _scenario_pair(
+        "agp-swallowed-abort",
+        lambda: _AgpSwallowedAbort(2, variables=(0,)),
+        lambda: AgpTransactionalMemory(2, variables=(0,)),
+        plan,
+        OpacityChecker,
+    )
+    mutants.append(
+        Mutant(
+            mutant_id="agp-swallowed-abort",
+            kind="swallowed-abort",
+            target="agp-tm",
+            description="a failed commit CAS still reports COMMITTED, so "
+            "both of two conflicting increments claim to have won",
+            scenario_factory=hunting,
+            baseline_factory=baseline,
+            backends=("exhaustive", "fuzz"),
+            expected_killers=("exhaustive", "fuzz"),
+        )
+    )
+
+    # -- global-lock-reordered-release -------------------------------------
+    # p1's first transaction sneaks in through the early unlock, loads
+    # the pre-commit store, and its delayed publish resurrects it; p1's
+    # second transaction — real-time after p0's commit — reads stale 0.
+    plan = {
+        0: [("start", ()), ("write", (0, 1)), ("tryC", ())],
+        1: [
+            ("start", ()),
+            ("read", (0,)),
+            ("tryC", ()),
+            ("start", ()),
+            ("read", (0,)),
+            ("tryC", ()),
+        ],
+    }
+    hunting, baseline = _scenario_pair(
+        "global-lock-reordered-release",
+        lambda: _GlobalLockReorderedRelease(2, variables=(0,)),
+        lambda: GlobalLockTransactionalMemory(2, variables=(0,)),
+        plan,
+        OpacityChecker,
+    )
+    mutants.append(
+        Mutant(
+            mutant_id="global-lock-reordered-release",
+            kind="reordered-lock-release",
+            target="global-lock-tm",
+            description="tryC releases the global lock before publishing "
+            "the write set; a racing transaction loads and then republishes "
+            "stale values",
+            scenario_factory=hunting,
+            baseline_factory=baseline,
+            backends=("exhaustive", "fuzz"),
+            expected_killers=("exhaustive", "fuzz"),
+        )
+    )
+
+    # -- norec-skipped-validation ------------------------------------------
+    # The writer publishes cell 0 then cell 1; an unvalidated reader
+    # interleaved between them returns the torn (old x0, new x1) pair.
+    plan = {
+        0: [
+            ("start", ()),
+            ("write", (0, 1)),
+            ("write", (1, 1)),
+            ("tryC", ()),
+        ],
+        1: [("start", ()), ("read", (0,)), ("read", (1,)), ("tryC", ())],
+    }
+    hunting, baseline = _scenario_pair(
+        "norec-skipped-validation",
+        lambda: _NorecSkippedValidation(2, variables=(0, 1)),
+        lambda: NorecTransactionalMemory(2, variables=(0, 1)),
+        plan,
+        OpacityChecker,
+    )
+    mutants.append(
+        Mutant(
+            mutant_id="norec-skipped-validation",
+            kind="skipped-validation",
+            target="norec-tm",
+            description="read returns the store cell without re-checking "
+            "the seqlock clock, exposing torn snapshots during a per-cell "
+            "publish",
+            scenario_factory=hunting,
+            baseline_factory=baseline,
+            backends=("exhaustive", "fuzz"),
+            expected_killers=("exhaustive", "fuzz"),
+        )
+    )
+
+    # -- i12-off-by-one-quorum ---------------------------------------------
+    # Three all-concurrent transactions trigger the timestamp rule of
+    # the Section 5.3 property S; the pristine I(1,2) aborts all three
+    # (count == 3), the mutant's ``>= 4`` lets the first commit through.
+    plan = {pid: [("start", ()), ("tryC", ())] for pid in range(3)}
+    hunting, baseline = _scenario_pair(
+        "i12-off-by-one-quorum",
+        lambda: _I12OffByOneQuorum(3, variables=(0,)),
+        lambda: I12TransactionalMemory(3, variables=(0,)),
+        plan,
+        counterexample_safety,
+    )
+    mutants.append(
+        Mutant(
+            mutant_id="i12-off-by-one-quorum",
+            kind="off-by-one-quorum",
+            target="i12-tm",
+            description="the timestamp-rule abort threshold reads >= 4 "
+            "instead of >= 3, so a triple of concurrent transactions "
+            "violates the paper's property S",
+            scenario_factory=hunting,
+            baseline_factory=baseline,
+            backends=("exhaustive", "fuzz"),
+            expected_killers=("exhaustive", "fuzz"),
+        )
+    )
+
+    # -- mcs-barging-acquire -----------------------------------------------
+    plan = {pid: [("acquire", ()), ("release", ())] for pid in range(2)}
+    hunting, baseline = _scenario_pair(
+        "mcs-barging-acquire",
+        lambda: _McsBargingAcquire(2),
+        lambda: McsLock(2),
+        plan,
+        MutualExclusionChecker,
+    )
+    mutants.append(
+        Mutant(
+            mutant_id="mcs-barging-acquire",
+            kind="skipped-validation",
+            target="mcs-lock",
+            description="acquire returns GRANTED right after enqueueing, "
+            "never spinning to the queue head — two enqueuers share the "
+            "critical section",
+            scenario_factory=hunting,
+            baseline_factory=baseline,
+            backends=("exhaustive", "fuzz"),
+            expected_killers=("exhaustive", "fuzz"),
+        )
+    )
+
+    # -- bakery-off-by-one-ticket ------------------------------------------
+    hunting, baseline = _scenario_pair(
+        "bakery-off-by-one-ticket",
+        lambda: _BakeryOffByOneTicket(2),
+        lambda: BakeryLock(2),
+        plan,
+        MutualExclusionChecker,
+    )
+    mutants.append(
+        Mutant(
+            mutant_id="bakery-off-by-one-ticket",
+            kind="off-by-one-ticket",
+            target="bakery-lock",
+            description="the doorway takes ticket max instead of max+1; "
+            "ticket 0 looks like 'not competing' to every wait loop, so "
+            "the holder is overtaken",
+            scenario_factory=hunting,
+            baseline_factory=baseline,
+            backends=("exhaustive", "fuzz"),
+            expected_killers=("exhaustive", "fuzz"),
+        )
+    )
+
+    # -- cas-spinning-loser ------------------------------------------------
+    # Safety-invisible: the loser never responds, so agreement/validity
+    # hold on every schedule and the safety backends must NOT kill this
+    # mutant.  The liveness backend certifies the starvation with an
+    # exact lasso (the spin leaves pool and memory untouched).
+    plan = {0: [("propose", (0,))], 1: [("propose", (1,))]}
+    hunting, baseline = _scenario_pair(
+        "cas-spinning-loser",
+        lambda: _CasSpinningLoser(2),
+        lambda: CasConsensus(2),
+        plan,
+        AgreementValidity,
+        expect_violation=False,
+        liveness_factory=WaitFreedom,
+        expect_liveness_violation=True,
+    )
+    mutants.append(
+        Mutant(
+            mutant_id="cas-spinning-loser",
+            kind="spinning-loser",
+            target="cas-consensus",
+            description="the losing proposer retries its CAS forever "
+            "instead of reading the decision: safety holds, wait-freedom "
+            "does not — only the liveness backend can kill it",
+            scenario_factory=hunting,
+            baseline_factory=baseline,
+            backends=("exhaustive", "fuzz", "liveness"),
+            expected_killers=("liveness",),
+        )
+    )
+
+    return tuple(mutants)
+
+
+#: Every shipped mutant, in a fixed registration order.
+MUTANTS: Tuple[Mutant, ...] = _make_mutants()
+
+_BY_ID: Dict[str, Mutant] = {mutant.mutant_id: mutant for mutant in MUTANTS}
+
+
+def get_mutant(mutant_id: str) -> Mutant:
+    """Look up one mutant by id (UsageError with suggestions otherwise)."""
+    try:
+        return _BY_ID[mutant_id]
+    except KeyError:
+        raise unknown_choice("mutant", mutant_id, _BY_ID) from None
+
+
+def iter_mutants() -> List[Mutant]:
+    """All mutants sorted by id."""
+    return [_BY_ID[key] for key in sorted(_BY_ID)]
+
+
+def mutant_ids() -> List[str]:
+    """The sorted mutant ids."""
+    return sorted(_BY_ID)

@@ -17,6 +17,8 @@ by id), and ``python -m repro scenarios list`` / ``verify``.
 
 from repro.scenarios.scenario import (
     OUTCOMES,
+    TAG_EXHAUSTIBLE,
+    TAG_FAMILY,
     TAG_LIVENESS,
     TAG_SATISFYING,
     TAG_SMALL,
@@ -40,6 +42,14 @@ from repro.scenarios.verify import (
     verify,
 )
 from repro.scenarios import catalog as _catalog  # populate the registry
+from repro.scenarios.families import (  # expand the generated families
+    ScenarioFamily,
+    family_ids,
+    get_family,
+    iter_families,
+    materialize,
+    register_family,
+)
 
 __all__ = [
     "BACKENDS",
@@ -48,14 +58,22 @@ __all__ = [
     "Bounds",
     "OUTCOMES",
     "Scenario",
+    "ScenarioFamily",
+    "TAG_EXHAUSTIBLE",
+    "TAG_FAMILY",
     "TAG_LIVENESS",
     "TAG_SATISFYING",
     "TAG_SMALL",
     "TAG_VIOLATING",
     "Verdict",
+    "family_ids",
+    "get_family",
     "get_scenario",
+    "iter_families",
     "iter_scenarios",
+    "materialize",
     "register",
+    "register_family",
     "resolve_backend",
     "scenario_ids",
     "unregister",

@@ -47,15 +47,26 @@ def unregister(scenario_id: str) -> None:
 def get_scenario(scenario_id: Union[str, Scenario]) -> Scenario:
     """Look up a scenario by id (a ``Scenario`` passes through).
 
-    Unknown ids raise :class:`~repro.util.errors.UsageError` with a
-    did-you-mean suggestion and the known ids.
+    Ids of the form ``family:key=value,...`` whose family is registered
+    fall back to :func:`repro.scenarios.families.materialize` — a
+    sampling budget may have kept the instance out of the registered
+    slice, but every in-grid id stays addressable.  Other unknown ids
+    raise :class:`~repro.util.errors.UsageError` with a did-you-mean
+    suggestion and the known ids.
     """
     if isinstance(scenario_id, Scenario):
         return scenario_id
     try:
         return _SCENARIOS[scenario_id]
     except KeyError:
-        raise unknown_choice("scenario", scenario_id, _SCENARIOS) from None
+        pass
+    if isinstance(scenario_id, str) and ":" in scenario_id:
+        # Imported lazily: families itself registers scenarios at import.
+        from repro.scenarios import families
+
+        if scenario_id.partition(":")[0] in families.family_ids():
+            return families.materialize(scenario_id)
+    raise unknown_choice("scenario", scenario_id, _SCENARIOS)
 
 
 def iter_scenarios(

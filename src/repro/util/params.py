@@ -12,10 +12,32 @@ campaign axis means ``[0, 1]`` on a verify override too.
 from __future__ import annotations
 
 import json
+import os
 
 from typing import Any, Dict, List
 
 from repro.util.errors import UsageError
+
+
+def env_int(name: str, default: int, minimum: int = 0) -> int:
+    """Read an integer knob from the environment, validated.
+
+    One grammar for every ``REPRO_*`` integer variable
+    (``REPRO_ENGINE_PARALLEL``, ``REPRO_FAMILY_BUDGET``): unset or empty
+    means ``default``, values below ``minimum`` clamp to ``minimum``,
+    and a non-integer raises :class:`~repro.util.errors.UsageError`
+    naming the variable — never a silent fallback.
+    """
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise UsageError(
+            f"{name} must be an integer, got {raw!r}"
+        ) from None
+    return max(minimum, value)
 
 
 def coerce_scalar(raw: str) -> Any:

@@ -245,6 +245,41 @@ def test_opacity_checker_agrees_with_brute_force(seed):
     assert verdicts == {True, False}
 
 
+# ---------------------------------------------------------------------------
+# Family instances through the verify() facade
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_family_instances_round_trip_fuzz_against_exhaustive(seed):
+    """Generated family instances satisfy the same differential
+    property as the curated catalog: on a seeded random sample of the
+    exhaustible slice, the fuzz backend's verdict agrees with the
+    exhaustive backend's proof.  (The full 200+ instance grid is far
+    too slow for tier 1; the sample rotates with the seed.)
+    """
+    from repro.scenarios import TAG_EXHAUSTIBLE, TAG_FAMILY, iter_scenarios, verify
+
+    rng = DeterministicRng(f"family-differential-{seed}")
+    instances = iter_scenarios(tags=(TAG_FAMILY, TAG_EXHAUSTIBLE))
+    assert len(instances) >= 20
+    sample = rng.sample(instances, 3)
+    outcomes = set()
+    for scenario in sample:
+        exhaustive = verify(scenario, backend="exhaustive", shrink=False)
+        assert not exhaustive.budget_exhausted, (
+            scenario.scenario_id,
+            exhaustive.stats.get("error"),
+        )
+        fuzz = verify(
+            scenario, backend="fuzz", seed=seed, iterations=500, shrink=False
+        )
+        assert exhaustive.outcome == fuzz.outcome, scenario.scenario_id
+        assert exhaustive.expected and fuzz.expected, scenario.scenario_id
+        outcomes.add(exhaustive.outcome)
+    assert outcomes <= {"holds", "violated"}
+
+
 def test_crashed_commit_pending_transaction_may_commit():
     """Regression for the parse_transactions bug the fuzzer found: a
     writer crashing between tryC and its response may still have

@@ -28,6 +28,7 @@ class TestRegistry:
             "sec6",
             "fuzz",
             "verify",
+            "mutation",
         }
 
     def test_unknown_experiment_raises(self):

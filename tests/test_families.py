@@ -1,0 +1,226 @@
+"""The generative scenario-family layer (repro.scenarios.families).
+
+The contract under test: families expand deterministically (two fresh
+interpreters produce byte-identical ``scenarios list --format md``
+output), every in-grid instance id is addressable through the registry
+even when the sampling budget kept it out of the registered slice, and
+the id grammar fails loudly — unknown families, parameters, and values
+all surface as did-you-mean :class:`UsageError`\\ s.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import main
+from repro.scenarios import (
+    TAG_EXHAUSTIBLE,
+    TAG_FAMILY,
+    family_ids,
+    get_family,
+    get_scenario,
+    iter_families,
+    iter_scenarios,
+    materialize,
+    scenario_ids,
+    unregister,
+)
+from repro.scenarios.families import (
+    DEFAULT_FAMILY_BUDGET,
+    REGISTERED_INSTANCES,
+    family_budget,
+)
+from repro.util.errors import UsageError
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+class TestExpansion:
+    def test_acceptance_floor_of_families_and_instances(self):
+        """The PR's acceptance criterion: >= 4 families expanding into
+        >= 200 registered instances."""
+        assert len(family_ids()) >= 4
+        assert REGISTERED_INSTANCES >= 200
+        generated = iter_scenarios(tags=TAG_FAMILY)
+        assert len(generated) == REGISTERED_INSTANCES
+
+    def test_every_instance_carries_its_family_tag(self):
+        for family in iter_families():
+            marker = f"family:{family.family_id}"
+            instances = iter_scenarios(tags=marker)
+            assert instances, family.family_id
+            assert all(
+                s.scenario_id.startswith(f"{family.family_id}:")
+                and TAG_FAMILY in s.tags
+                for s in instances
+            )
+
+    def test_instance_ids_are_their_own_recipes(self):
+        """Every registered instance id materializes back to a scenario
+        with identical id, tags, and expectation."""
+        for family in iter_families():
+            instance = family.expand()[0]
+            rebuilt = materialize(instance.scenario_id)
+            assert rebuilt.scenario_id == instance.scenario_id
+            assert rebuilt.tags == instance.tags
+            assert rebuilt.expect_violation == instance.expect_violation
+
+    def test_expand_budget_sampling_is_deterministic_and_even(self):
+        family = get_family("tm-grid")
+        full = family.expand(10**6)
+        assert len(full) == 100
+        sampled = family.expand(7)
+        assert len(sampled) == 7
+        assert [s.scenario_id for s in sampled] == [
+            s.scenario_id for s in family.expand(7)
+        ]
+        # The sample is an ordered subsequence spread across the grid,
+        # not a prefix: it must span more than one implementation.
+        full_ids = [s.scenario_id for s in full]
+        positions = [full_ids.index(s.scenario_id) for s in sampled]
+        assert positions == sorted(positions)
+        assert positions[-1] > len(full) // 2
+        impls = {s.scenario_id.split(":", 1)[1].split(",")[0] for s in sampled}
+        assert len(impls) > 1
+
+    def test_budget_env_knob_is_validated(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAMILY_BUDGET", raising=False)
+        assert family_budget() == DEFAULT_FAMILY_BUDGET
+        monkeypatch.setenv("REPRO_FAMILY_BUDGET", "5")
+        assert family_budget() == 5
+        monkeypatch.setenv("REPRO_FAMILY_BUDGET", "-3")
+        assert family_budget() == 1  # clamps, never an empty registry
+        monkeypatch.setenv("REPRO_FAMILY_BUDGET", "lots")
+        with pytest.raises(UsageError, match="REPRO_FAMILY_BUDGET"):
+            family_budget()
+
+
+class TestMaterializeFallback:
+    def test_get_scenario_rebuilds_unregistered_in_grid_ids(self):
+        """The registry fallback: an in-grid id resolves even after the
+        registered slice dropped it (sampling budget, test isolation)."""
+        scenario_id = "tm-grid:impl=agp,n=2,plan=rw,vars=1"
+        original = get_scenario(scenario_id)
+        try:
+            unregister(scenario_id)
+            assert scenario_id not in scenario_ids()
+            rebuilt = get_scenario(scenario_id)
+            assert rebuilt.scenario_id == scenario_id
+            assert rebuilt.tags == original.tags
+            # materialize re-registers, so the next lookup is a hit.
+            assert scenario_id in scenario_ids()
+        finally:
+            unregister(scenario_id)
+            materialize(scenario_id)
+
+    def test_unknown_family_and_parameter_errors(self):
+        with pytest.raises(UsageError, match="not a family instance id"):
+            materialize("tm-grid")
+        with pytest.raises(UsageError, match="unknown scenario family"):
+            materialize("no-such-family:impl=agp")
+        with pytest.raises(UsageError, match="family parameter"):
+            materialize("tm-grid:impl=agp,n=2,plan=rw,vars=1,bogus=1")
+        with pytest.raises(UsageError, match="value for 'impl'"):
+            materialize("tm-grid:impl=bogus,n=2,plan=rw,vars=1")
+        with pytest.raises(UsageError, match="missing the 'vars' parameter"):
+            materialize("tm-grid:impl=agp,n=2,plan=rw")
+        with pytest.raises(UsageError, match="given twice"):
+            materialize("tm-grid:impl=agp,impl=agp,n=2,plan=rw,vars=1")
+        with pytest.raises(UsageError, match="malformed family parameter"):
+            materialize("tm-grid:impl")
+
+    def test_declared_but_unbuildable_combination(self):
+        # Test-and-set consensus has consensus number exactly 2: the
+        # n=3 grid point is declared but skipped by the builder.
+        with pytest.raises(UsageError, match="not buildable"):
+            materialize("consensus-grid:impl=tas,n=3,proposals=alt")
+        assert (
+            "consensus-grid:impl=tas,n=3,proposals=alt"
+            not in scenario_ids()
+        )
+
+    def test_non_family_unknown_ids_still_get_suggestions(self):
+        with pytest.raises(UsageError, match="did you mean"):
+            get_scenario("cas-consensu")
+
+
+class TestDeterminism:
+    def test_two_interpreters_render_byte_identical_catalogs(self):
+        """The regression pin for the determinism contract: a fresh
+        interpreter's full ``scenarios list --format md`` output (the
+        curated catalog plus every expanded family instance) is
+        byte-identical run to run."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        env.pop("REPRO_FAMILY_BUDGET", None)
+        outputs = []
+        for _ in range(2):
+            proc = subprocess.run(
+                [sys.executable, "-m", "repro", "scenarios", "list",
+                 "--format", "md"],
+                capture_output=True,
+                env=env,
+                cwd=str(REPO_ROOT),
+                timeout=120,
+            )
+            assert proc.returncode == 0, proc.stderr.decode()
+            outputs.append(proc.stdout)
+        assert outputs[0] == outputs[1]
+        assert outputs[0].count(b"\n") >= 200  # the families are in there
+
+
+class TestCli:
+    def test_family_filter_lists_only_that_family(self, capsys):
+        assert main(["scenarios", "list", "--family", "lock-mutex"]) == 0
+        out = capsys.readouterr().out
+        body = [line for line in out.splitlines()[2:] if line.strip()]
+        assert body and all(line.startswith("lock-mutex:") for line in body)
+
+    def test_no_families_hides_generated_instances(self, capsys):
+        assert main(["scenarios", "list", "--no-families"]) == 0
+        out = capsys.readouterr().out
+        assert "tm-grid:" not in out and "cas-consensus" in out
+
+    def test_family_and_no_families_conflict(self, capsys):
+        assert (
+            main(["scenarios", "list", "--family", "tm-grid",
+                  "--no-families"])
+            == 2
+        )
+        assert "can never match" in capsys.readouterr().err
+
+    def test_unknown_family_exits_two_with_suggestion(self, capsys):
+        assert main(["scenarios", "list", "--family", "tm-gird"]) == 2
+        assert "tm-grid" in capsys.readouterr().err
+
+    def test_verify_resolves_family_instance_ids(self, capsys):
+        assert (
+            main(
+                [
+                    "verify",
+                    "faulty-consensus:impl=stubborn,n=2,proposals=alt",
+                    "--backend",
+                    "fuzz",
+                    "--set",
+                    "seed=7",
+                ]
+            )
+            == 0
+        )
+        assert "-> expected" in capsys.readouterr().out
+
+
+class TestExhaustibleSlice:
+    def test_exhaustible_instances_exist_in_every_kind(self):
+        exhaustible = iter_scenarios(tags=(TAG_FAMILY, TAG_EXHAUSTIBLE))
+        assert len(exhaustible) >= 20
+        kinds = {s.tags[0] for s in exhaustible}
+        assert {"tm", "consensus", "lock"} <= kinds
+
+    def test_crash_family_is_never_exhaustible(self):
+        for scenario in iter_scenarios(tags="family:crash-tm"):
+            assert TAG_EXHAUSTIBLE not in scenario.tags
+            assert scenario.crash is not None

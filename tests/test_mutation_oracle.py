@@ -1,0 +1,214 @@
+"""Mutation-tested oracle sensitivity (repro.mutate).
+
+The acceptance criterion of the mutation layer, pinned as tests: every
+seeded implementation bug is killed by at least one verification
+backend, the unmutated zoo is never flagged (zero false kills), and the
+kill-matrix artifact carries the schema CI consumes.  The fuzz +
+liveness slice runs in seconds and covers every mutant; one cheap
+exhaustive cell witnesses that the proof backend kills too.
+"""
+
+import json
+
+import pytest
+
+from repro.mutate import (
+    MUTANTS,
+    get_mutant,
+    iter_mutants,
+    kill_matrix,
+    mutant_ids,
+)
+from repro.scenarios import verify
+from repro.util.errors import UsageError
+
+#: Fixed-seed verdict snapshot for the fuzz + liveness slice: which
+#: backends kill which mutant at seed 0.  A sensitivity regression
+#: (an oracle losing its grip on a seeded bug) changes this table.
+EXPECTED_KILLS = {
+    "agp-dropped-cas": ["fuzz"],
+    "agp-swallowed-abort": ["fuzz"],
+    "bakery-off-by-one-ticket": ["fuzz"],
+    "cas-spinning-loser": ["liveness"],
+    "global-lock-reordered-release": ["fuzz"],
+    "i12-off-by-one-quorum": ["fuzz"],
+    "mcs-barging-acquire": ["fuzz"],
+    "norec-skipped-validation": ["fuzz"],
+}
+
+
+@pytest.fixture(scope="module")
+def smoke_matrix():
+    """The CI slice: fuzz + liveness columns at the pinned seed."""
+    return kill_matrix(seed=0, backends=("fuzz", "liveness"))
+
+
+class TestMutantRegistry:
+    def test_ids_are_sorted_and_unique(self):
+        ids = mutant_ids()
+        assert ids == sorted(ids) and len(ids) == len(set(ids))
+        assert ids == [m.mutant_id for m in iter_mutants()]
+        assert set(ids) == set(EXPECTED_KILLS)
+
+    def test_expected_killers_are_declared_backends(self):
+        for mutant in MUTANTS:
+            assert mutant.expected_killers
+            assert set(mutant.expected_killers) <= set(mutant.backends)
+
+    def test_unknown_mutant_is_usage_error_with_suggestion(self):
+        with pytest.raises(UsageError, match="did you mean"):
+            get_mutant("agp-dropped-ca")
+
+    def test_hunting_scenarios_stay_out_of_the_registry(self):
+        """Mutant scenarios are verify()-able objects, never registered
+        ids — the catalog must not advertise broken implementations."""
+        from repro.scenarios import scenario_ids
+
+        assert not any(sid.startswith("mutant") for sid in scenario_ids())
+
+
+class TestKillMatrix:
+    def test_every_mutant_killed_by_at_least_one_backend(self, smoke_matrix):
+        assert smoke_matrix.surviving_mutants == []
+
+    def test_killed_by_matches_the_pinned_snapshot(self, smoke_matrix):
+        actual = {
+            mutant.mutant_id: smoke_matrix.killed_by(mutant.mutant_id)
+            for mutant in smoke_matrix.mutants
+        }
+        assert actual == EXPECTED_KILLS
+
+    def test_sensitivity_gate_holds_at_seed_value(self, smoke_matrix):
+        assert smoke_matrix.sensitivity == 1.0
+        assert smoke_matrix.false_kills == []
+        assert smoke_matrix.ok
+
+    def test_baselines_are_never_flagged(self, smoke_matrix):
+        """Zero false kills, cell by cell: the pristine implementation
+        under the hunting plan is never reported as violating."""
+        for cell in smoke_matrix.cells:
+            assert not cell.false_kill, (cell.mutant_id, cell.backend)
+            assert cell.baseline_outcome != "violated", (
+                cell.mutant_id,
+                cell.backend,
+            )
+
+    def test_safety_holds_on_the_liveness_only_mutant(self, smoke_matrix):
+        """The backend-asymmetry by design: the spinning-loser mutant
+        is safety-invisible (the loser never responds, so agreement and
+        validity hold vacuously) and only the liveness backend sees the
+        starvation lasso."""
+        cells = {
+            cell.backend: cell
+            for cell in smoke_matrix.cells_for("cas-spinning-loser")
+        }
+        assert cells["fuzz"].outcome == "holds"
+        assert not cells["fuzz"].expected_kill
+        assert cells["liveness"].killed and cells["liveness"].expected_kill
+
+    def test_exhaustive_backend_also_kills(self):
+        """One cheap exhaustive witness (the MCS barging mutant proves
+        out in ~a second): the proof backend kills, and the pristine
+        twin proves clean under the identical plan."""
+        mutant = get_mutant("mcs-barging-acquire")
+        killed = verify(
+            mutant.scenario_factory(), backend="exhaustive", shrink=False
+        )
+        assert killed.violated
+        baseline = verify(
+            mutant.baseline_factory(), backend="exhaustive", shrink=False
+        )
+        assert baseline.holds
+        assert baseline.stats.get("certainty") == "proof"
+
+
+class TestArtifact:
+    def test_document_schema(self, smoke_matrix):
+        document = json.loads(json.dumps(smoke_matrix.to_document()))
+        assert document["schema"] == "repro-kill-matrix"
+        assert document["version"] == 1
+        assert document["seed"] == 0
+        summary = document["summary"]
+        assert summary["ok"] is True
+        assert summary["sensitivity"] == 1.0
+        assert summary["false_kills"] == []
+        assert summary["surviving"] == []
+        assert summary["mutants"] == len(MUTANTS) == summary["killed"]
+        by_id = {entry["mutant"]: entry for entry in document["mutants"]}
+        assert set(by_id) == set(EXPECTED_KILLS)
+        for mutant_id, entry in by_id.items():
+            assert entry["killed"] is True
+            assert entry["killed_by"] == EXPECTED_KILLS[mutant_id]
+            for backend, cell in entry["backends"].items():
+                assert cell["backend"] == backend
+                assert cell["false_kill"] is False
+
+    def test_markdown_rendering(self, smoke_matrix):
+        rendered = smoke_matrix.render_markdown()
+        assert rendered.startswith("| mutant | kind |")
+        assert "`cas-spinning-loser`" in rendered
+        assert "FALSE KILL" not in rendered
+        assert "Sensitivity: **1.00**" in rendered
+
+
+class TestMutationExperiment:
+    def test_mutation_experiment_all_ok_on_the_smoke_slice(self):
+        from repro.analysis.experiments import run_experiment
+
+        result = run_experiment("mutation", backend="fuzz")
+        assert result.all_ok
+        document = result.artifacts["kill_matrix"]
+        assert document["schema"] == "repro-kill-matrix"
+        assert document["summary"]["false_kills"] == []
+
+    def test_single_mutant_restriction(self):
+        from repro.analysis.experiments import run_experiment
+
+        result = run_experiment(
+            "mutation", mutant="agp-dropped-cas", backend="fuzz"
+        )
+        assert result.all_ok
+        document = result.artifacts["kill_matrix"]
+        assert [m["mutant"] for m in document["mutants"]] == [
+            "agp-dropped-cas"
+        ]
+
+
+class TestMutateCli:
+    def test_mutate_gate_exits_zero_and_writes_artifact(self, capsys, tmp_path):
+        from repro.__main__ import main
+
+        out_path = str(tmp_path / "kill-matrix.json")
+        assert (
+            main(
+                [
+                    "mutate",
+                    "--backend",
+                    "fuzz",
+                    "--backend",
+                    "liveness",
+                    "--out",
+                    out_path,
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "sensitivity 1.00" in out and "OK" in out
+        document = json.load(open(out_path))
+        assert document["schema"] == "repro-kill-matrix"
+        assert document["summary"]["ok"] is True
+
+    def test_mutate_list(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["mutate", "--list"]) == 0
+        out = capsys.readouterr().out
+        for mutant_id in EXPECTED_KILLS:
+            assert mutant_id in out
+
+    def test_mutate_unknown_mutant_exits_two(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["mutate", "--mutant", "no-such-mutant"]) == 2
+        assert "did you mean" not in capsys.readouterr().out
