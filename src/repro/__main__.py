@@ -16,12 +16,15 @@ Usage::
     python -m repro verify agp-opacity-3p --backend fuzz --set seed=7
     python -m repro verify stubborn-consensus --out verdict.json
     python -m repro verify trivial-local-progress-f1 --backend liveness
+    python -m repro verify agp-opacity --metrics-out m.json --trace-out t.json
+    python -m repro profile agp-opacity --backend fuzz     # hotspot table
 
     python -m repro campaign init --grid fig1a n=2..4 seed=0..4
     python -m repro campaign init --grid verify scenario=agp-opacity backend=fuzz seed=0..4
-    python -m repro campaign run --workers 4
+    python -m repro campaign run --workers 4 --trace-out trace.json
     python -m repro campaign status
-    python -m repro campaign export --out campaign.json
+    python -m repro campaign status --watch          # live progress + ETA
+    python -m repro campaign export --out campaign.json --metrics-out m.json
 
     python -m repro fuzz --list                       # fuzzable scenarios
     python -m repro fuzz agp-opacity --seed 7         # random sampling
@@ -41,9 +44,11 @@ verdict surprised (including budget-exhausted), 2 usage error.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import os
 import sys
+import tempfile
 import time
 from typing import Any, Dict, List
 
@@ -125,12 +130,40 @@ def cmd_campaign_init(arguments) -> int:
 
 
 def cmd_campaign_run(arguments) -> int:
-    summary = run_campaign(
-        arguments.store,
-        workers=arguments.workers,
-        max_jobs=arguments.max_jobs,
-        reclaim=not arguments.no_reclaim,
-    )
+    trace_dir = None
+    stack = contextlib.ExitStack()
+    with stack:
+        if arguments.trace_out is not None:
+            # Workers write per-process trace fragments here; merged
+            # into one Perfetto timeline (a lane per worker) below.
+            trace_dir = stack.enter_context(
+                tempfile.TemporaryDirectory(prefix="repro-trace-")
+            )
+        summary = run_campaign(
+            arguments.store,
+            workers=arguments.workers,
+            max_jobs=arguments.max_jobs,
+            reclaim=not arguments.no_reclaim,
+            metrics=arguments.metrics_out is not None,
+            trace_dir=trace_dir,
+        )
+        if arguments.trace_out is not None:
+            from repro.obs import merge_trace_fragments, write_trace
+
+            fragments = sorted(
+                os.path.join(trace_dir, name)
+                for name in os.listdir(trace_dir)
+            )
+            events, names = merge_trace_fragments(fragments)
+            write_trace(arguments.trace_out, events, names)
+            print(f"wrote {arguments.trace_out} ({len(names)} worker lane(s))")
+    if arguments.metrics_out is not None:
+        from repro.campaign import merged_metrics
+        from repro.obs import write_metrics
+
+        with CampaignStore.open(arguments.store) as store:
+            write_metrics(arguments.metrics_out, merged_metrics(store))
+        print(f"wrote {arguments.metrics_out}")
     print(
         f"executed {summary['executed']} job(s)"
         + (f" (reclaimed {summary['reclaimed']})" if summary["reclaimed"] else "")
@@ -143,6 +176,12 @@ def cmd_campaign_run(arguments) -> int:
 
 
 def cmd_campaign_status(arguments) -> int:
+    if arguments.watch:
+        from repro.campaign import watch_status
+
+        watch_status(arguments.store, interval=arguments.interval)
+        print("campaign finished; final status:")
+        # fall through to the one-shot report for the closing summary
     with CampaignStore.open(arguments.store) as store:
         done = store.jobs("done")
         print(render_status(store, done_records=done))
@@ -174,6 +213,12 @@ def cmd_campaign_reset(arguments) -> int:
 def cmd_campaign_export(arguments) -> int:
     with CampaignStore.open(arguments.store) as store:
         document = export_campaign(store)
+        if arguments.metrics_out is not None:
+            from repro.campaign import merged_metrics
+            from repro.obs import write_metrics
+
+            write_metrics(arguments.metrics_out, merged_metrics(store))
+            print(f"wrote {arguments.metrics_out}", file=sys.stderr)
         if arguments.render:
             # keep stdout a pure JSON stream when no --out is given
             print(render_results(store), file=sys.stdout if arguments.out else sys.stderr)
@@ -402,7 +447,30 @@ def cmd_verify(arguments) -> int:
     overrides = _parse_params(arguments.set, option="--set")
     # Fail fast on unknown ids, before any scenario runs.
     scenarios = [get_scenario(s) for s in arguments.scenarios]
+    observe = arguments.metrics_out is not None or arguments.trace_out is not None
+    with contextlib.ExitStack() as stack:
+        recorder = None
+        if observe:
+            # One session recorder: verify() nests a per-scenario
+            # recorder inside it, so each verdict gets its own metrics
+            # document while this one accumulates the totals and every
+            # trace event.
+            from repro.obs import recording
+
+            recorder = stack.enter_context(
+                recording(
+                    label="verify-cli", trace=arguments.trace_out is not None
+                )
+            )
+        surprises = _verify_scenarios(arguments, scenarios, overrides, recorder)
+    return 1 if surprises else 0
+
+
+def _verify_scenarios(arguments, scenarios, overrides, recorder) -> int:
+    from repro.scenarios import verify
+
     documents = []
+    metric_documents = []
     surprises = 0
     for scenario in scenarios:
         # Auto mode may mix backends across the listed scenarios; the
@@ -410,6 +478,8 @@ def cmd_verify(arguments) -> int:
         # does not own (an explicit --backend stays strict).
         verdict = verify(scenario, backend=arguments.backend, **overrides)
         documents.append(verdict.to_document())
+        if verdict.metrics is not None:
+            metric_documents.append(verdict.metrics)
         stats = verdict.stats
         if verdict.budget_exhausted:
             evidence = "search budget exceeded"
@@ -462,7 +532,50 @@ def cmd_verify(arguments) -> int:
             json.dump(document, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"wrote {arguments.out}")
-    return 1 if surprises else 0
+    if arguments.metrics_out is not None:
+        from repro.obs import merge_metrics, write_metrics
+
+        merged = (
+            metric_documents[0]
+            if len(metric_documents) == 1
+            else merge_metrics(metric_documents, label="verify-cli")
+        )
+        write_metrics(arguments.metrics_out, merged)
+        print(f"wrote {arguments.metrics_out}")
+    if arguments.trace_out is not None:
+        from repro.obs import write_trace
+
+        write_trace(arguments.trace_out, recorder.trace_events)
+        print(f"wrote {arguments.trace_out}")
+    return surprises
+
+
+def cmd_profile(arguments) -> int:
+    from repro.obs import render_metrics_summary
+    from repro.obs.profile import profile_verify, render_hotspots
+
+    overrides = _parse_params(arguments.set, option="--set")
+    report = profile_verify(
+        arguments.scenario,
+        backend=arguments.backend,
+        overrides=overrides,
+        top=arguments.top,
+    )
+    verdict = report.verdict
+    print(
+        f"[{verdict.scenario_id}] {verdict.backend}: {verdict.outcome} -> "
+        f"{'expected' if verdict.expected else 'SURPRISE'}"
+    )
+    print()
+    print(render_hotspots(report.hotspots))
+    print()
+    print(render_metrics_summary(report.metrics))
+    if arguments.metrics_out is not None:
+        from repro.obs import write_metrics
+
+        write_metrics(arguments.metrics_out, report.metrics)
+        print(f"wrote {arguments.metrics_out}")
+    return 0 if verdict.expected else 1
 
 
 def cmd_mutate(arguments) -> int:
@@ -584,12 +697,31 @@ def _add_campaign_parser(subparsers) -> None:
         "--no-reclaim", action="store_true",
         help="do not recover claims of dead local workers first",
     )
+    run.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="store per-job metrics and write the merged repro-metrics "
+        "document here after the run",
+    )
+    run.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write a Chrome/Perfetto trace of the run (one lane per "
+        "worker process; implies per-job metrics)",
+    )
 
     status = campaign_sub.add_parser("status", help="job counts and failures")
     store_arg(status)
     status.add_argument(
         "--render", action="store_true",
         help="also re-render claim tables and grids from stored results",
+    )
+    status.add_argument(
+        "--watch", action="store_true",
+        help="poll the store and print live progress (done/claimed/failed, "
+        "jobs/s, ETA) until no open jobs remain",
+    )
+    status.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="--watch poll interval (default: 2.0)",
     )
 
     reset = campaign_sub.add_parser(
@@ -611,6 +743,11 @@ def _add_campaign_parser(subparsers) -> None:
     export.add_argument(
         "--render", action="store_true",
         help="also re-render claim tables and grids from stored results",
+    )
+    export.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="write the merged repro-metrics document of the campaign "
+        "(requires a run with --metrics-out/--trace-out)",
     )
 
 
@@ -756,6 +893,44 @@ def _add_verify_parser(subparsers) -> None:
         "--out", default=None, metavar="FILE",
         help="write the verdict document(s) as JSON here",
     )
+    verify.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="run with instrumentation on and write the repro-metrics "
+        "document (merged across scenarios) here; the verdict and "
+        "--out artifact stay byte-identical either way",
+    )
+    verify.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="also write a Chrome/Perfetto trace of the span timeline",
+    )
+
+
+def _add_profile_parser(subparsers) -> None:
+    profile = subparsers.add_parser(
+        "profile",
+        help="profile one scenario verification: cProfile hotspot table "
+        "+ span/counter summary",
+    )
+    profile.add_argument(
+        "scenario", metavar="scenario",
+        help="scenario id (see 'scenarios list')",
+    )
+    profile.add_argument(
+        "--backend", choices=("auto", "exhaustive", "fuzz", "liveness"),
+        default="auto", help="verification backend (as in 'verify')",
+    )
+    profile.add_argument(
+        "--set", action="append", default=[], metavar="key=value",
+        help="verify override as key=value (repeatable)",
+    )
+    profile.add_argument(
+        "--top", type=int, default=20, metavar="N",
+        help="hotspot rows to print (default: 20)",
+    )
+    profile.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="also write the run's repro-metrics document here",
+    )
 
 
 def main(argv: List[str] = None) -> int:
@@ -778,6 +953,7 @@ def main(argv: List[str] = None) -> int:
     )
     _add_scenarios_parser(subparsers)
     _add_verify_parser(subparsers)
+    _add_profile_parser(subparsers)
     _add_campaign_parser(subparsers)
     _add_fuzz_parser(subparsers)
     _add_mutate_parser(subparsers)
@@ -789,6 +965,8 @@ def main(argv: List[str] = None) -> int:
             return cmd_scenarios(arguments)
         if arguments.command == "verify":
             return cmd_verify(arguments)
+        if arguments.command == "profile":
+            return cmd_profile(arguments)
         if arguments.command == "campaign":
             return cmd_campaign(arguments)
         if arguments.command == "fuzz":

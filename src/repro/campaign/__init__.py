@@ -16,10 +16,12 @@ CLI: ``python -m repro campaign init|run|status|reset|export``.
 
 from repro.campaign.report import (
     export_campaign,
+    merged_metrics,
     render_results,
     render_status,
     result_payload,
     store_all_ok,
+    watch_status,
 )
 from repro.campaign.runner import run_campaign
 from repro.campaign.spec import CampaignSpec, Job, job_fingerprint
@@ -32,9 +34,11 @@ __all__ = [
     "JobRecord",
     "export_campaign",
     "job_fingerprint",
+    "merged_metrics",
     "render_results",
     "render_status",
     "result_payload",
     "run_campaign",
     "store_all_ok",
+    "watch_status",
 ]

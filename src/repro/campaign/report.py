@@ -17,14 +17,16 @@ Two consumers:
 from __future__ import annotations
 
 import json
+import time
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.analysis.classification import ClassifiedGrid, GridPoint
 from repro.analysis.experiments import ExperimentResult
 from repro.analysis.report import render_claims, render_grid
 from repro.campaign.store import STATUSES, CampaignStore, JobRecord
 from repro.core.properties import Certainty
+from repro.obs.metrics import merge_metrics
 
 
 # ---------------------------------------------------------------------------
@@ -249,6 +251,94 @@ def render_results(store: CampaignStore) -> str:
     if not sections:
         return "(no completed jobs in store)"
     return "\n\n".join(sections)
+
+
+def merged_metrics(store: CampaignStore) -> Dict[str, Any]:
+    """The campaign's merged ``repro-metrics`` document.
+
+    Sources exactly one document per finished job **row** (written on
+    complete/fail, cleared whenever a job returns to ``pending``), so
+    the merge is reclaim-safe by construction: a job a dead worker lost
+    and another re-executed contributes its latest document once,
+    never the half-finished one.  Order-independent
+    (:func:`~repro.obs.metrics.merge_metrics` is commutative), so an
+    interrupted-and-resumed campaign merges identically to an
+    uninterrupted one.
+    """
+    documents = [
+        record.metrics
+        for record in store.jobs()
+        if record.metrics is not None
+    ]
+    spec = store.get_meta("spec")
+    label = None
+    if spec:
+        label = f"campaign:{json.loads(spec).get('name', '?')}"
+    return merge_metrics(documents, label=label)
+
+
+# ---------------------------------------------------------------------------
+# Live progress (campaign status --watch)
+# ---------------------------------------------------------------------------
+
+
+def render_watch_line(
+    counts: Dict[str, int], rate: Optional[float]
+) -> str:
+    """One ``--watch`` progress line: lifecycle counts, throughput of
+    this watch session, and a naive remaining-work ETA."""
+    total = sum(counts.values())
+    remaining = counts["pending"] + counts["claimed"]
+    parts = [
+        f"{counts['done']}/{total} done",
+        f"{counts['claimed']} claimed",
+        f"{counts['pending']} pending",
+        f"{counts['failed']} failed",
+    ]
+    if rate is not None and rate > 0:
+        parts.append(f"{rate:.2f} jobs/s")
+        parts.append(f"eta {remaining / rate:.0f}s")
+    return "  ".join(parts)
+
+
+def watch_status(
+    store_path: str,
+    interval: float = 2.0,
+    emit: Callable[[str], None] = print,
+    max_polls: Optional[int] = None,
+) -> Dict[str, int]:
+    """Poll a store until no open jobs remain, emitting one progress
+    line per change; returns the final counts.
+
+    Read-only: safe to run alongside any number of workers (including
+    ones from other hosts sharing the store file).  The job rate is
+    measured over this watch session (done-delta / elapsed), so the ETA
+    reflects current throughput, not the campaign's lifetime average.
+    ``max_polls`` bounds the loop for tests.
+    """
+    started = time.monotonic()
+    first_done: Optional[int] = None
+    last_line = ""
+    polls = 0
+    while True:
+        with CampaignStore.open(store_path) as store:
+            counts = store.counts()
+        if first_done is None:
+            first_done = counts["done"]
+        elapsed = time.monotonic() - started
+        rate = (
+            (counts["done"] - first_done) / elapsed if elapsed > 0 else None
+        )
+        line = render_watch_line(counts, rate)
+        if line != last_line:
+            emit(line)
+            last_line = line
+        polls += 1
+        if counts["pending"] + counts["claimed"] == 0:
+            return counts
+        if max_polls is not None and polls >= max_polls:
+            return counts
+        time.sleep(interval)
 
 
 def store_all_ok(

@@ -59,6 +59,14 @@ CREATE TABLE IF NOT EXISTS jobs (
 CREATE INDEX IF NOT EXISTS jobs_status ON jobs(status, experiment, fingerprint);
 """
 
+#: Columns added after SCHEMA_VERSION 1 shipped, applied as guarded
+#: ALTER TABLE migrations on open.  Nullable and additive only — old
+#: readers ignore them, so no schema-version bump is needed.  ``metrics``
+#: holds the job's ``repro-metrics`` v1 document (JSON) and is cleared
+#: whenever the job returns to ``pending``: a reclaimed-and-re-executed
+#: job therefore contributes exactly one document to merged exports.
+_EXTRA_COLUMNS = (("metrics", "TEXT"),)
+
 #: Job lifecycle states.
 STATUSES = ("pending", "claimed", "done", "failed")
 
@@ -91,6 +99,8 @@ class JobRecord:
     elapsed: Optional[float]
     error: Optional[str]
     result: Optional[Dict[str, Any]]
+    #: The job's ``repro-metrics`` document (metrics-enabled runs only).
+    metrics: Optional[Dict[str, Any]] = None
 
     @staticmethod
     def from_row(row: sqlite3.Row) -> "JobRecord":
@@ -104,6 +114,7 @@ class JobRecord:
             elapsed=row["elapsed"],
             error=row["error"],
             result=json.loads(row["result"]) if row["result"] else None,
+            metrics=json.loads(row["metrics"]) if row["metrics"] else None,
         )
 
 
@@ -130,6 +141,7 @@ class CampaignStore:
                         ("schema_version", str(SCHEMA_VERSION)),
                     )
             version = self.get_meta("schema_version")
+            self._migrate_columns()
         except sqlite3.DatabaseError as exc:
             # not SQLite at all, or SQLite without our schema
             self._conn.close()
@@ -140,6 +152,21 @@ class CampaignStore:
                 f"{path!r} is not a campaign store (schema version "
                 f"{version!r}, expected {SCHEMA_VERSION!r})"
             )
+
+    def _migrate_columns(self) -> None:
+        """Apply the additive column migrations (no-op when current)."""
+        present = {
+            row["name"]
+            for row in self._conn.execute("PRAGMA table_info(jobs)")
+        }
+        if not present:  # not our schema; the version check reports it
+            return
+        with self._conn:
+            for name, column_type in _EXTRA_COLUMNS:
+                if name not in present:
+                    self._conn.execute(
+                        f"ALTER TABLE jobs ADD COLUMN {name} {column_type}"
+                    )
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -241,25 +268,51 @@ class CampaignStore:
         return self.job(row["fingerprint"])
 
     def complete(
-        self, fingerprint: str, result: Dict[str, Any], elapsed: float
+        self,
+        fingerprint: str,
+        result: Dict[str, Any],
+        elapsed: float,
+        metrics: Optional[Dict[str, Any]] = None,
     ) -> None:
         """Record a finished job (``claimed`` → ``done``) with its
-        result payload and wall-clock timing."""
+        result payload, wall-clock timing, and (metrics-enabled runs)
+        its ``repro-metrics`` document.  The metrics column is always
+        overwritten — a re-executed job replaces, never accumulates."""
         with self._conn:
             self._conn.execute(
                 "UPDATE jobs SET status = 'done', finished_at = ?, "
-                "elapsed = ?, result = ?, error = NULL WHERE fingerprint = ?",
-                (time.time(), elapsed, canonical_json(result), fingerprint),
+                "elapsed = ?, result = ?, error = NULL, metrics = ? "
+                "WHERE fingerprint = ?",
+                (
+                    time.time(),
+                    elapsed,
+                    canonical_json(result),
+                    canonical_json(metrics) if metrics is not None else None,
+                    fingerprint,
+                ),
             )
 
-    def fail(self, fingerprint: str, error: str, elapsed: float) -> None:
+    def fail(
+        self,
+        fingerprint: str,
+        error: str,
+        elapsed: float,
+        metrics: Optional[Dict[str, Any]] = None,
+    ) -> None:
         """Record a failed job (``claimed`` → ``failed``) with its
         error log."""
         with self._conn:
             self._conn.execute(
                 "UPDATE jobs SET status = 'failed', finished_at = ?, "
-                "elapsed = ?, error = ?, result = NULL WHERE fingerprint = ?",
-                (time.time(), elapsed, error, fingerprint),
+                "elapsed = ?, error = ?, result = NULL, metrics = ? "
+                "WHERE fingerprint = ?",
+                (
+                    time.time(),
+                    elapsed,
+                    error,
+                    canonical_json(metrics) if metrics is not None else None,
+                    fingerprint,
+                ),
             )
 
     # -- recovery -----------------------------------------------------------
@@ -280,7 +333,8 @@ class CampaignStore:
         query = (
             "UPDATE jobs SET status = 'pending', worker = NULL, "
             "claimed_at = NULL, finished_at = NULL, elapsed = NULL, "
-            f"error = NULL, result = NULL WHERE status IN ({placeholders})"
+            "error = NULL, result = NULL, metrics = NULL "
+            f"WHERE status IN ({placeholders})"
         )
         arguments: List[Any] = list(statuses)
         if experiment is not None:
@@ -314,9 +368,15 @@ class CampaignStore:
                 # Guard on the observed worker too: between our snapshot
                 # and this write another invocation may have reclaimed
                 # the job and a live worker re-claimed it.
+                # metrics = NULL is defensive (claimed jobs have none:
+                # the document is only ever written on complete/fail)
+                # but keeps the invariant airtight: a job going back to
+                # pending never carries a stale metrics document that a
+                # merged export could double-count after re-execution.
                 cursor = self._conn.execute(
                     "UPDATE jobs SET status = 'pending', worker = NULL, "
-                    "claimed_at = NULL WHERE fingerprint = ? "
+                    "claimed_at = NULL, metrics = NULL "
+                    "WHERE fingerprint = ? "
                     "AND status = 'claimed' AND worker = ?",
                     (row["fingerprint"], row["worker"]),
                 )

@@ -38,6 +38,7 @@ from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tupl
 
 from repro.core.events import Invocation
 from repro.core.history import History
+from repro.obs.recorder import active as _obs_active
 from repro.sim.drivers import Decision, ScriptedDriver
 from repro.sim.kernel import Implementation, ProcessFrame
 from repro.sim.record import ProcessStats
@@ -262,6 +263,9 @@ class KernelConfig:
 
     def apply(self, decision: Decision) -> None:
         """Apply one scheduler decision to this configuration."""
+        rec = _obs_active()
+        if rec is not None:
+            rec.count("kernel/decisions")
         self.runtime.apply_decision(decision)
         pid = decision.pid
         self._process_fps[pid] = None
@@ -371,6 +375,12 @@ class KernelConfig:
     def _process_fingerprint(self, pid: int) -> Hashable:
         fp = self._process_fps[pid]
         if fp is None:
+            # Cache miss: the only place exploration actually pays the
+            # O(memory) hash — the hit rate is what the incremental
+            # caches buy, so it is the number worth watching.
+            rec = _obs_active()
+            if rec is not None:
+                rec.count("kernel/fingerprint_misses")
             fp = self.runtime.processes[pid].fingerprint()
             self._process_fps[pid] = fp
         return fp

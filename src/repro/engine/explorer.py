@@ -51,6 +51,7 @@ from typing import (
 
 from repro.engine.config import ImplementationFactory, KernelConfig, KernelSnapshot
 from repro.engine.frontier import GraphSearch, SearchBudgetExceeded
+from repro.obs.recorder import active as _obs_active
 from repro.sim.drivers import Decision
 
 #: Client callback: legal labelled decisions out of a configuration.
@@ -218,6 +219,10 @@ class KernelExplorer:
         expandable = bool(choices) and (
             self.max_depth is None or len(schedule) < self.max_depth
         )
+        if mode == "snapshot" and expandable:
+            rec = _obs_active()
+            if rec is not None:
+                rec.count("engine/snapshot_captures")
         return _Node(
             fingerprint=fingerprint,
             schedule=schedule,
@@ -228,15 +233,26 @@ class KernelExplorer:
         )
 
     def _child_config(self, node: _Node, decision: Decision, mode: str) -> KernelConfig:
+        rec = _obs_active()
         if mode == "snapshot":
             if self._scratch is None:
                 self._scratch = KernelConfig(self._implementation)
             config = self._scratch
             if self._scratch_fingerprint != node.fingerprint:
                 config.restore_from(node.snapshot)
+                if rec is not None:
+                    rec.count("engine/snapshot_restores")
+            elif rec is not None:
+                rec.count("engine/scratch_reuses")
             self._scratch_fingerprint = None  # stale while mutating
             config.apply(decision)
             return config
+        if rec is not None:
+            rec.count("engine/replays")
+            rec.count(
+                "kernel/replayed_decisions",
+                len(self.root_decisions) + len(node.decisions) + 1,
+            )
         return KernelConfig(self._implementation).apply_all(
             self.root_decisions + node.decisions + (decision,)
         )

@@ -41,6 +41,8 @@ from typing import (
     TypeVar,
 )
 
+from repro.obs.recorder import active as _obs_active
+
 Node = TypeVar("Node")
 Label = Any
 
@@ -226,6 +228,9 @@ class GraphSearch:
         allow_shallower_revisit: bool = False,
     ) -> Iterator[Visit]:
         self._reset_state()
+        # Fetched once per pass: the disabled-metrics cost inside the
+        # loop is a single `is not None` check per pop/push/dedup.
+        rec = _obs_active()
         bound = self.max_depth if depth_bound is None else depth_bound
         for entry in roots:
             node, label = entry if root_labels else (entry, None)
@@ -247,6 +252,8 @@ class GraphSearch:
             frontier.push((node, key, depth))
         while frontier:
             node, key, depth = frontier.pop()
+            if rec is not None:
+                rec.count("engine/frontier_pops")
             if bound is not None and depth >= bound:
                 continue
             for label, child in expand(node):
@@ -261,6 +268,8 @@ class GraphSearch:
                         allow_shallower_revisit
                         and depth + 1 < self.depths[child_key]
                     ):
+                        if rec is not None:
+                            rec.count("engine/dedup_hits")
                         continue
                 else:
                     visited = self._check_budget(visited)
@@ -268,6 +277,8 @@ class GraphSearch:
                         return
                 self.parents[child_key] = (key, label)
                 self.depths[child_key] = depth + 1
+                if rec is not None:
+                    rec.count("engine/frontier_pushes")
                 yield Visit(child, child_key, depth + 1, key, label)
                 frontier.push((child, child_key, depth + 1))
 

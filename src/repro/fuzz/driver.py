@@ -48,6 +48,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Set, Tuple
 
 from repro.engine.config import KernelConfig, KernelSnapshot
+from repro.obs.recorder import active as _obs_active
 from repro.sim.crash import CrashPlan, parse_crash_spec
 from repro.sim.drivers import CrashDecision, InvokeDecision, StepDecision
 from repro.sim.explore import Choice, InvocationPlan
@@ -360,6 +361,9 @@ class FuzzDriver:
         return prefix, tail
 
     def _corpus_add(self, entry: _CorpusEntry, rng: DeterministicRng) -> None:
+        rec = _obs_active()
+        if rec is not None:
+            rec.count("fuzz/corpus_adds")
         if len(self._corpus) < self.corpus_size:
             self._corpus.append(entry)
         else:  # reservoir-style replacement keeps the pool fresh
@@ -382,14 +386,34 @@ class FuzzDriver:
         started = time.perf_counter()
         interleavings = 0
         violation: Optional[FuzzViolation] = None
+        # Fetched once per run: the disabled-metrics cost per iteration
+        # is one `is None` check (the ~400ns/step fast-walk budget rules
+        # out anything per *step*; step totals are flushed per walk).
+        rec = _obs_active()
         for iteration in range(iterations):
             if iteration % self.explore_every == 0:
                 # A fresh fork per exploration walk keeps mutated swarms
                 # independent of how many draws earlier walks consumed.
-                prefix = self._explore_walk(self._rng.fork(iteration))
+                if rec is None:
+                    prefix = self._explore_walk(self._rng.fork(iteration))
+                else:
+                    with rec.span("fuzz/explore_walk"):
+                        prefix = self._explore_walk(self._rng.fork(iteration))
+                    rec.count("fuzz/explore_walks")
+                    rec.count("kernel/steps", len(prefix))
                 tail: List[Choice] = []
             else:
-                prefix, tail = self._fast_walk()
+                if rec is None:
+                    prefix, tail = self._fast_walk()
+                else:
+                    with rec.span("fuzz/fast_walk"):
+                        prefix, tail = self._fast_walk()
+                    rec.count("fuzz/fast_walks")
+                    # Fast walks bypass KernelConfig.apply (and with it
+                    # the kernel/decisions counter), so their executed
+                    # steps — the restored prefix costs nothing — are
+                    # flushed here in one aggregate add.
+                    rec.count("kernel/steps", len(tail))
             interleavings += 1
             if self.safety is not None:
                 verdict_failure = self._check(prefix, tail, iteration)
@@ -397,6 +421,9 @@ class FuzzDriver:
                     violation = verdict_failure
                     if self.stop_on_violation:
                         break
+        if rec is not None:
+            rec.gauge("fuzz/coverage", len(self._coverage))
+            rec.gauge("fuzz/corpus", len(self._corpus))
         return FuzzReport(
             workload=workload_name,
             seed=self.seed,
@@ -419,11 +446,19 @@ class FuzzDriver:
         sequence makes the checked mode's cost proportional to the
         *distinct* histories reached, like the exhaustive engine's.
         """
+        rec = _obs_active()
         key = tuple(self._config.runtime.events)
         if key in self._checked:
+            if rec is not None:
+                rec.count("fuzz/check_cache_hits")
             return None
         self._checked.add(key)
-        verdict = self.safety.check_history(self._config.history())
+        if rec is None:
+            verdict = self.safety.check_history(self._config.history())
+        else:
+            rec.count("safety/checks")
+            with rec.span("safety/check"):
+                verdict = self.safety.check_history(self._config.history())
         if verdict.holds:
             return None
         return FuzzViolation(

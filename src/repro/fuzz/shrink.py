@@ -28,6 +28,7 @@ from typing import Dict, Sequence, Tuple
 
 from repro.core.properties import SafetyProperty
 from repro.fuzz.trace import replay_schedule
+from repro.obs.recorder import active as _obs_active
 from repro.sim.explore import Choice, InvocationPlan
 from repro.util.errors import UsageError
 
@@ -111,6 +112,11 @@ def shrink_schedule(
                 changed = True
                 break
 
+    rec = _obs_active()
+    if rec is not None:
+        rec.count("shrink/candidates", stats["candidates"])
+        rec.count("shrink/replays", stats["replays"])
+        rec.count("shrink/removed_steps", len(schedule) - len(current))
     return ShrinkResult(
         schedule=current,
         original_length=len(schedule),

@@ -1,0 +1,54 @@
+"""Unified observability layer: spans, counters, gauges, traces.
+
+See :mod:`repro.obs.recorder` for the core model (one active
+:class:`Recorder`, ``active() is None`` as the disabled fast path),
+:mod:`repro.obs.metrics` for the ``repro-metrics`` v1 JSON artifact,
+:mod:`repro.obs.trace` for Chrome trace-event export, and
+:mod:`repro.obs.profile` for the cProfile-backed ``profile`` command.
+"""
+
+from repro.obs.metrics import (
+    METRICS_SCHEMA,
+    METRICS_VERSION,
+    merge_metrics,
+    metrics_document,
+    render_metrics_summary,
+    validate_metrics,
+    write_metrics,
+)
+from repro.obs.recorder import (
+    MAX_TRACE_EVENTS,
+    Recorder,
+    Span,
+    active,
+    install,
+    recording,
+    span,
+)
+from repro.obs.trace import (
+    chrome_trace_document,
+    merge_trace_fragments,
+    write_trace,
+    write_trace_fragment,
+)
+
+__all__ = [
+    "MAX_TRACE_EVENTS",
+    "METRICS_SCHEMA",
+    "METRICS_VERSION",
+    "Recorder",
+    "Span",
+    "active",
+    "chrome_trace_document",
+    "install",
+    "merge_metrics",
+    "merge_trace_fragments",
+    "metrics_document",
+    "recording",
+    "render_metrics_summary",
+    "span",
+    "validate_metrics",
+    "write_metrics",
+    "write_trace",
+    "write_trace_fragment",
+]

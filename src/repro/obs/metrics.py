@@ -1,0 +1,217 @@
+"""The ``repro-metrics`` v1 document: serialize, merge, validate.
+
+One recorder serializes to one *metrics document* — the versioned JSON
+artifact written by ``verify --metrics-out``, stored per campaign job,
+and merged across worker pools.  The shape (schema ``repro-metrics``,
+version 1):
+
+.. code-block:: json
+
+    {
+      "schema": "repro-metrics",
+      "version": 1,
+      "label": "verify:agp-opacity",
+      "counters": {"fuzz/fast_walks": 1968, "kernel/steps": 125952},
+      "gauges": {"fuzz/corpus": 128},
+      "spans": {
+        "verify/fuzz": {"count": 1, "total_s": 1.234567, "max_s": 1.234567}
+      },
+      "meta": {"pid": 1234, "dropped_trace_events": 0, "merged_from": 1}
+    }
+
+Counter/gauge/span names are slash-namespaced by subsystem
+(``engine/``, ``kernel/``, ``safety/``, ``fuzz/``, ``shrink/``,
+``liveness/``, ``verify/``, ``campaign/``); the full key schema is
+documented in docs/architecture.md ("Observability layer").
+
+Merging is exact for counters and spans (sums; span ``max_s`` maxes)
+and takes the maximum for gauges — the merged document of a campaign is
+therefore independent of job execution order, and because job metrics
+are stored *per job row* (replaced when a reclaimed job re-executes),
+a dead-worker reclaim can never double-count.
+"""
+
+from __future__ import annotations
+
+import json
+
+from typing import Any, Dict, Iterable, Optional
+
+from repro.obs.recorder import Recorder
+from repro.util.errors import UsageError
+
+METRICS_SCHEMA = "repro-metrics"
+METRICS_VERSION = 1
+
+#: Float rounding applied to serialized span durations: enough for
+#: microsecond resolution, stable enough to diff.
+_ROUND = 6
+
+
+def metrics_document(
+    recorder: Recorder, label: Optional[str] = None
+) -> Dict[str, Any]:
+    """Serialize a recorder to a ``repro-metrics`` v1 document."""
+    spans = {
+        name: {
+            "count": int(entry[0]),
+            "total_s": round(entry[1], _ROUND),
+            "max_s": round(entry[2], _ROUND),
+        }
+        for name, entry in sorted(recorder.spans.items())
+    }
+    counters = {
+        name: (int(v) if float(v).is_integer() else round(v, _ROUND))
+        for name, v in sorted(recorder.counters.items())
+    }
+    gauges = {
+        name: (int(v) if float(v).is_integer() else round(v, _ROUND))
+        for name, v in sorted(recorder.gauges.items())
+    }
+    return {
+        "schema": METRICS_SCHEMA,
+        "version": METRICS_VERSION,
+        "label": label if label is not None else recorder.label,
+        "counters": counters,
+        "gauges": gauges,
+        "spans": spans,
+        "meta": {
+            "pid": recorder.pid,
+            "dropped_trace_events": recorder.dropped_trace_events,
+            "merged_from": 1,
+        },
+    }
+
+
+def validate_metrics(document: Any) -> Dict[str, Any]:
+    """Check a metrics document against the v1 schema; returns it.
+
+    Raises :class:`UsageError` naming the first offending field —
+    used by the tests, the merge path (so one corrupt per-job blob
+    fails loudly instead of poisoning the aggregate), and consumers
+    loading artifacts back.
+    """
+    if not isinstance(document, dict):
+        raise UsageError(f"metrics document must be an object, got "
+                         f"{type(document).__name__}")
+    if document.get("schema") != METRICS_SCHEMA:
+        raise UsageError(
+            f"metrics document schema must be {METRICS_SCHEMA!r}, got "
+            f"{document.get('schema')!r}"
+        )
+    if document.get("version") != METRICS_VERSION:
+        raise UsageError(
+            f"metrics document version must be {METRICS_VERSION}, got "
+            f"{document.get('version')!r}"
+        )
+    for section in ("counters", "gauges", "spans"):
+        value = document.get(section)
+        if not isinstance(value, dict):
+            raise UsageError(f"metrics document {section!r} must be an "
+                             f"object, got {type(value).__name__}")
+    for name, entry in document["spans"].items():
+        if not isinstance(entry, dict) or not (
+            {"count", "total_s", "max_s"} <= set(entry)
+        ):
+            raise UsageError(
+                f"span entry {name!r} must carry count/total_s/max_s"
+            )
+    return document
+
+
+def merge_metrics(
+    documents: Iterable[Dict[str, Any]], label: Optional[str] = None
+) -> Dict[str, Any]:
+    """Merge validated v1 documents into one (see module doc).
+
+    ``meta.merged_from`` totals the source documents so a merged
+    campaign export says how many job/worker documents fed it.
+    """
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
+    spans: Dict[str, Dict[str, float]] = {}
+    merged_from = 0
+    dropped = 0
+    for document in documents:
+        validate_metrics(document)
+        merged_from += document.get("meta", {}).get("merged_from", 1)
+        dropped += document.get("meta", {}).get("dropped_trace_events", 0)
+        for name, value in document["counters"].items():
+            counters[name] = counters.get(name, 0) + value
+        for name, value in document["gauges"].items():
+            if name not in gauges or value > gauges[name]:
+                gauges[name] = value
+        for name, entry in document["spans"].items():
+            merged = spans.get(name)
+            if merged is None:
+                spans[name] = dict(entry)
+            else:
+                merged["count"] += entry["count"]
+                merged["total_s"] = round(
+                    merged["total_s"] + entry["total_s"], _ROUND
+                )
+                if entry["max_s"] > merged["max_s"]:
+                    merged["max_s"] = entry["max_s"]
+    return {
+        "schema": METRICS_SCHEMA,
+        "version": METRICS_VERSION,
+        "label": label,
+        "counters": {k: counters[k] for k in sorted(counters)},
+        "gauges": {k: gauges[k] for k in sorted(gauges)},
+        "spans": {k: spans[k] for k in sorted(spans)},
+        "meta": {"merged_from": merged_from,
+                 "dropped_trace_events": dropped},
+    }
+
+
+def write_metrics(path: str, document: Dict[str, Any]) -> None:
+    """Write a metrics document as stable, sorted-key JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def render_metrics_summary(document: Dict[str, Any], top: int = 20) -> str:
+    """A terminal table of the busiest spans and counters.
+
+    Deterministic ordering: spans by total time descending then name,
+    counters by value descending then name — ties can never reorder
+    between runs of the same document.
+    """
+    lines = []
+    spans = sorted(
+        document["spans"].items(),
+        key=lambda item: (-item[1]["total_s"], item[0]),
+    )[:top]
+    if spans:
+        lines.append("spans (top by total time):")
+        width = max(len(name) for name, _ in spans)
+        lines.append(
+            f"  {'name'.ljust(width)}  {'count':>9}  {'total_s':>10}  "
+            f"{'max_s':>10}"
+        )
+        for name, entry in spans:
+            lines.append(
+                f"  {name.ljust(width)}  {entry['count']:>9}  "
+                f"{entry['total_s']:>10.4f}  {entry['max_s']:>10.4f}"
+            )
+    counters = sorted(
+        document["counters"].items(), key=lambda item: (-item[1], item[0])
+    )[:top]
+    if counters:
+        if lines:
+            lines.append("")
+        lines.append("counters (top by value):")
+        width = max(len(name) for name, _ in counters)
+        for name, value in counters:
+            lines.append(f"  {name.ljust(width)}  {value:>12}")
+    gauges = sorted(document["gauges"].items())
+    if gauges:
+        lines.append("")
+        lines.append("gauges:")
+        width = max(len(name) for name, _ in gauges)
+        for name, value in gauges:
+            lines.append(f"  {name.ljust(width)}  {value:>12}")
+    if not lines:
+        lines.append("no metrics recorded")
+    return "\n".join(lines)

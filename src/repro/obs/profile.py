@@ -1,0 +1,117 @@
+"""cProfile-backed hotspot profiling for one scenario verification.
+
+``python -m repro profile <scenario> [--backend ...]`` runs the normal
+:func:`repro.scenarios.verify.verify` facade under :mod:`cProfile` with
+a recorder installed, then prints
+
+* a **hotspot table**: the top-N functions by cumulative time.  The
+  *rendering* is deterministic — rows sort by cumulative time, then
+  internal time, then the fully qualified function label, so equal
+  timings can never reorder between runs of the same profile — and the
+  row set for a fixed seed/scenario is stable because the underlying
+  verification is deterministic;
+* the span/counter summary of the run's ``repro-metrics`` document
+  (:func:`repro.obs.metrics.render_metrics_summary`).
+
+This is the measurement front-end the ROADMAP's kernel-optimization
+and partial-order-reduction items are judged against.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.obs.metrics import metrics_document
+from repro.obs.recorder import recording
+
+
+@dataclass
+class HotspotRow:
+    """One function in the hotspot table."""
+
+    calls: int
+    tottime: float
+    cumtime: float
+    label: str  # file:line(function), path shortened for stable display
+
+
+@dataclass
+class ProfileReport:
+    """The outcome of a profiled verification."""
+
+    verdict: Any  # Verdict; typed loose to avoid an import cycle
+    hotspots: List[HotspotRow]
+    metrics: Dict[str, Any]
+
+
+def _short_label(filename: str, lineno: int, funcname: str) -> str:
+    if filename == "~":  # built-ins have no file
+        return funcname
+    parts = filename.replace("\\", "/").split("/")
+    short = "/".join(parts[-2:]) if len(parts) > 1 else filename
+    return f"{short}:{lineno}({funcname})"
+
+
+def hotspot_rows(
+    profiler: cProfile.Profile, top: int = 20
+) -> List[HotspotRow]:
+    """The top-N functions by cumulative time, deterministically tied."""
+    stats = pstats.Stats(profiler)
+    rows = []
+    for (filename, lineno, funcname), entry in stats.stats.items():
+        cc, ncalls, tottime, cumtime = entry[0], entry[1], entry[2], entry[3]
+        rows.append(
+            HotspotRow(
+                calls=ncalls,
+                tottime=tottime,
+                cumtime=cumtime,
+                label=_short_label(filename, lineno, funcname),
+            )
+        )
+    rows.sort(key=lambda r: (-r.cumtime, -r.tottime, r.label))
+    return rows[:top]
+
+
+def render_hotspots(rows: List[HotspotRow]) -> str:
+    """The hotspot table as terminal text."""
+    if not rows:
+        return "no profile samples"
+    width = max(max(len(row.label) for row in rows), len("function"))
+    lines = [
+        f"{'calls':>10}  {'tottime_s':>10}  {'cumtime_s':>10}  "
+        f"{'function'.ljust(width)}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.calls:>10}  {row.tottime:>10.4f}  {row.cumtime:>10.4f}  "
+            f"{row.label.ljust(width)}"
+        )
+    return "\n".join(lines)
+
+
+def profile_verify(
+    scenario_id: str,
+    backend: str = "auto",
+    overrides: Optional[Dict[str, Any]] = None,
+    top: int = 20,
+) -> ProfileReport:
+    """Run ``verify()`` under cProfile with metrics on; see module doc."""
+    from repro.scenarios.verify import verify  # deferred: obs sits below
+
+    profiler = cProfile.Profile()
+    with recording(label=f"profile:{scenario_id}") as recorder:
+        profiler.enable()
+        try:
+            verdict = verify(scenario_id, backend=backend,
+                             **(overrides or {}))
+        finally:
+            profiler.disable()
+    return ProfileReport(
+        verdict=verdict,
+        hotspots=hotspot_rows(profiler, top=top),
+        metrics=metrics_document(recorder),
+    )

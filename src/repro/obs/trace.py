@@ -1,0 +1,92 @@
+"""Chrome trace-event export (Perfetto / chrome://tracing loadable).
+
+Recorders buffer complete ("X"-phase) trace events — one per finished
+span, already in Chrome trace format: ``name``, ``cat`` (the span's
+subsystem prefix), ``ts``/``dur`` in microseconds, ``pid``/``tid``.
+Timestamps are wall-clock (``time.time_ns``), not ``perf_counter``, so
+events from different campaign worker processes land on one comparable
+timeline.
+
+The export document is the standard JSON object form::
+
+    {"traceEvents": [...], "displayTimeUnit": "ms"}
+
+plus one ``process_name`` metadata event per pid so Perfetto labels
+each worker lane.  For multi-process campaigns each worker writes a
+*fragment* file (its raw event list + a lane label) and the parent
+merges them with :func:`merge_trace_fragments`.
+"""
+
+from __future__ import annotations
+
+import json
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+
+def chrome_trace_document(
+    events: Iterable[Dict[str, Any]],
+    process_names: Optional[Dict[int, str]] = None,
+) -> Dict[str, Any]:
+    """Wrap raw events as a Chrome trace JSON object.
+
+    ``process_names`` maps pid -> lane label (e.g. ``"worker host:12#0"``);
+    unnamed pids get a generic label so every lane is titled.
+    """
+    events = list(events)
+    names = dict(process_names or {})
+    for event in events:
+        names.setdefault(event["pid"], f"repro pid {event['pid']}")
+    metadata = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": names[pid]},
+        }
+        for pid in sorted(names)
+    ]
+    events.sort(key=lambda e: (e["pid"], e["tid"], e["ts"]))
+    return {"traceEvents": metadata + events, "displayTimeUnit": "ms"}
+
+
+def write_trace(
+    path: str,
+    events: Iterable[Dict[str, Any]],
+    process_names: Optional[Dict[int, str]] = None,
+) -> None:
+    """Write a Perfetto-loadable trace JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace_document(events, process_names), handle)
+        handle.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# Worker fragments (campaign process pools)
+# ---------------------------------------------------------------------------
+
+
+def write_trace_fragment(
+    path: str, worker: str, pid: int, events: List[Dict[str, Any]]
+) -> None:
+    """One worker's share of a campaign trace (raw events + lane label)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(
+            {"worker": worker, "pid": pid, "events": events}, handle
+        )
+        handle.write("\n")
+
+
+def merge_trace_fragments(
+    paths: Iterable[str],
+) -> Tuple[List[Dict[str, Any]], Dict[int, str]]:
+    """Collect events + lane labels from worker fragment files."""
+    events: List[Dict[str, Any]] = []
+    names: Dict[int, str] = {}
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as handle:
+            fragment = json.load(handle)
+        events.extend(fragment["events"])
+        names[fragment["pid"]] = f"worker {fragment['worker']}"
+    return events, names

@@ -33,6 +33,21 @@ replay-verified the same way.  Either artifact failing to re-violate on
 the independent replay is surfaced loudly (``shrink_unfaithful`` /
 ``lasso_shrink_unfaithful`` stats), never silently.
 
+Stats key schema
+----------------
+Every backend reports a consistent ``Verdict.stats`` schema instead of
+hand-rolled timings: ``elapsed`` is always the ``elapsed_stat`` of the
+one obs span wrapping the backend's search (``verify/exhaustive``,
+``verify/fuzz``, ``verify/liveness`` — seconds rounded to 4 digits,
+present on success *and* budget paths); evidence counts keep their
+backend-specific names (``runs_checked`` for exhaustive enumeration,
+``interleavings``/``interleavings_per_second`` for fuzz sampling,
+``runs``/``certainty`` for liveness classification); shrink fidelity
+flags are ``shrink_unfaithful`` / ``lasso_shrink_unfaithful``.  When an
+obs recorder is active the per-call ``repro-metrics`` document rides
+along as ``stats["metrics"]`` (in memory only — see
+:meth:`~repro.scenarios.scenario.Verdict.to_document`).
+
 Unknown override keys and overrides the chosen backend cannot honour
 raise :class:`~repro.util.errors.UsageError` (exit code 2 at the CLI)
 rather than being silently dropped — except under ``backend="auto"``,
@@ -44,8 +59,6 @@ library level alike.
 
 from __future__ import annotations
 
-import time
-
 from typing import Any, Dict, Optional, Tuple, Union
 
 from repro.engine.frontier import SearchBudgetExceeded
@@ -54,6 +67,12 @@ from repro.objects.opacity import (
 )
 from repro.fuzz.driver import fuzz_workload
 from repro.fuzz.shrink import shrink_schedule
+from repro.obs.metrics import metrics_document
+from repro.obs.recorder import (
+    active as _obs_active,
+    recording as _obs_recording,
+    span as _obs_span,
+)
 from repro.fuzz.trace import (
     LassoTrace,
     ReplayTrace,
@@ -182,10 +201,11 @@ def _counterexample(
     try:
         if shrink:
             try:
-                shrunk = shrink_schedule(
-                    scenario.factory, scenario.plan, schedule,
-                    scenario.safety_factory(),
-                )
+                with _obs_span("shrink/schedule"):
+                    shrunk = shrink_schedule(
+                        scenario.factory, scenario.plan, schedule,
+                        scenario.safety_factory(),
+                    )
                 schedule = shrunk.schedule
                 stats["shrunk_from"] = shrunk.original_length
                 stats["counterexample_length"] = len(schedule)
@@ -260,20 +280,28 @@ def _verify_exhaustive(scenario: Scenario, overrides: Dict[str, Any]) -> Verdict
         "max_configurations": bounds.max_configurations,
         "mode": mode,
     }
-    started = time.perf_counter()
-    try:
-        report = check_all_histories(
-            scenario.factory,
-            scenario.plan,
-            scenario.safety_factory(),
-            max_depth=bounds.max_depth,
-            max_configurations=bounds.max_configurations,
-            mode=mode,
-            processes=int(overrides.get("processes", 0)),
-        )
-    except _BUDGET_ERRORS as exc:
-        stats["elapsed"] = round(time.perf_counter() - started, 4)
-        stats["error"] = str(exc)
+    # Every backend's ``elapsed`` stat is one obs span around the search
+    # itself (witness minimization excluded): the span's rounded reading
+    # is the one normalized encoding, and the same timer feeds the
+    # metrics document whenever a recorder is active.
+    error: Optional[Exception] = None
+    report = None
+    with _obs_span("verify/exhaustive") as span:
+        try:
+            report = check_all_histories(
+                scenario.factory,
+                scenario.plan,
+                scenario.safety_factory(),
+                max_depth=bounds.max_depth,
+                max_configurations=bounds.max_configurations,
+                mode=mode,
+                processes=int(overrides.get("processes", 0)),
+            )
+        except _BUDGET_ERRORS as exc:
+            error = exc
+    stats["elapsed"] = span.elapsed_stat
+    if report is None:
+        stats["error"] = str(error)
         return Verdict(
             scenario_id=scenario.scenario_id,
             backend="exhaustive",
@@ -281,7 +309,6 @@ def _verify_exhaustive(scenario: Scenario, overrides: Dict[str, Any]) -> Verdict
             expected=_expected(scenario, "budget-exhausted"),
             stats=stats,
         )
-    stats["elapsed"] = round(time.perf_counter() - started, 4)
     stats["runs_checked"] = report.runs_checked
     if report.counterexample is None:
         stats["certainty"] = "proof"
@@ -330,18 +357,23 @@ def _verify_fuzz(scenario: Scenario, overrides: Dict[str, Any]) -> Verdict:
         )
         if key in overrides
     }
-    try:
-        report = fuzz_workload(
-            scenario,
-            seed=seed,
-            iterations=bounds.iterations,
-            max_depth=bounds.max_depth,
-            crash=crash,
-            **options,
-        )
-    except CheckerBudgetExceeded as exc:
-        # The safety checker's own search budget (e.g. the opacity
-        # serialization search) folds into the same explicit outcome.
+    error: Optional[Exception] = None
+    report = None
+    with _obs_span("verify/fuzz") as span:
+        try:
+            report = fuzz_workload(
+                scenario,
+                seed=seed,
+                iterations=bounds.iterations,
+                max_depth=bounds.max_depth,
+                crash=crash,
+                **options,
+            )
+        except CheckerBudgetExceeded as exc:
+            # The safety checker's own search budget (e.g. the opacity
+            # serialization search) folds into the same explicit outcome.
+            error = exc
+    if report is None:
         return Verdict(
             scenario_id=scenario.scenario_id,
             backend="fuzz",
@@ -351,7 +383,8 @@ def _verify_fuzz(scenario: Scenario, overrides: Dict[str, Any]) -> Verdict:
                 "seed": seed,
                 "iterations": bounds.iterations,
                 "max_depth": bounds.max_depth,
-                "error": str(exc),
+                "elapsed": span.elapsed_stat,
+                "error": str(error),
             },
         )
     stats: Dict[str, Any] = {
@@ -362,7 +395,7 @@ def _verify_fuzz(scenario: Scenario, overrides: Dict[str, Any]) -> Verdict:
         "coverage": report.coverage,
         "corpus": report.corpus,
         "histories_checked": report.histories_checked,
-        "elapsed": round(report.elapsed, 4),
+        "elapsed": span.elapsed_stat,
         "interleavings_per_second": round(report.interleavings_per_second, 1),
     }
     if crash:
@@ -431,10 +464,11 @@ def _lasso_artifact(
         kind = "finite"
     stats: Dict[str, Any] = {"lasso_kind": kind}
     if shrink:
-        shrunk = shrink_lasso(
-            scenario.factory, stem, cycle, kind, liveness, progress_mode,
-            starving=starving,
-        )
+        with _obs_span("shrink/lasso"):
+            shrunk = shrink_lasso(
+                scenario.factory, stem, cycle, kind, liveness, progress_mode,
+                starving=starving,
+            )
         if shrunk.faithful:
             if (len(shrunk.stem), len(shrunk.cycle)) != (len(stem), len(cycle)):
                 stats["lasso_shrunk_from"] = [len(stem), len(cycle)]
@@ -505,34 +539,37 @@ def _verify_liveness(scenario: Scenario, overrides: Dict[str, Any]) -> Verdict:
     all_proved = True
     best_proof = None  # (rank, run, starving, reason)
     best_horizon = None  # (run, starving, reason)
-    started = time.perf_counter()
-    try:
-        for run in search.runs():
-            runs += 1
-            counts[run.kind] += 1
-            if run.escaped:
-                escaped += 1
-            summary = run.result.summary(progress_mode)
-            verdict = liveness.evaluate(summary)
-            if verdict.holds:
-                if verdict.certainty is not Certainty.PROVED:
-                    all_proved = False
-                continue
-            starving = sorted(summary.correct - summary.progressors)
-            if verdict.certainty is Certainty.PROVED:
-                kind = (
-                    run.result.lasso.fingerprint_kind
-                    if run.result.lasso is not None
-                    else "finite"
-                )
-                rank = _CERTIFICATE_RANK.get(kind, len(_CERTIFICATE_RANK))
-                if best_proof is None or rank < best_proof[0]:
-                    best_proof = (rank, run, starving, verdict.reason)
-            elif best_horizon is None:
-                best_horizon = (run, starving, verdict.reason)
-    except SearchBudgetExceeded as exc:
-        stats["elapsed"] = round(time.perf_counter() - started, 4)
-        stats["error"] = str(exc)
+    error: Optional[Exception] = None
+    with _obs_span("verify/liveness") as span:
+        try:
+            for run in search.runs():
+                runs += 1
+                counts[run.kind] += 1
+                if run.escaped:
+                    escaped += 1
+                summary = run.result.summary(progress_mode)
+                verdict = liveness.evaluate(summary)
+                if verdict.holds:
+                    if verdict.certainty is not Certainty.PROVED:
+                        all_proved = False
+                    continue
+                starving = sorted(summary.correct - summary.progressors)
+                if verdict.certainty is Certainty.PROVED:
+                    kind = (
+                        run.result.lasso.fingerprint_kind
+                        if run.result.lasso is not None
+                        else "finite"
+                    )
+                    rank = _CERTIFICATE_RANK.get(kind, len(_CERTIFICATE_RANK))
+                    if best_proof is None or rank < best_proof[0]:
+                        best_proof = (rank, run, starving, verdict.reason)
+                elif best_horizon is None:
+                    best_horizon = (run, starving, verdict.reason)
+        except SearchBudgetExceeded as exc:
+            error = exc
+    stats["elapsed"] = span.elapsed_stat
+    if error is not None:
+        stats["error"] = str(error)
         stats["runs"] = runs
         return Verdict(
             scenario_id=scenario.scenario_id,
@@ -541,7 +578,6 @@ def _verify_liveness(scenario: Scenario, overrides: Dict[str, Any]) -> Verdict:
             expected=_expected(scenario, "budget-exhausted", "liveness"),
             stats=stats,
         )
-    stats["elapsed"] = round(time.perf_counter() - started, 4)
     stats["runs"] = runs
     stats["lassos"] = counts["lasso"]
     stats["finite_runs"] = counts["finite"]
@@ -611,6 +647,14 @@ def verify(
     exclusive to the backend it did *not* pick
     (:data:`FUZZ_ONLY_OVERRIDES` / :data:`EXHAUSTIVE_ONLY_OVERRIDES`)
     instead of erroring; an explicit backend stays strict.
+
+    When an obs recorder is active (``repro.obs.recording``), the call
+    runs under a nested per-verify recorder and attaches its
+    ``repro-metrics`` v1 document as ``verdict.stats["metrics"]`` (also
+    available as ``verdict.metrics``).  The sub-document lives on the
+    in-memory verdict only: :meth:`Verdict.to_document` excludes it, so
+    serialized verdicts are byte-identical with metrics on or off, and
+    with no recorder installed the stats gain no keys at all.
     """
     scenario = get_scenario(scenario)
     resolved = resolve_backend(scenario, backend)
@@ -625,8 +669,20 @@ def verify(
         overrides = {
             key: value for key, value in overrides.items() if key not in dropped
         }
-    if resolved == "exhaustive":
-        return _verify_exhaustive(scenario, overrides)
-    if resolved == "liveness":
-        return _verify_liveness(scenario, overrides)
-    return _verify_fuzz(scenario, overrides)
+
+    def dispatch() -> Verdict:
+        if resolved == "exhaustive":
+            return _verify_exhaustive(scenario, overrides)
+        if resolved == "liveness":
+            return _verify_liveness(scenario, overrides)
+        return _verify_fuzz(scenario, overrides)
+
+    parent = _obs_active()
+    if parent is None:
+        return dispatch()
+    with _obs_recording(
+        label=f"verify:{scenario.scenario_id}", trace=parent.trace
+    ) as recorder:
+        verdict = dispatch()
+    verdict.stats["metrics"] = metrics_document(recorder)
+    return verdict

@@ -42,6 +42,7 @@ from repro.engine.config import KernelConfig
 from repro.engine.explorer import ConfigVisit, KernelExplorer
 from repro.engine.frontier import SearchBudgetExceeded
 from repro.engine.parallel import parallel_explore
+from repro.obs.recorder import active as _obs_active
 from repro.sim.drivers import Decision, InvokeDecision, StepDecision
 from repro.sim.kernel import Implementation
 
@@ -242,6 +243,7 @@ def check_all_histories(
     """Check a safety property over every reachable interleaving."""
     runs_checked = 0
     counterexample: Optional[ExploredRun] = None
+    rec = _obs_active()
     for run in explore_histories(
         implementation_factory,
         plan,
@@ -251,7 +253,13 @@ def check_all_histories(
         processes=processes,
     ):
         runs_checked += 1
-        if not safety.check_history(run.history).holds:
+        if rec is None:
+            holds = safety.check_history(run.history).holds
+        else:
+            rec.count("safety/checks")
+            with rec.span("safety/check"):
+                holds = safety.check_history(run.history).holds
+        if not holds:
             counterexample = run
             break
     return ExplorationReport(

@@ -41,6 +41,7 @@ from typing import Any, Dict, Generator, Hashable, Optional, Tuple
 from repro.base_objects.base import ObjectPool
 from repro.core.events import Invocation
 from repro.core.object_type import ObjectType
+from repro.obs.recorder import active as _obs_active
 from repro.util.errors import SimulationError
 from repro.util.freeze import freeze
 
@@ -183,6 +184,15 @@ class ProcessState:
 
     def fingerprint(self) -> Hashable:
         """Process part of the global configuration fingerprint."""
+        # This is the O(memory) hash the engine's incremental caches
+        # exist to avoid; counting it here (not at cached call sites)
+        # measures the real hashing work.  `run_step` itself stays
+        # uninstrumented — at ~400ns/step even a guard check would be
+        # measurable, so step totals are flushed in aggregate from
+        # `step_count` deltas by the drivers.
+        rec = _obs_active()
+        if rec is not None:
+            rec.count("kernel/state_hashes")
         return (
             self.pid,
             self.crashed,

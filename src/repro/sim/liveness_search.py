@@ -63,6 +63,7 @@ from repro.sim.drivers import (
     StepDecision,
     StopDecision,
 )
+from repro.obs.recorder import active as _obs_active
 from repro.sim.lasso import LassoDetector
 from repro.sim.record import ProcessStats, RunResult
 from repro.sim.runtime import abstract_state_fingerprint
@@ -350,6 +351,10 @@ class LivenessSearch:
             driver_name=self.policy.name,
             implementation_name=self._implementation.name,
         )
+        rec = _obs_active()
+        if rec is not None:
+            rec.count("liveness/runs")
+            rec.count(f"liveness/{kind}_runs")
         return LivenessRun(
             decisions=tuple(decisions),
             result=result,
@@ -370,6 +375,7 @@ class LivenessSearch:
         config = self._config
         policy = self.policy
         detector = self._detector
+        rec = _obs_active()
         policy.reset()
         detector.reset()
         seen: set = set()
@@ -408,6 +414,8 @@ class LivenessSearch:
                         )
                         break
                     if len(options) > 1:
+                        if rec is not None:
+                            rec.count("liveness/branch_points")
                         branch_snapshot = config.capture()
                         branch_state = policy.capture()
                         branch_detector = detector.snapshot()
@@ -426,6 +434,8 @@ class LivenessSearch:
                 config.apply(decision)
                 decisions.append(decision)
                 self.configurations += 1
+                if rec is not None:
+                    rec.count("liveness/configurations")
                 if self.configurations > self.max_configurations:
                     raise SearchBudgetExceeded(
                         f"liveness search exceeded "
@@ -448,5 +458,7 @@ class LivenessSearch:
                     if key is not None:
                         if key in seen:
                             self.merges += 1
+                            if rec is not None:
+                                rec.count("liveness/merges")
                             break  # merged into an explored schedule
                         seen.add(key)

@@ -1,0 +1,416 @@
+"""Tests for the observability layer: the recorder model (counters,
+gauges, spans, nesting/absorption, trace buffering), the
+``repro-metrics`` v1 document (serialize, validate, merge), trace
+fragments, the profile front-end, and the layer's central contract —
+**verdicts and campaign exports are byte-identical with metrics on or
+off**, and a dead-worker reclaim can never double-count job metrics.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    CampaignStore,
+    export_campaign,
+    merged_metrics,
+    run_campaign,
+)
+from repro.campaign.report import render_watch_line, watch_status
+from repro.campaign.runner import execute_job
+from repro.obs import (
+    MAX_TRACE_EVENTS,
+    Recorder,
+    active,
+    chrome_trace_document,
+    install,
+    merge_metrics,
+    merge_trace_fragments,
+    metrics_document,
+    recording,
+    render_metrics_summary,
+    span,
+    validate_metrics,
+    write_trace_fragment,
+)
+from repro.obs.profile import profile_verify
+from repro.scenarios import get_scenario, verify
+from repro.util.errors import UsageError
+
+#: Volatile wall-clock stats normalized before byte comparisons (these
+#: differ between any two runs, instrumented or not).
+VOLATILE = {"elapsed", "interleavings_per_second"}
+
+
+def normalized(node):
+    if isinstance(node, dict):
+        return {
+            key: (0 if key in VOLATILE else normalized(value))
+            for key, value in node.items()
+        }
+    if isinstance(node, list):
+        return [normalized(item) for item in node]
+    return node
+
+
+# ---------------------------------------------------------------------------
+# Recorder core
+# ---------------------------------------------------------------------------
+
+
+class TestRecorder:
+    def test_disabled_by_default(self):
+        assert active() is None
+
+    def test_counters_and_gauges(self):
+        recorder = Recorder()
+        recorder.count("a/x")
+        recorder.count("a/x", 4)
+        recorder.gauge("a/g", 3)
+        recorder.gauge("a/g", 1)  # gauges keep the max
+        assert recorder.counters == {"a/x": 5}
+        assert recorder.gauges == {"a/g": 3}
+
+    def test_span_aggregation(self):
+        recorder = Recorder()
+        for _ in range(3):
+            with recorder.span("a/s"):
+                pass
+        count, total, peak = recorder.spans["a/s"]
+        assert count == 3
+        assert total >= peak > 0
+
+    def test_module_span_times_without_recorder(self):
+        with span("free/standing") as timer:
+            pass
+        assert timer.elapsed >= 0
+        assert isinstance(timer.elapsed_stat, float)
+
+    def test_recording_installs_and_restores(self):
+        assert active() is None
+        with recording(label="outer") as outer:
+            assert active() is outer
+            with recording(label="inner") as inner:
+                assert active() is inner
+                inner.count("k")
+            assert active() is outer
+            # the outer recorder absorbed the inner one's aggregates
+            assert outer.counters == {"k": 1}
+        assert active() is None
+
+    def test_recording_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with recording():
+                raise RuntimeError("boom")
+        assert active() is None
+
+    def test_absorb_merges_spans_and_trace(self):
+        outer = Recorder(trace=True)
+        inner = Recorder(trace=True)
+        with inner.span("a/s"):
+            pass
+        inner.count("c", 2)
+        outer.absorb(inner)
+        assert outer.counters == {"c": 2}
+        assert outer.spans["a/s"][0] == 1
+        assert len(outer.trace_events) == 1
+
+    def test_trace_cap_counts_drops(self):
+        recorder = Recorder(trace=True)
+        recorder.trace_events = [{}] * MAX_TRACE_EVENTS
+        recorder._trace_event("a/s", 0, 0.0)
+        assert recorder.dropped_trace_events == 1
+        assert len(recorder.trace_events) == MAX_TRACE_EVENTS
+
+
+# ---------------------------------------------------------------------------
+# Metrics documents
+# ---------------------------------------------------------------------------
+
+
+class TestMetricsDocument:
+    def make_doc(self, counter=1.0):
+        recorder = Recorder(label="t")
+        recorder.count("a/x", counter)
+        recorder.gauge("a/g", 2)
+        with recorder.span("a/s"):
+            pass
+        return metrics_document(recorder)
+
+    def test_schema_and_validation(self):
+        document = self.make_doc()
+        assert validate_metrics(document) is document
+        assert document["schema"] == "repro-metrics"
+        assert document["version"] == 1
+        assert document["counters"]["a/x"] == 1  # integral floats -> int
+        assert document["meta"]["merged_from"] == 1
+
+    def test_validation_rejects_bad_documents(self):
+        for bad in (
+            [],
+            {"schema": "other"},
+            {"schema": "repro-metrics", "version": 2},
+            {
+                "schema": "repro-metrics",
+                "version": 1,
+                "counters": {},
+                "gauges": {},
+                "spans": {"s": {"count": 1}},
+            },
+        ):
+            with pytest.raises(UsageError):
+                validate_metrics(bad)
+
+    def test_merge_is_order_independent(self):
+        a, b = self.make_doc(1), self.make_doc(3)
+        ab = merge_metrics([a, b], label="m")
+        ba = merge_metrics([b, a], label="m")
+        assert ab == ba
+        assert ab["counters"]["a/x"] == 4
+        assert ab["spans"]["a/s"]["count"] == 2
+        assert ab["meta"]["merged_from"] == 2
+
+    def test_render_summary_mentions_names(self):
+        rendered = render_metrics_summary(self.make_doc())
+        assert "a/s" in rendered and "a/x" in rendered and "a/g" in rendered
+
+    def test_render_empty(self):
+        empty = merge_metrics([])
+        assert render_metrics_summary(empty) == "no metrics recorded"
+
+
+# ---------------------------------------------------------------------------
+# Trace export
+# ---------------------------------------------------------------------------
+
+
+class TestTrace:
+    def test_chrome_document_labels_every_pid(self):
+        events = [
+            {"name": "s", "cat": "s", "ph": "X", "ts": 2, "dur": 1,
+             "pid": 7, "tid": 1},
+            {"name": "s", "cat": "s", "ph": "X", "ts": 1, "dur": 1,
+             "pid": 7, "tid": 1},
+        ]
+        document = chrome_trace_document(events, {7: "worker seven"})
+        assert document["traceEvents"][0]["ph"] == "M"
+        assert document["traceEvents"][0]["args"]["name"] == "worker seven"
+        # events sorted by (pid, tid, ts)
+        assert [e["ts"] for e in document["traceEvents"][1:]] == [1, 2]
+
+    def test_fragment_roundtrip(self, tmp_path):
+        events = [{"name": "s", "cat": "s", "ph": "X", "ts": 1, "dur": 1,
+                   "pid": 11, "tid": 1}]
+        path = tmp_path / "worker-0.json"
+        write_trace_fragment(str(path), "host#0", 11, events)
+        merged, names = merge_trace_fragments([str(path)])
+        assert merged == events
+        assert names == {11: "worker host#0"}
+
+
+# ---------------------------------------------------------------------------
+# verify(): the byte-identity contract
+# ---------------------------------------------------------------------------
+
+
+class TestVerifyMetrics:
+    def test_disabled_adds_no_stats_keys(self):
+        verdict = verify("agp-opacity", backend="fuzz", iterations=150)
+        assert "metrics" not in verdict.stats
+        assert verdict.metrics is None
+
+    def test_enabled_attaches_only_metrics_key(self):
+        baseline = verify("agp-opacity", backend="fuzz", iterations=150)
+        with recording():
+            verdict = verify("agp-opacity", backend="fuzz", iterations=150)
+        assert set(verdict.stats) - set(baseline.stats) == {"metrics"}
+        document = validate_metrics(verdict.metrics)
+        assert document["label"] == "verify:agp-opacity"
+        assert document["counters"]["fuzz/fast_walks"] > 0
+        assert "verify/fuzz" in document["spans"]
+
+    def test_verdict_documents_byte_identical(self):
+        plain = verify("agp-opacity", backend="exhaustive")
+        with recording():
+            instrumented = verify("agp-opacity", backend="exhaustive")
+        a = json.dumps(normalized(plain.to_document()), sort_keys=True)
+        b = json.dumps(normalized(instrumented.to_document()), sort_keys=True)
+        assert a == b
+
+    def test_outer_recorder_absorbs_verify_totals(self):
+        with recording() as session:
+            verify("agp-opacity", backend="fuzz", iterations=150)
+            verify("agp-opacity", backend="fuzz", iterations=150)
+        assert session.counters["fuzz/fast_walks"] > 0
+        assert session.spans["verify/fuzz"][0] == 2
+
+    def test_exhaustive_counters(self):
+        with recording():
+            verdict = verify("agp-opacity", backend="exhaustive")
+        counters = verdict.metrics["counters"]
+        assert counters["engine/frontier_pops"] > 0
+        assert counters["safety/checks"] == verdict.stats["runs_checked"]
+
+    def test_liveness_counters(self):
+        scenario = get_scenario("trivial-local-progress-f1")
+        with recording():
+            verdict = verify(scenario, backend="liveness")
+        counters = verdict.metrics["counters"]
+        assert counters["liveness/runs"] == verdict.stats["runs"]
+        assert "verify/liveness" in verdict.metrics["spans"]
+
+
+# ---------------------------------------------------------------------------
+# Profile front-end
+# ---------------------------------------------------------------------------
+
+
+class TestProfile:
+    def test_profile_verify_reports(self):
+        report = profile_verify(
+            "agp-opacity", backend="fuzz", overrides={"iterations": 150}
+        )
+        assert report.verdict.expected
+        assert report.hotspots and report.hotspots[0].cumtime >= 0
+        validate_metrics(report.metrics)
+        assert report.metrics["label"] == "profile:agp-opacity"
+        # profiling leaves no recorder behind
+        assert active() is None
+
+
+# ---------------------------------------------------------------------------
+# Campaign: per-job metrics, reclaim safety, export identity
+# ---------------------------------------------------------------------------
+
+FAST = ["thm44", "thm49"]
+
+
+def make_store(path):
+    spec = CampaignSpec.from_cli(FAST, [])
+    store = CampaignStore.create(str(path), spec)
+    store.add_jobs(spec.expand())
+    return store
+
+
+class TestCampaignMetrics:
+    def test_jobs_store_metrics_documents(self, tmp_path):
+        path = tmp_path / "c.db"
+        with make_store(path):
+            pass
+        run_campaign(str(path), workers=0, metrics=True)
+        with CampaignStore.open(str(path)) as store:
+            records = store.jobs("done")
+            assert records and all(r.metrics is not None for r in records)
+            merged = merged_metrics(store)
+        assert merged["counters"]["campaign/jobs"] == len(records)
+        assert merged["meta"]["merged_from"] == len(records)
+
+    def test_metrics_off_stores_nothing(self, tmp_path):
+        path = tmp_path / "c.db"
+        with make_store(path):
+            pass
+        run_campaign(str(path), workers=0)
+        with CampaignStore.open(str(path)) as store:
+            assert all(r.metrics is None for r in store.jobs())
+            assert merged_metrics(store)["meta"]["merged_from"] == 0
+
+    def test_export_byte_identical_with_metrics_on_or_off(self, tmp_path):
+        exports = []
+        for index, metrics in enumerate((False, True)):
+            path = tmp_path / f"c{index}.db"
+            with make_store(path):
+                pass
+            run_campaign(str(path), workers=0, metrics=metrics)
+            with CampaignStore.open(str(path)) as store:
+                exports.append(export_campaign(store))
+        assert exports[0] == exports[1]
+
+    def test_reset_clears_metrics_no_double_count(self, tmp_path):
+        path = tmp_path / "c.db"
+        with make_store(path):
+            pass
+        run_campaign(str(path), workers=0, metrics=True)
+        with CampaignStore.open(str(path)) as store:
+            jobs = len(store.jobs("done"))
+            store.reset(["done"])
+            # back-to-pending rows carry no metrics document
+            assert merged_metrics(store)["meta"]["merged_from"] == 0
+        # re-execution replaces, never accumulates
+        run_campaign(str(path), workers=0, metrics=True)
+        with CampaignStore.open(str(path)) as store:
+            merged = merged_metrics(store)
+        assert merged["counters"]["campaign/jobs"] == jobs
+
+    def test_reclaim_clears_metrics(self, tmp_path):
+        import socket
+
+        with make_store(tmp_path / "c.db") as store:
+            # a dead local worker holding a claim — plant a (stale)
+            # metrics blob on the row to prove reclaim wipes it
+            record = store.claim(f"{socket.gethostname()}:999999999#0")
+            with store._conn:
+                store._conn.execute(
+                    "UPDATE jobs SET metrics = '{}' WHERE fingerprint = ?",
+                    (record.fingerprint,),
+                )
+            assert store.reclaim_dead() == 1
+            row = store.job(record.fingerprint)
+            assert row.status == "pending" and row.metrics is None
+
+    def test_serial_trace_writes_fragment(self, tmp_path):
+        path = tmp_path / "c.db"
+        with make_store(path):
+            pass
+        trace_dir = tmp_path / "frags"
+        run_campaign(str(path), workers=0, trace_dir=str(trace_dir))
+        fragment = trace_dir / "worker-0.json"
+        assert fragment.exists()
+        events, names = merge_trace_fragments([str(fragment)])
+        assert any(e["name"] == "campaign/worker" for e in events)
+        assert any(e["name"].startswith("campaign/job:") for e in events)
+        document = chrome_trace_document(events, names)
+        assert document["traceEvents"][0]["ph"] == "M"
+
+    def test_execute_job_failure_stores_metrics(self, tmp_path):
+        path = tmp_path / "c.db"
+        spec = CampaignSpec.from_cli(
+            ["verify"], ["scenario=no-such-scenario"]
+        )
+        with CampaignStore.create(str(path), spec) as store:
+            store.add_jobs(spec.expand())
+            record = store.claim("w")
+            assert not execute_job(store, record, metrics=True)
+            row = store.jobs("failed")[0]
+        assert row.metrics is not None
+        assert row.metrics["counters"]["campaign/job_failures"] == 1
+
+
+class TestWatch:
+    def test_render_watch_line(self):
+        counts = {"pending": 2, "claimed": 1, "done": 5, "failed": 0}
+        line = render_watch_line(counts, rate=1.0)
+        assert "5/8 done" in line and "eta 3s" in line
+        assert "jobs/s" in render_watch_line(counts, rate=0.5)
+        assert "eta" not in render_watch_line(counts, rate=None)
+
+    def test_watch_returns_on_finished_store(self, tmp_path):
+        path = tmp_path / "c.db"
+        with make_store(path):
+            pass
+        run_campaign(str(path), workers=0)
+        lines = []
+        counts = watch_status(str(path), interval=0.01, emit=lines.append)
+        assert counts["pending"] == counts["claimed"] == 0
+        assert lines and "done" in lines[0]
+
+    def test_watch_max_polls_bounds_open_store(self, tmp_path):
+        path = tmp_path / "c.db"
+        with make_store(path):
+            pass  # all jobs still pending
+        counts = watch_status(
+            str(path), interval=0.0, emit=lambda line: None, max_polls=3
+        )
+        assert counts["pending"] > 0
