@@ -1,0 +1,150 @@
+"""Record the partial-order reduction's run-count and time savings.
+
+Runs every workload once without reduction and once with
+``reduction="dpor"`` through :func:`repro.sim.check_all_histories`,
+asserts *verdict parity* (same ``holds``, and both counterexample-free
+or both witnessed — the reduced search checks Mazurkiewicz
+representatives, so the history sets intentionally differ), and writes
+the run counts, reduction factors, and timings to ``BENCH_dpor.json``
+at the repository root.
+
+The gate: on the ``agp-opacity-deep`` workload the reduced search must
+check at least ``MIN_DEEP_REDUCTION`` times fewer maximal runs than the
+unreduced one.  Run counts are deterministic (unlike timings), so the
+gate is stable on any hardware.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_dpor.py [output.json]
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.algorithms.consensus import CasConsensus
+from repro.algorithms.tm import AgpTransactionalMemory, I12TransactionalMemory
+from repro.objects.consensus import AgreementValidity
+from repro.objects.opacity import OpacityChecker
+from repro.sim import check_all_histories
+
+#: The deep workload must shrink by at least this factor (run counts,
+#: not wall-clock — deterministic on every machine).
+MIN_DEEP_REDUCTION = 10.0
+
+#: Which workload the MIN_DEEP_REDUCTION gate applies to.
+GATED_WORKLOAD = "agp-opacity-deep"
+
+TM_PLAN = {
+    0: [("start", ()), ("write", (0, 1)), ("tryC", ())],
+    1: [("start", ()), ("read", (0,)), ("tryC", ())],
+}
+
+TM_DEEP_PLAN = {
+    0: [("start", ()), ("write", (0, 1)), ("tryC", ()), ("start", ()), ("tryC", ())],
+    1: [("start", ()), ("read", (0,)), ("tryC", ())],
+}
+
+#: (name, implementation factory, plan, safety factory)
+WORKLOADS = [
+    (
+        "cas-consensus",
+        lambda: CasConsensus(2),
+        {0: [("propose", (0,))], 1: [("propose", (1,))]},
+        AgreementValidity,
+    ),
+    (
+        "agp-opacity",
+        lambda: AgpTransactionalMemory(2, variables=(0,)),
+        TM_PLAN,
+        OpacityChecker,
+    ),
+    (
+        "i12-opacity",
+        lambda: I12TransactionalMemory(2, variables=(0,)),
+        TM_PLAN,
+        OpacityChecker,
+    ),
+    (
+        "agp-opacity-deep",
+        lambda: AgpTransactionalMemory(2, variables=(0,)),
+        TM_DEEP_PLAN,
+        OpacityChecker,
+    ),
+]
+
+
+def timed_check(factory, plan, safety_factory, reduction: str):
+    start = time.perf_counter()
+    report = check_all_histories(
+        factory, plan, safety_factory(), reduction=reduction
+    )
+    return time.perf_counter() - start, report
+
+
+def main(output: Path) -> int:
+    record = {
+        "benchmark": "dpor sleep-set reduction",
+        "python": platform.python_version(),
+        "min_deep_reduction": MIN_DEEP_REDUCTION,
+        "gated_workload": GATED_WORKLOAD,
+        "reduction_basis": "maximal runs checked (deterministic counts)",
+        "workloads": [],
+    }
+    failed = False
+    for name, factory, plan, safety_factory in WORKLOADS:
+        entry = {"workload": name}
+        reports = {}
+        for reduction in ("none", "dpor"):
+            elapsed, report = timed_check(
+                factory, plan, safety_factory, reduction
+            )
+            reports[reduction] = report
+            entry[f"runs_{reduction}"] = report.runs_checked
+            entry[f"seconds_{reduction}"] = round(elapsed, 4)
+        if reports["none"].holds != reports["dpor"].holds:
+            print(
+                f"FAIL: verdict divergence on {name}: unreduced "
+                f"{'holds' if reports['none'].holds else 'violated'} vs "
+                f"dpor {'holds' if reports['dpor'].holds else 'violated'}",
+                file=sys.stderr,
+            )
+            return 1
+        entry["holds"] = reports["dpor"].holds
+        entry["run_reduction"] = round(
+            entry["runs_none"] / max(entry["runs_dpor"], 1), 2
+        )
+        entry["time_speedup"] = round(
+            entry["seconds_none"] / max(entry["seconds_dpor"], 1e-9), 2
+        )
+        record["workloads"].append(entry)
+        print(
+            f"{name}: runs {entry['runs_none']} -> {entry['runs_dpor']} "
+            f"({entry['run_reduction']:.2f}x fewer), "
+            f"time {entry['seconds_none']:.3f}s -> "
+            f"{entry['seconds_dpor']:.3f}s, verdicts agree "
+            f"(holds={entry['holds']})"
+        )
+        if name == GATED_WORKLOAD and entry["run_reduction"] < MIN_DEEP_REDUCTION:
+            failed = True
+    output.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"-> {output}")
+    if failed:
+        print(
+            f"FAIL: {GATED_WORKLOAD} run reduction is below "
+            f"{MIN_DEEP_REDUCTION}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    target = Path(sys.argv[1]) if len(sys.argv) > 1 else (
+        Path(__file__).resolve().parent.parent / "BENCH_dpor.json"
+    )
+    raise SystemExit(main(target))

@@ -887,7 +887,9 @@ def _add_verify_parser(subparsers) -> None:
     verify.add_argument(
         "--set", action="append", default=[], metavar="key=value",
         help="verify override as key=value (repeatable): seed, iterations, "
-        "max_depth, max_configurations, crash, shrink, lasso_stride, ...",
+        "max_depth, max_configurations, crash, shrink, lasso_stride, "
+        "reduction (none|dpor|dpor-parity: partial-order reduction for "
+        "exhaustive/liveness search), ...",
     )
     verify.add_argument(
         "--out", default=None, metavar="FILE",

@@ -1108,6 +1108,7 @@ def run_verify(
     max_steps: Optional[int] = None,
     crash: Optional[str] = None,
     shrink: bool = True,
+    reduction: Optional[str] = None,
 ) -> ExperimentResult:
     """Verify one registered scenario through the uniform facade.
 
@@ -1124,6 +1125,19 @@ def run_verify(
     spec = get_scenario(scenario)
     resolved = resolve_backend(spec, backend)
     overrides: Dict[str, object] = {"shrink": shrink}
+    if reduction not in (None, "", "none"):
+        if resolved == "fuzz":
+            if backend != "auto":
+                raise UsageError(
+                    "the 'reduction' axis selects a partial-order "
+                    "reduction for exhaustive/liveness search; it cannot "
+                    "apply to backend='fuzz' — restrict the axis to "
+                    "exhaustive/liveness (or auto) cells or drop it"
+                )
+            # Auto-resolved fuzz cells drop the knob, same policy as the
+            # backend-exclusive overrides in the verify facade.
+        else:
+            overrides["reduction"] = reduction
     if resolved == "fuzz":
         overrides["seed"] = 0 if seed is None else seed
         if iterations is not None:
@@ -1424,6 +1438,7 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
                 "max_steps",
                 "crash",
                 "shrink",
+                "reduction",
             ),
             scenarios=("cas-consensus", "trivial-local-progress-f1"),
         ),

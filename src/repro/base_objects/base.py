@@ -52,6 +52,23 @@ class BaseObject(ABC):
     def reset(self) -> None:
         """Restore the initial state."""
 
+    def footprint(self, method: str, args: Tuple[Any, ...]) -> Tuple[str, Hashable]:
+        """Declare what one primitive touches, as ``(mode, key)``.
+
+        ``mode`` is ``"read"`` or ``"write"``; ``key`` names the part of
+        the object the primitive touches (``None`` means the whole
+        object, which conflicts with every key).  The partial-order
+        reduction (:mod:`repro.engine.dpor`) uses these declarations to
+        decide when two steps of different processes commute; the
+        declaration must be *conservative* — it may over-approximate the
+        touched set (costing only pruning power), never under-approximate
+        it (which would prune reachable verdict-relevant interleavings).
+
+        The default declares a whole-object write: correct for every
+        primitive, independent of nothing on the same object.
+        """
+        return ("write", None)
+
     def capture_state(self) -> Any:
         """A restorable copy of the full mutable state.
 
@@ -126,6 +143,16 @@ class ObjectPool:
         self._dirty.add(name)
         self._fp_cache.pop(name, None)
         return self.get(name).apply(method, args)
+
+    def footprint(
+        self, name: str, method: str, args: Tuple[Any, ...]
+    ) -> Tuple[str, Hashable]:
+        """The ``(mode, key)`` footprint one primitive would touch.
+
+        Pure: consults the object's declaration without applying
+        anything.  Used by the runtime's footprint recording
+        (:mod:`repro.engine.dpor`)."""
+        return self.get(name).footprint(method, args)
 
     def names(self) -> List[str]:
         """Names of all registered objects, sorted."""

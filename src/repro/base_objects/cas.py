@@ -55,6 +55,12 @@ class CompareAndSwap(BaseObject):
             return False
         return self._reject(method)
 
+    def footprint(self, method: str, args: Tuple[Any, ...]) -> Tuple[str, Hashable]:
+        # compare_and_swap is conservatively a write even when it would
+        # fail: whether it fails depends on the value, which a concurrent
+        # write changes — so it must conflict with everything.
+        return ("read" if method == "read" else "write", None)
+
     def snapshot_state(self) -> Hashable:
         return ("cas", self._value)
 

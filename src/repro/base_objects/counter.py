@@ -38,6 +38,9 @@ class FetchAndIncrement(BaseObject):
             return self._value
         return self._reject(method)
 
+    def footprint(self, method: str, args: Tuple[Any, ...]) -> Tuple[str, Hashable]:
+        return ("read" if method == "read" else "write", None)
+
     def snapshot_state(self) -> Hashable:
         return ("counter", self._value)
 

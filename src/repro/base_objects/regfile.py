@@ -43,6 +43,10 @@ class RegisterFile(BaseObject):
             return None
         return self._reject(method)
 
+    def footprint(self, method: str, args: Tuple[Any, ...]) -> Tuple[str, Hashable]:
+        key = freeze(args[0]) if args else None
+        return ("read" if method == "read" else "write", key)
+
     def snapshot_state(self) -> Hashable:
         return (
             "register-file",

@@ -39,6 +39,9 @@ class AtomicRegister(BaseObject):
             return None
         return self._reject(method)
 
+    def footprint(self, method: str, args: Tuple[Any, ...]) -> Tuple[str, Hashable]:
+        return ("read" if method == "read" else "write", None)
+
     def snapshot_state(self) -> Hashable:
         return ("register", self._value)
 
@@ -90,6 +93,12 @@ class RegisterArray(BaseObject):
             self._cells[self._check_index(args[0])] = args[1]
             return None
         return self._reject(method)
+
+    def footprint(self, method: str, args: Tuple[Any, ...]) -> Tuple[str, Hashable]:
+        # Each primitive touches one cell, addressed by its index
+        # argument; a malformed call falls back to the whole object.
+        key = args[0] if args else None
+        return ("read" if method == "read" else "write", key)
 
     def snapshot_state(self) -> Hashable:
         return ("register-array", tuple(self._cells))

@@ -62,6 +62,12 @@ class AtomicSnapshot(BaseObject):
             return self._components[self._check_index(args[0])]
         return self._reject(method)
 
+    def footprint(self, method: str, args: Tuple[Any, ...]) -> Tuple[str, Hashable]:
+        if method == "scan":
+            return ("read", None)  # whole-object read
+        key = args[0] if args else None
+        return ("read" if method == "read" else "write", key)
+
     def snapshot_state(self) -> Hashable:
         return ("snapshot", tuple(self._components))
 

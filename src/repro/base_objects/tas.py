@@ -54,6 +54,9 @@ class TestAndSet(BaseObject):
             return None
         return self._reject(method)
 
+    def footprint(self, method: str, args: Tuple[Any, ...]) -> Tuple[str, Hashable]:
+        return ("read" if method == "read" else "write", None)
+
     def snapshot_state(self) -> Hashable:
         return ("tas", self._set)
 

@@ -17,6 +17,7 @@ Two consumers:
 from __future__ import annotations
 
 import json
+import math
 import time
 
 from typing import Any, Callable, Dict, List, Optional
@@ -286,7 +287,12 @@ def render_watch_line(
     counts: Dict[str, int], rate: Optional[float]
 ) -> str:
     """One ``--watch`` progress line: lifecycle counts, throughput of
-    this watch session, and a naive remaining-work ETA."""
+    this watch session, and a naive remaining-work ETA.
+
+    The ETA field is always present so consecutive lines stay
+    column-comparable; without a usable rate (no job finished during
+    this session yet, a zero/negative/non-finite measurement) it reads
+    ``eta --`` instead of dividing by it."""
     total = sum(counts.values())
     remaining = counts["pending"] + counts["claimed"]
     parts = [
@@ -295,9 +301,11 @@ def render_watch_line(
         f"{counts['pending']} pending",
         f"{counts['failed']} failed",
     ]
-    if rate is not None and rate > 0:
+    if rate is not None and rate > 0 and math.isfinite(rate):
         parts.append(f"{rate:.2f} jobs/s")
         parts.append(f"eta {remaining / rate:.0f}s")
+    else:
+        parts.append("eta --")
     return "  ".join(parts)
 
 
@@ -326,9 +334,11 @@ def watch_status(
         if first_done is None:
             first_done = counts["done"]
         elapsed = time.monotonic() - started
-        rate = (
-            (counts["done"] - first_done) / elapsed if elapsed > 0 else None
-        )
+        # The done count can *shrink* while we watch (a reset/reclaim
+        # returning jobs to pending); a negative or zero delta means no
+        # measurable throughput this session, never a negative ETA.
+        delta = counts["done"] - first_done
+        rate = delta / elapsed if delta > 0 and elapsed > 0 else None
         line = render_watch_line(counts, rate)
         if line != last_line:
             emit(line)

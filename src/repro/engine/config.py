@@ -215,6 +215,11 @@ class KernelConfig:
         # bogus cross-run lassos (engine configurations keep detection
         # off, so this is insurance for detection-enabled embeddings).
         runtime.reset_lasso()
+        # Same restart rule for footprint state: the last recorded
+        # footprint describes a decision of the pre-rewind run; the DPOR
+        # layer must only ever see footprints of decisions applied to
+        # *this* restored configuration.
+        runtime.last_footprint = None
         self._events_tuple = snapshot.events
         for process_snapshot in snapshot.processes:
             pid = process_snapshot.pid

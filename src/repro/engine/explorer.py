@@ -50,6 +50,7 @@ from typing import (
 )
 
 from repro.engine.config import ImplementationFactory, KernelConfig, KernelSnapshot
+from repro.engine.dpor import SleepSets, check_reduction
 from repro.engine.frontier import GraphSearch, SearchBudgetExceeded
 from repro.obs.recorder import active as _obs_active
 from repro.sim.drivers import Decision
@@ -92,7 +93,10 @@ class _Node:
     decision paths).
     """
 
-    __slots__ = ("fingerprint", "schedule", "decisions", "snapshot", "choices", "config")
+    __slots__ = (
+        "fingerprint", "schedule", "decisions", "snapshot", "choices", "config",
+        "sleep",
+    )
 
     def __init__(
         self,
@@ -109,6 +113,8 @@ class _Node:
         self.snapshot = snapshot
         self.choices = choices
         self.config = config
+        # Sleep set under DPOR (label -> Footprint); None when off.
+        self.sleep = None
 
 
 class KernelExplorer:
@@ -156,9 +162,19 @@ class KernelExplorer:
         max_configurations: Optional[int] = None,
         on_budget: str = "raise",
         record_edges: bool = False,
+        reduction: str = "none",
     ):
         if mode not in MODES:
             raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+        # Parity between the reductions lives above the engine (the
+        # verify facade runs two searches); the explorer itself only
+        # knows how to search with the reduction on or off.
+        check_reduction(reduction, ("none", "dpor"))
+        if reduction == "dpor" and strategy == "iddfs":
+            # The sleep-set store is per search pass; iterative
+            # deepening restarts passes and would reuse stale entries.
+            raise ValueError("reduction='dpor' supports bfs/dfs, not iddfs")
+        self.reduction = reduction
         self.factory = factory
         self.successors = successors
         self.root_decisions = tuple(root_decisions)
@@ -237,6 +253,7 @@ class KernelExplorer:
         if mode == "snapshot":
             if self._scratch is None:
                 self._scratch = KernelConfig(self._implementation)
+                self._scratch.runtime.record_footprints = self.reduction == "dpor"
             config = self._scratch
             if self._scratch_fingerprint != node.fingerprint:
                 config.restore_from(node.snapshot)
@@ -253,40 +270,83 @@ class KernelExplorer:
                 "kernel/replayed_decisions",
                 len(self.root_decisions) + len(node.decisions) + 1,
             )
-        return KernelConfig(self._implementation).apply_all(
+        config = KernelConfig(self._implementation)
+        config.runtime.record_footprints = self.reduction == "dpor"
+        return config.apply_all(
             self.root_decisions + node.decisions + (decision,)
         )
 
+    def _expandable(self, node: _Node) -> bool:
+        return bool(node.choices) and (
+            self.max_depth is None or len(node.schedule) < self.max_depth
+        )
+
     def _run_single(self, mode: str) -> Iterator[ConfigVisit]:
+        reduce = self.reduction == "dpor"
+        sleeps = SleepSets() if reduce else None
         root_config = KernelConfig(self._implementation).apply_all(self.root_decisions)
         if self.prune is not None and self.prune(root_config):
             return
         root = self._make_node(root_config, (), (), mode)
+        if reduce:
+            root.sleep = {}
+            if self._expandable(root):
+                sleeps.note_expansion(root.fingerprint, root.sleep)
 
         def expand(node: _Node) -> Iterator[Tuple[Any, _Node]]:
+            rec = _obs_active() if reduce else None
+            explored: List[Tuple[Any, Any]] = []  # (label, Footprint)
+            blocked = 0
             for label, decision in node.choices:
+                if reduce and label in node.sleep:
+                    # An equivalent interleaving taking this decision
+                    # first was already explored from a sibling.
+                    blocked += 1
+                    if rec is not None:
+                        rec.count("dpor/sleep_blocked")
+                    continue
                 config = self._child_config(node, decision, mode)
                 if self.prune is not None and self.prune(config):
                     continue
+                child_sleep = None
+                if reduce:
+                    executed = config.runtime.last_footprint
+                    child_sleep = sleeps.child_sleep(node.sleep, explored, executed)
+                    explored.append((label, executed))
                 fingerprint = self.fingerprint(config)
                 if config is self._scratch:
                     self._scratch_fingerprint = fingerprint
                 if fingerprint in search.parents:
+                    if reduce:
+                        self._repair_revisit(
+                            search, sleeps, config, fingerprint,
+                            node.schedule + (label,),
+                            node.decisions + (decision,),
+                            child_sleep, mode, rec,
+                        )
                     # Already visited: the search only records the edge,
                     # so skip the successor scan and snapshot capture.
                     yield label, _Node(fingerprint, (), (), None, (), None)
                     continue
-                yield label, self._make_node(
+                child = self._make_node(
                     config,
                     node.schedule + (label,),
                     node.decisions + (decision,),
                     mode,
                     fingerprint=fingerprint,
                 )
+                if reduce:
+                    child.sleep = child_sleep
+                    if self._expandable(child):
+                        sleeps.note_expansion(fingerprint, child_sleep)
+                yield label, child
+            if reduce and blocked and blocked == len(node.choices):
+                if rec is not None:
+                    rec.count("dpor/pruned")
 
         search = GraphSearch(
             strategy=self.strategy,
-            key=lambda node: node.fingerprint,
+            key=lambda node: node.fingerprint,  # revisit nodes are re-pushed, not re-keyed
             max_nodes=self.max_configurations,
             max_depth=self.max_depth,
             on_budget=self.on_budget,
@@ -303,6 +363,34 @@ class KernelExplorer:
                 depth=visit.depth,
                 choices=node.choices,
             )
+
+    def _repair_revisit(
+        self, search, sleeps, config, fingerprint, schedule, decisions,
+        child_sleep, mode, rec,
+    ) -> None:
+        """State-caching repair: re-expand a visited state when this
+        path arrives with decisions awake that its first expansion had
+        asleep (see :mod:`repro.engine.dpor`).  ``config`` is live (the
+        child just produced), so the enabled set and a fresh snapshot
+        are at hand."""
+        choices = tuple(self.successors(config))
+        merged = sleeps.revisit_sleep(
+            fingerprint, child_sleep, (label for label, _ in choices)
+        )
+        if merged is None:
+            return
+        if rec is not None:
+            rec.count("dpor/revisit_repairs")
+        revisit = _Node(
+            fingerprint=fingerprint,
+            schedule=schedule,
+            decisions=decisions,
+            snapshot=config.capture() if mode == "snapshot" else None,
+            choices=choices,
+            config=None,
+        )
+        revisit.sleep = merged
+        search.push_revisit(revisit, fingerprint)
 
     def _run_parity(self) -> Iterator[ConfigVisit]:
         snapshot_side = self._clone(mode="snapshot")
@@ -338,4 +426,5 @@ class KernelExplorer:
             max_configurations=self.max_configurations,
             on_budget=self.on_budget,
             record_edges=self.record_edges,
+            reduction=self.reduction,
         )

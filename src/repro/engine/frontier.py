@@ -165,6 +165,9 @@ class GraphSearch:
         self.edges: Dict[Hashable, Dict[Label, Hashable]] = {}
         #: key -> depth at which the node was visited.
         self.depths: Dict[Hashable, int] = {}
+        # The live frontier of the current pass, kept so expansion
+        # callbacks can re-queue a node mid-search (see push_revisit).
+        self._frontier: Optional[Frontier] = None
 
     # -- public API --------------------------------------------------------
 
@@ -184,6 +187,25 @@ class GraphSearch:
         return self._run_single_pass(
             roots, expand, root_labels, make_frontier(self.strategy)
         )
+
+    def push_revisit(self, node: Any, key: Hashable, depth: Optional[int] = None) -> None:
+        """Re-queue an already-visited key for another expansion pass.
+
+        The partial-order reduction's state-caching repair
+        (:mod:`repro.engine.dpor`): a state first expanded under a sleep
+        set covers only its non-slept futures, so a later path arriving
+        with an incompatible (smaller effective) sleep set must expand
+        it again.  The re-queued node is popped and expanded like any
+        frontier entry but yields **no** new :class:`Visit` (the key was
+        already visited, counted, and reported) and leaves ``parents``
+        untouched; only the not-yet-seen children it produces surface as
+        visits.  ``depth`` defaults to the key's first-visit depth, so
+        the re-expansion inherits the depth budget its subtree was
+        originally measured under.  Only valid while :meth:`run` is
+        consuming a single-pass strategy (``bfs``/``dfs``)."""
+        if self._frontier is None:
+            raise RuntimeError("push_revisit requires a running search")
+        self._frontier.push((node, key, self.depths[key] if depth is None else depth))
 
     def path_labels(self, key: Hashable) -> Tuple[Label, ...]:
         """Edge labels along the discovered path from a root to ``key``
@@ -228,6 +250,7 @@ class GraphSearch:
         allow_shallower_revisit: bool = False,
     ) -> Iterator[Visit]:
         self._reset_state()
+        self._frontier = frontier
         # Fetched once per pass: the disabled-metrics cost inside the
         # loop is a single `is not None` check per pop/push/dedup.
         rec = _obs_active()

@@ -24,7 +24,9 @@ Nesting and merging
 -------------------
 ``recording()`` nests: the previous recorder is reinstalled on exit and
 **absorbs** the nested recorder's aggregates (counters summed, spans
-merged, gauges maxed, trace events appended).  That is how
+merged, the outer recorder's own gauges kept with inner-only gauges
+copied, trace events appended with anything unkeepable counted as
+dropped).  That is how
 ``verify()`` gives every verdict its own per-call metrics document
 while a CLI-level recorder still sees the session totals, and how
 campaign workers fold per-job recorders into per-worker fragments.
@@ -118,7 +120,10 @@ class Recorder:
         counters[name] = counters.get(name, 0) + n
 
     def gauge(self, name: str, value: float) -> None:
-        """Record a level; merges keep the maximum observed."""
+        """Record a level; repeated observations keep the maximum.
+
+        Gauges are per-recorder levels, not sums: :meth:`absorb` keeps
+        this recorder's own value over an absorbed inner one's."""
         gauges = self.gauges
         if name not in gauges or value > gauges[name]:
             gauges[name] = value
@@ -160,11 +165,22 @@ class Recorder:
     # -- merging ------------------------------------------------------------
 
     def absorb(self, other: "Recorder") -> None:
-        """Fold another recorder's aggregates into this one."""
+        """Fold another recorder's aggregates into this one.
+
+        Counters and spans are additive.  Gauges are *not*: a gauge is
+        a level this recorder observed itself (e.g. a corpus size at
+        the moment it was sampled), so an absorbed inner scope's gauge
+        never overrides an outer observation — this recorder keeps its
+        own value and copies only the gauges it never observed.  Inner
+        trace events append up to the buffer cap; events that cannot be
+        kept (over the cap, or tracing off on this recorder while the
+        inner one buffered) are added to ``dropped_trace_events``,
+        never silently discarded."""
         for name, value in other.counters.items():
             self.count(name, value)
         for name, value in other.gauges.items():
-            self.gauge(name, value)
+            if name not in self.gauges:
+                self.gauges[name] = value
         for name, (count, total, peak) in other.spans.items():
             entry = self.spans.get(name)
             if entry is None:
@@ -181,6 +197,8 @@ class Recorder:
             else:
                 self.trace_events.extend(other.trace_events[:room])
                 self.dropped_trace_events += len(other.trace_events) - room
+        elif other.trace_events:
+            self.dropped_trace_events += len(other.trace_events)
         self.dropped_trace_events += other.dropped_trace_events
 
 

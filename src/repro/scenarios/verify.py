@@ -61,6 +61,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional, Tuple, Union
 
+from repro.engine.dpor import DporParityError, check_reduction
 from repro.engine.frontier import SearchBudgetExceeded
 from repro.objects.opacity import (
     SearchBudgetExceeded as CheckerBudgetExceeded,
@@ -101,6 +102,7 @@ _EXHAUSTIVE_OVERRIDES = (
     "processes",
     "shrink",
     "crash",  # accepted only as none: the enumerated space is crash-free
+    "reduction",  # "none" | "dpor" | "dpor-parity" (repro.engine.dpor)
 )
 _FUZZ_OVERRIDES = (
     "seed",
@@ -118,6 +120,7 @@ _LIVENESS_OVERRIDES = (
     "max_configurations",
     "shrink",  # cycle/stem minimization of the lasso certificate
     "lasso_stride",
+    "reduction",  # "none" | "dpor" | "dpor-parity" (repro.engine.dpor)
 )
 
 #: Sampling knobs only the fuzz backend understands.  Auto-mode callers
@@ -275,11 +278,14 @@ def _verify_exhaustive(scenario: Scenario, overrides: Dict[str, Any]) -> Verdict
         max_configurations=overrides.get("max_configurations"),
     )
     mode = overrides.get("mode", "snapshot")
+    reduction = check_reduction(str(overrides.get("reduction", "none")))
     stats: Dict[str, Any] = {
         "max_depth": bounds.max_depth,
         "max_configurations": bounds.max_configurations,
         "mode": mode,
     }
+    if reduction != "none":
+        stats["reduction"] = reduction
     # Every backend's ``elapsed`` stat is one obs span around the search
     # itself (witness minimization excluded): the span's rounded reading
     # is the one normalized encoding, and the same timer feeds the
@@ -296,6 +302,7 @@ def _verify_exhaustive(scenario: Scenario, overrides: Dict[str, Any]) -> Verdict
                 max_configurations=bounds.max_configurations,
                 mode=mode,
                 processes=int(overrides.get("processes", 0)),
+                reduction=reduction,
             )
         except _BUDGET_ERRORS as exc:
             error = exc
@@ -310,6 +317,8 @@ def _verify_exhaustive(scenario: Scenario, overrides: Dict[str, Any]) -> Verdict
             stats=stats,
         )
     stats["runs_checked"] = report.runs_checked
+    if report.runs_checked_unreduced is not None:
+        stats["runs_checked_unreduced"] = report.runs_checked_unreduced
     if report.counterexample is None:
         stats["certainty"] = "proof"
         return Verdict(
@@ -510,6 +519,25 @@ def _verify_liveness(scenario: Scenario, overrides: Dict[str, Any]) -> Verdict:
             "property; backend='liveness' needs Scenario.liveness_factory "
             "(and optionally an adversary_factory)"
         )
+    reduction = check_reduction(str(overrides.get("reduction", "none")))
+    if reduction == "dpor-parity":
+        unreduced = _verify_liveness(
+            scenario, {**overrides, "reduction": "none"}
+        )
+        reduced = _verify_liveness(scenario, {**overrides, "reduction": "dpor"})
+        if unreduced.outcome != reduced.outcome:
+            raise DporParityError(
+                f"liveness verdict divergence on {scenario.scenario_id}: "
+                f"unreduced {unreduced.outcome} "
+                f"({unreduced.stats.get('runs')} runs) vs dpor "
+                f"{reduced.outcome} ({reduced.stats.get('runs')} runs)"
+            )
+        reduced.stats["reduction"] = "dpor-parity"
+        reduced.stats["runs_unreduced"] = unreduced.stats.get("runs")
+        reduced.stats["configurations_unreduced"] = unreduced.stats.get(
+            "configurations"
+        )
+        return reduced
     liveness = scenario.liveness_factory()
     progress_mode = scenario.factory().object_type.progress_mode
     horizon = int(overrides.get("max_depth", scenario.bounds.horizon))
@@ -527,6 +555,7 @@ def _verify_liveness(scenario: Scenario, overrides: Dict[str, Any]) -> Verdict:
         max_depth=horizon,
         max_configurations=budget,
         lasso_stride=int(overrides.get("lasso_stride", 1)),
+        reduction=reduction,
     )
     stats: Dict[str, Any] = {
         "liveness": getattr(liveness, "name", "?"),
@@ -534,6 +563,8 @@ def _verify_liveness(scenario: Scenario, overrides: Dict[str, Any]) -> Verdict:
         "max_depth": horizon,
         "max_configurations": budget,
     }
+    if reduction != "none":
+        stats["reduction"] = reduction
     counts = {"lasso": 0, "finite": 0, "horizon": 0}
     runs = escaped = 0
     all_proved = True

@@ -39,6 +39,7 @@ from repro.core.events import Invocation, Response
 from repro.core.history import History
 from repro.core.properties import SafetyProperty, Verdict
 from repro.engine.config import KernelConfig
+from repro.engine.dpor import DporParityError, check_reduction
 from repro.engine.explorer import ConfigVisit, KernelExplorer
 from repro.engine.frontier import SearchBudgetExceeded
 from repro.engine.parallel import parallel_explore
@@ -69,6 +70,9 @@ class ExplorationReport:
     property_name: str
     runs_checked: int
     counterexample: Optional[ExploredRun] = None
+    #: Set only by ``reduction="dpor-parity"``: how many runs the
+    #: unreduced search checked (the reduced count is ``runs_checked``).
+    runs_checked_unreduced: Optional[int] = None
 
     @property
     def holds(self) -> bool:
@@ -120,6 +124,7 @@ def explore_histories(
     max_configurations: int = 100_000,
     mode: str = "snapshot",
     processes: int = 0,
+    reduction: str = "none",
 ) -> Iterator[ExploredRun]:
     """Yield one run per maximal schedule (modulo configuration dedup).
 
@@ -139,10 +144,24 @@ def explore_histories(
     history means equal safety obligations, equal configuration means
     equal futures — while still collapsing the dominant explosion
     source: permutations of internal steps that emit no events.
+
+    ``reduction="dpor"`` additionally prunes interleavings that are
+    equivalent up to commutation of independent decisions — including
+    event-order permutations the history-carrying dedup key cannot merge
+    — via sleep sets over kernel-reported footprints
+    (:mod:`repro.engine.dpor`).  The runs yielded are then Mazurkiewicz
+    *representatives*: every safety verdict is preserved, but the set of
+    histories is a (much smaller) subset of the unreduced one.
     """
+    check_reduction(reduction, ("none", "dpor"))
     successors = plan_successors(plan)
     try:
         if processes > 1:
+            if reduction != "none":
+                raise ValueError(
+                    "reduction='dpor' is not supported with processes > 1; "
+                    "the parallel frontier keeps no sleep-set state"
+                )
             if mode != "snapshot":
                 # The pool workers expand by replay internally; honouring
                 # an explicit replay/parity request would silently mean
@@ -167,6 +186,7 @@ def explore_histories(
             strategy="dfs",
             max_depth=max_depth,
             max_configurations=max_configurations,
+            reduction=reduction,
         )
         for visit in explorer.run():
             run = _visit_to_run(visit.schedule, visit.choices, visit.depth,
@@ -239,8 +259,37 @@ def check_all_histories(
     max_configurations: int = 100_000,
     mode: str = "snapshot",
     processes: int = 0,
+    reduction: str = "none",
 ) -> ExplorationReport:
-    """Check a safety property over every reachable interleaving."""
+    """Check a safety property over every reachable interleaving.
+
+    ``reduction="dpor"`` checks one representative per commutation class
+    (see :func:`explore_histories`); ``reduction="dpor-parity"`` runs
+    the unreduced and reduced searches and raises
+    :class:`~repro.engine.dpor.DporParityError` unless both agree on the
+    verdict and on counterexample reachability — the executable form of
+    the reduction's soundness claim.  The parity report returned is the
+    reduced one."""
+    if reduction == "dpor-parity":
+        unreduced = check_all_histories(
+            implementation_factory, plan, safety, max_depth,
+            max_configurations, mode=mode, processes=processes,
+        )
+        reduced = check_all_histories(
+            implementation_factory, plan, safety, max_depth,
+            max_configurations, mode=mode, processes=processes,
+            reduction="dpor",
+        )
+        if unreduced.holds != reduced.holds:
+            raise DporParityError(
+                f"verdict divergence on {safety.name}: unreduced "
+                f"{'holds' if unreduced.holds else 'violated'} "
+                f"({unreduced.runs_checked} runs) vs dpor "
+                f"{'holds' if reduced.holds else 'violated'} "
+                f"({reduced.runs_checked} runs)"
+            )
+        reduced.runs_checked_unreduced = unreduced.runs_checked
+        return reduced
     runs_checked = 0
     counterexample: Optional[ExploredRun] = None
     rec = _obs_active()
@@ -251,6 +300,7 @@ def check_all_histories(
         max_configurations,
         mode=mode,
         processes=processes,
+        reduction=reduction,
     ):
         runs_checked += 1
         if rec is None:

@@ -62,6 +62,36 @@ class Op:
         return f"{self.obj}.{self.method}({rendered})"
 
 
+@dataclass(frozen=True)
+class Footprint:
+    """What one applied scheduler decision touched.
+
+    The dynamic half of the partial-order reduction
+    (:mod:`repro.engine.dpor`): the runtime records, per decision, the
+    acting process, the decision's *kind* (``invoke`` and ``response``
+    emit a visible history event; a non-completing ``step`` applies
+    exactly one pool primitive and emits nothing; ``crash`` is treated
+    as globally dependent), and the pool cells the decision read or
+    wrote as ``(object name, key)`` pairs — keys come from each base
+    object's :meth:`~repro.base_objects.base.BaseObject.footprint`
+    declaration, where ``None`` means the whole object.
+
+    A completing step has an *empty* pool footprint by construction:
+    :func:`run_step` sees the generator's ``StopIteration`` before any
+    new primitive is applied.
+    """
+
+    pid: int
+    kind: str  # "invoke" | "step" | "response" | "crash"
+    reads: Tuple[Tuple[str, Any], ...] = ()
+    writes: Tuple[Tuple[str, Any], ...] = ()
+
+    @property
+    def visible(self) -> bool:
+        """Whether the decision emitted a history event."""
+        return self.kind != "step"
+
+
 class Implementation(ABC):
     """An implementation ``I = {I_1, ..., I_n}`` of a shared object type.
 

@@ -55,6 +55,7 @@ from typing import (
 from repro.core.events import Response
 from repro.core.history import History
 from repro.engine.config import KernelConfig
+from repro.engine.dpor import Sleep, SleepSets, check_reduction
 from repro.engine.frontier import SearchBudgetExceeded
 from repro.sim.drivers import (
     Decision,
@@ -213,6 +214,20 @@ class PlanPolicy(SchedulePolicy):
         )
 
 
+def _decision_label(decision: Decision) -> Hashable:
+    """Sleep-set identity of a decision.
+
+    Two options at a node get the same label only when they are the same
+    decision; a surviving sleep entry must match the decision a later
+    path would take, so invocations carry their operation and arguments
+    (a process's *next* step, by contrast, is determined by its pid)."""
+    if isinstance(decision, InvokeDecision):
+        return ("invoke", decision.pid, decision.operation, decision.args)
+    if isinstance(decision, StepDecision):
+        return ("step", decision.pid)
+    return (type(decision).__name__, getattr(decision, "pid", None))
+
+
 def _copy_stats(
     runtime,
 ) -> Dict[int, ProcessStats]:
@@ -267,6 +282,16 @@ class LivenessSearch:
         Fingerprint every n-th step (see
         :class:`~repro.sim.lasso.LassoDetector`; a stride never misses
         a lasso, it only lengthens the reported cycle).
+    reduction:
+        ``"dpor"`` prunes runs that commute with an already-explored
+        run via sleep sets over kernel footprints
+        (:mod:`repro.engine.dpor`).  The liveness relation is stricter
+        than the safety one — *every* pair of visible decisions is
+        dependent (``visible_commutes=False``), because liveness
+        classification reads event timing against step windows, not
+        just the response-before-invocation order — so only invisible
+        internal steps commute.  Fan-out-1 policies (adversaries) are
+        unaffected.
     """
 
     def __init__(
@@ -276,14 +301,19 @@ class LivenessSearch:
         max_depth: int = 2_000,
         max_configurations: int = 200_000,
         lasso_stride: int = 1,
+        reduction: str = "none",
     ):
+        check_reduction(reduction, ("none", "dpor"))
         self.factory = factory
         self.policy = policy
         self.max_depth = max_depth
         self.max_configurations = max_configurations
+        self.reduction = reduction
         self._detector = LassoDetector(check_every=lasso_stride)
         self._implementation = factory()
         self._config = KernelConfig(self._implementation)
+        if reduction == "dpor":
+            self._config.runtime.record_footprints = True
         #: The initial configuration; every `runs()` call restarts here.
         self._root = self._config.capture()
         #: Configurations explored / branch merges pruned by the most
@@ -381,19 +411,37 @@ class LivenessSearch:
         seen: set = set()
         self.configurations = 0
         self.merges = 0
-        stack: List[Tuple[Any, Any, Tuple[Decision, ...], Any, Optional[Decision]]] = [
-            (self._root, policy.capture(), (), detector.snapshot(), None)
+        reduce = self.reduction == "dpor"
+        # All visible pairs are dependent under the liveness relation:
+        # classification reads step timing, not just real-time order.
+        sleeps = SleepSets(visible_commutes=False) if reduce else None
+        # Stack entries: (snapshot, policy state, decision prefix,
+        # detector state, pending decision, sleep set at the branch
+        # point, sibling footprints).  ``siblings`` is a list *shared*
+        # by all options of one branch point; LIFO pop order equals
+        # options order, so when option[i] pops, the list holds exactly
+        # the footprints of the already-executed options[:i].
+        stack: List[
+            Tuple[Any, Any, Tuple[Decision, ...], Any, Optional[Decision],
+                  Sleep, Optional[List[Tuple[Hashable, Any]]]]
+        ] = [
+            (self._root, policy.capture(), (), detector.snapshot(), None,
+             {}, None)
         ]
         while stack:
-            snapshot, state, prefix, detector_state, pending = stack.pop()
+            snapshot, state, prefix, detector_state, pending, sleep, siblings = (
+                stack.pop()
+            )
             config.restore_from(snapshot)
             _rebuild_last_response(config.runtime)
             policy.restore(state)
             detector.restore(detector_state)
             decisions = list(prefix)
             while True:
+                from_branch = None
                 if pending is not None:
                     decision, pending = pending, None
+                    from_branch = siblings
                 else:
                     if config.runtime.step_count >= self.max_depth:
                         yield self._finish(
@@ -413,12 +461,28 @@ class LivenessSearch:
                             "finite" if fairness else "horizon",
                         )
                         break
+                    if reduce and sleep:
+                        awake = []
+                        for option in options:
+                            if _decision_label(option) in sleep:
+                                if rec is not None:
+                                    rec.count("dpor/sleep_blocked")
+                            else:
+                                awake.append(option)
+                        if not awake:
+                            # Every continuation commutes with an
+                            # already-explored run: cut the subtree.
+                            if rec is not None:
+                                rec.count("dpor/pruned")
+                            break
+                        options = awake
                     if len(options) > 1:
                         if rec is not None:
                             rec.count("liveness/branch_points")
                         branch_snapshot = config.capture()
                         branch_state = policy.capture()
                         branch_detector = detector.snapshot()
+                        branch_siblings: Optional[List] = [] if reduce else None
                         for option in reversed(options):
                             stack.append(
                                 (
@@ -427,11 +491,26 @@ class LivenessSearch:
                                     tuple(decisions),
                                     branch_detector,
                                     option,
+                                    sleep,
+                                    branch_siblings,
                                 )
                             )
                         break
                     decision = options[0]
                 config.apply(decision)
+                if reduce:
+                    executed = config.runtime.last_footprint
+                    if from_branch is not None:
+                        # Branch option: sleep inherits the branch
+                        # point's surviving entries plus the earlier
+                        # siblings this decision commutes with, then
+                        # records its own footprint for later siblings.
+                        sleep = sleeps.child_sleep(sleep, from_branch, executed)
+                        from_branch.append(
+                            (_decision_label(decision), executed)
+                        )
+                    elif sleep:
+                        sleep = sleeps.child_sleep(sleep, (), executed)
                 decisions.append(decision)
                 self.configurations += 1
                 if rec is not None:
@@ -457,8 +536,21 @@ class LivenessSearch:
                     key = self._dedup_key(exact)
                     if key is not None:
                         if key in seen:
+                            if reduce:
+                                # Stateful-dedup repair (see
+                                # repro.engine.dpor): merging is sound
+                                # only when this path's sleep covers
+                                # everything the first visit slept.
+                                merged = sleeps.revisit_sleep(key, sleep)
+                                if merged is not None:
+                                    if rec is not None:
+                                        rec.count("dpor/revisit_repairs")
+                                    sleep = merged
+                                    continue
                             self.merges += 1
                             if rec is not None:
                                 rec.count("liveness/merges")
                             break  # merged into an explored schedule
                         seen.add(key)
+                        if reduce:
+                            sleeps.note_expansion(key, sleep)

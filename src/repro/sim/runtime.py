@@ -32,7 +32,13 @@ from repro.sim.drivers import (
     StepDecision,
     StopDecision,
 )
-from repro.sim.kernel import Implementation, ProcessFrame, ProcessState, run_step
+from repro.sim.kernel import (
+    Footprint,
+    Implementation,
+    ProcessFrame,
+    ProcessState,
+    run_step,
+)
 from repro.sim.lasso import LassoDetector
 from repro.sim.record import ProcessStats, RunResult
 from repro.util.errors import SimulationError
@@ -182,6 +188,10 @@ class Runtime:
         self.events: List[object] = []
         self.last_response: Dict[int, Response] = {}
         self.step_count = 0
+        # Off by default: recording costs a pool lookup per step, and
+        # only the DPOR-enabled exploration engine consumes footprints.
+        self.record_footprints = False
+        self.last_footprint: Optional[Footprint] = None
         self._view = RuntimeView(self)
         self._detector = LassoDetector(check_every=lasso_stride)
 
@@ -242,7 +252,23 @@ class Runtime:
         stats = self.stats[decision.pid]
         stats.steps += 1
         stats.last_step = self.step_count
-        finished, value = run_step(state.frame, self.pool)
+        frame = state.frame
+        finished, value = run_step(frame, self.pool)
+        if self.record_footprints:
+            if finished:
+                # StopIteration precedes any primitive application in
+                # run_step, so a completing step touches no pool cell.
+                self.last_footprint = Footprint(decision.pid, "response")
+            else:
+                op = frame.pending_op
+                mode, key = self.pool.footprint(op.obj, op.method, op.args)
+                cells = ((op.obj, key),)
+                self.last_footprint = Footprint(
+                    decision.pid,
+                    "step",
+                    reads=cells if mode == "read" else (),
+                    writes=cells if mode == "write" else (),
+                )
         if finished:
             response = Response(
                 process=decision.pid,
@@ -277,10 +303,16 @@ class Runtime:
         """
         if isinstance(decision, InvokeDecision):
             self._apply_invoke(decision)
+            if self.record_footprints:
+                # Creating the generator runs no algorithm code (the
+                # body starts on the first step) and touches no pool.
+                self.last_footprint = Footprint(decision.pid, "invoke")
         elif isinstance(decision, StepDecision):
             self._apply_step(decision)
         elif isinstance(decision, CrashDecision):
             self._apply_crash(decision)
+            if self.record_footprints:
+                self.last_footprint = Footprint(decision.pid, "crash")
         else:
             raise SimulationError(f"unknown decision {decision!r}")
         self.step_count += 1

@@ -118,6 +118,32 @@ class TestRecorder:
         assert outer.spans["a/s"][0] == 1
         assert len(outer.trace_events) == 1
 
+    def test_absorb_keeps_outer_gauge_and_copies_inner_only(self):
+        # Gauges are per-recorder observed levels, not sums or maxima
+        # across scopes: the outer recorder's own observation survives
+        # absorption even when the inner scope saw a larger value, and
+        # gauges only the inner scope observed come across verbatim.
+        outer = Recorder()
+        outer.gauge("fuzz/corpus", 3)
+        inner = Recorder()
+        inner.gauge("fuzz/corpus", 99)
+        inner.gauge("engine/frontier_peak", 7)
+        outer.absorb(inner)
+        assert outer.gauges == {"fuzz/corpus": 3, "engine/frontier_peak": 7}
+
+    def test_absorb_counts_inner_trace_events_dropped_when_trace_off(self):
+        outer = Recorder(trace=False)
+        inner = Recorder(trace=True)
+        with inner.span("a/s"):
+            pass
+        inner.dropped_trace_events = 2
+        assert len(inner.trace_events) == 1
+        outer.absorb(inner)
+        # The inner buffer cannot be kept (outer is not tracing); its
+        # events and its own drop count both surface in the drop total.
+        assert outer.trace_events == []
+        assert outer.dropped_trace_events == 3
+
     def test_trace_cap_counts_drops(self):
         recorder = Recorder(trace=True)
         recorder.trace_events = [{}] * MAX_TRACE_EVENTS
@@ -394,7 +420,49 @@ class TestWatch:
         line = render_watch_line(counts, rate=1.0)
         assert "5/8 done" in line and "eta 3s" in line
         assert "jobs/s" in render_watch_line(counts, rate=0.5)
-        assert "eta" not in render_watch_line(counts, rate=None)
+
+    def test_render_watch_line_unusable_rate_shows_placeholder(self):
+        # Zero completed jobs this session (rate None), stalled
+        # throughput (rate 0), a reclaim that shrank the done count
+        # (negative rate), or a degenerate measurement (inf/nan) must
+        # all render a placeholder — never divide, never go negative.
+        counts = {"pending": 2, "claimed": 1, "done": 0, "failed": 0}
+        for rate in (None, 0.0, -0.5, float("inf"), float("nan")):
+            line = render_watch_line(counts, rate=rate)
+            assert "eta --" in line, (rate, line)
+            assert "jobs/s" not in line
+            assert "-1" not in line and "eta -" not in line.replace("eta --", "")
+
+    def test_watch_rate_never_negative_when_done_count_shrinks(
+        self, tmp_path, monkeypatch
+    ):
+        # A concurrent `campaign reset` can return done jobs to pending
+        # mid-watch; the session delta then goes negative and must be
+        # treated as "no throughput", not a negative ETA.
+        path = tmp_path / "c.db"
+        with make_store(path):
+            pass
+        run_campaign(str(path), workers=0)
+        with CampaignStore.open(str(path)) as store:
+            done_before = store.counts()["done"]
+        assert done_before > 0
+        polls = {"n": 0}
+        real_open = CampaignStore.open
+
+        def open_then_reset(store_path):
+            polls["n"] += 1
+            if polls["n"] == 2:
+                with real_open(store_path) as store:
+                    store.reset(["done"])
+            return real_open(store_path)
+
+        monkeypatch.setattr(CampaignStore, "open", staticmethod(open_then_reset))
+        lines = []
+        watch_status(str(path), interval=0.0, emit=lines.append, max_polls=3)
+        assert lines
+        for line in lines:
+            assert "eta -" not in line.replace("eta --", "")
+            assert "eta --" in line or "jobs/s" in line
 
     def test_watch_returns_on_finished_store(self, tmp_path):
         path = tmp_path / "c.db"
