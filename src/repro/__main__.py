@@ -36,6 +36,11 @@ Usage::
     python -m repro mutate --backend fuzz --backend liveness --out kill.json
     python -m repro mutate --mutant agp-dropped-cas --md
 
+    python -m repro verify agp-opacity --cache readwrite   # memoized verify
+    python -m repro serve --port 8765 --workers 4          # HTTP service
+    python -m repro cache stats                            # verdict cache
+    python -m repro cache gc                               # evict stale code
+
 Exit codes: 0 all claims OK (verify/fuzz: every verdict as expected /
 oracle agreement), 1 a paper claim mismatched, a job failed, or a
 verdict surprised (including budget-exhausted), 2 usage error.
@@ -130,6 +135,14 @@ def cmd_campaign_init(arguments) -> int:
 
 
 def cmd_campaign_run(arguments) -> int:
+    if arguments.cache is not None:
+        # The worker pool forks, so the cache configuration travels by
+        # environment: every verify() a job issues sees the same mode
+        # and shares the one WAL store.
+        from repro.service import check_cache_mode, default_cache_path
+
+        os.environ["REPRO_VERIFY_CACHE"] = check_cache_mode(arguments.cache)
+        os.environ["REPRO_CACHE_DB"] = default_cache_path(arguments.cache_db)
     trace_dir = None
     stack = contextlib.ExitStack()
     with stack:
@@ -445,6 +458,10 @@ def cmd_verify(arguments) -> int:
     from repro.scenarios import get_scenario, verify
 
     overrides = _parse_params(arguments.set, option="--set")
+    if arguments.cache is not None:
+        from repro.service import check_cache_mode
+
+        check_cache_mode(arguments.cache)  # fail fast -> exit 2
     # Fail fast on unknown ids, before any scenario runs.
     scenarios = [get_scenario(s) for s in arguments.scenarios]
     observe = arguments.metrics_out is not None or arguments.trace_out is not None
@@ -476,12 +493,20 @@ def _verify_scenarios(arguments, scenarios, overrides, recorder) -> int:
         # Auto mode may mix backends across the listed scenarios; the
         # library-level facade drops the knobs the resolved backend
         # does not own (an explicit --backend stays strict).
-        verdict = verify(scenario, backend=arguments.backend, **overrides)
+        verdict = verify(
+            scenario,
+            backend=arguments.backend,
+            cache=arguments.cache,
+            cache_path=arguments.cache_db,
+            **overrides,
+        )
         documents.append(verdict.to_document())
         if verdict.metrics is not None:
             metric_documents.append(verdict.metrics)
         stats = verdict.stats
-        if verdict.budget_exhausted:
+        if verdict.cached:
+            evidence = f"cache hit {verdict.cache_key[:12]}"
+        elif verdict.budget_exhausted:
             evidence = "search budget exceeded"
         elif "runs_checked" in stats:
             evidence = f"{stats['runs_checked']} runs enumerated"
@@ -707,6 +732,16 @@ def _add_campaign_parser(subparsers) -> None:
         help="write a Chrome/Perfetto trace of the run (one lane per "
         "worker process; implies per-job metrics)",
     )
+    run.add_argument(
+        "--cache", default=None, choices=("off", "read", "readwrite"),
+        help="verdict cache mode for every verify the campaign issues "
+        "(threaded to fork workers via REPRO_VERIFY_CACHE)",
+    )
+    run.add_argument(
+        "--cache-db", default=None, metavar="FILE",
+        help="verdict cache path shared by the workers "
+        "(default: REPRO_CACHE_DB or verdicts.db)",
+    )
 
     status = campaign_sub.add_parser("status", help="job counts and failures")
     store_arg(status)
@@ -892,6 +927,16 @@ def _add_verify_parser(subparsers) -> None:
         "exhaustive/liveness search), ...",
     )
     verify.add_argument(
+        "--cache", default=None, choices=("off", "read", "readwrite"),
+        help="content-addressed verdict cache mode (default: the "
+        "REPRO_VERIFY_CACHE environment variable, else off); hits are "
+        "byte-identical to the cold verdict document",
+    )
+    verify.add_argument(
+        "--cache-db", default=None, metavar="FILE",
+        help="verdict cache path (default: REPRO_CACHE_DB or verdicts.db)",
+    )
+    verify.add_argument(
         "--out", default=None, metavar="FILE",
         help="write the verdict document(s) as JSON here",
     )
@@ -935,6 +980,86 @@ def _add_profile_parser(subparsers) -> None:
     )
 
 
+def cmd_serve(arguments) -> int:
+    from repro.service.server import serve
+
+    return serve(
+        host=arguments.host,
+        port=arguments.port,
+        cache_path=arguments.cache_db,
+        workers=arguments.workers,
+    )
+
+
+def _add_serve_parser(subparsers) -> None:
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the verification HTTP service (submit/poll verify "
+        "requests; cache hits answer inline)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8765, help="TCP port (default: 8765)"
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="process-pool workers for cold verdicts (default: 2)",
+    )
+    serve.add_argument(
+        "--cache-db", default=None, metavar="FILE",
+        help="verdict cache path (default: REPRO_CACHE_DB or verdicts.db)",
+    )
+
+
+def cmd_cache(arguments) -> int:
+    from repro.service import VerdictCache, default_cache_path
+
+    path = default_cache_path(arguments.cache_db)
+    if arguments.cache_command == "gc":
+        if not os.path.exists(path):
+            print(f"{path}: no cache, nothing to evict")
+            return 0
+        with VerdictCache.open(path) as cache:
+            evicted = cache.gc()
+            remaining = cache.stats()["verdicts"]
+        print(
+            f"{path}: evicted {evicted} stale verdict(s), "
+            f"{remaining} remaining"
+        )
+        return 0
+    # stats
+    if not os.path.exists(path):
+        print(f"{path}: no cache")
+        return 1
+    with VerdictCache.open(path) as cache:
+        print(json.dumps(cache.stats(), indent=2, sort_keys=True))
+    return 0
+
+
+def _add_cache_parser(subparsers) -> None:
+    cache = subparsers.add_parser(
+        "cache", help="inspect and maintain the content-addressed verdict cache"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+
+    def db_arg(parser) -> None:
+        parser.add_argument(
+            "--cache-db", default=None, metavar="FILE",
+            help="verdict cache path (default: REPRO_CACHE_DB or verdicts.db)",
+        )
+
+    gc = cache_sub.add_parser(
+        "gc", help="evict verdicts recorded under a different code version"
+    )
+    db_arg(gc)
+    stats = cache_sub.add_parser(
+        "stats", help="print cache statistics as JSON"
+    )
+    db_arg(stats)
+
+
 def main(argv: List[str] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -959,6 +1084,8 @@ def main(argv: List[str] = None) -> int:
     _add_campaign_parser(subparsers)
     _add_fuzz_parser(subparsers)
     _add_mutate_parser(subparsers)
+    _add_serve_parser(subparsers)
+    _add_cache_parser(subparsers)
     arguments = parser.parse_args(argv)
     try:
         if arguments.command == "list":
@@ -975,6 +1102,10 @@ def main(argv: List[str] = None) -> int:
             return cmd_fuzz(arguments)
         if arguments.command == "mutate":
             return cmd_mutate(arguments)
+        if arguments.command == "serve":
+            return cmd_serve(arguments)
+        if arguments.command == "cache":
+            return cmd_cache(arguments)
         return cmd_run(arguments.experiments, _parse_params(arguments.param))
     except UsageError as error:
         print(f"usage error: {error}", file=sys.stderr)

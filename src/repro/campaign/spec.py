@@ -17,7 +17,6 @@ overlapping jobs.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import re
 
@@ -27,6 +26,10 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from repro.analysis.experiments import EXPERIMENTS
 from repro.util.errors import UsageError, unknown_choice
+from repro.util.hashing import canonical_fingerprint, canonical_json  # noqa: F401
+# (canonical_json is re-exported: the store and report modules import it
+# from here, and the one true encoding lives in repro.util.hashing so
+# campaign job ids and service cache keys can never drift apart)
 from repro.util.params import coerce_scalar  # noqa: F401  (re-exported: the
 # shared key=value grammar lives in repro.util.params; campaign axis
 # values and CLI --param/--set overrides must coerce identically)
@@ -65,24 +68,22 @@ def parse_axis_values(raw: str) -> List[Any]:
     return [coerce_scalar(raw)]
 
 
-def canonical_json(document: Any) -> str:
-    """The canonical (sorted-keys, compact) JSON encoding used for
-    fingerprints and the export format."""
-    return json.dumps(document, sort_keys=True, separators=(",", ":"))
-
-
 def job_fingerprint(experiment_id: str, params: Mapping[str, Any]) -> str:
     """The content address of one job (the store's primary key).
 
     Contract: SHA-256 hex digest of
-    ``canonical_json({"experiment": id, "params": params})``.  Stable
-    across processes, Python versions, and parameter insertion order;
-    any change to this function invalidates existing stores.
+    ``canonical_json({"experiment": id, "params": params})``
+    (:func:`repro.util.hashing.canonical_fingerprint`).  Stable across
+    processes, Python versions, and parameter insertion order; any
+    change to the canonical encoding invalidates existing stores
+    (tests/test_hashing.py pins known fingerprints byte-identical).
+    Params are hashed *verbatim* — no value normalisation — because the
+    contract predates :func:`repro.util.hashing.normalized` and
+    existing stores must keep resolving.
     """
-    document = canonical_json(
+    return canonical_fingerprint(
         {"experiment": experiment_id, "params": dict(params)}
     )
-    return hashlib.sha256(document.encode("utf-8")).hexdigest()
 
 
 @dataclass(frozen=True)

@@ -59,6 +59,8 @@ library level alike.
 
 from __future__ import annotations
 
+import os
+
 from typing import Any, Dict, Optional, Tuple, Union
 
 from repro.engine.dpor import DporParityError, check_reduction
@@ -667,6 +669,8 @@ def _verify_liveness(scenario: Scenario, overrides: Dict[str, Any]) -> Verdict:
 def verify(
     scenario: Union[str, Scenario],
     backend: str = "exhaustive",
+    cache: Optional[str] = None,
+    cache_path: Optional[str] = None,
     **overrides: Any,
 ) -> Verdict:
     """Verify one scenario under one backend; see the module docstring.
@@ -678,6 +682,20 @@ def verify(
     exclusive to the backend it did *not* pick
     (:data:`FUZZ_ONLY_OVERRIDES` / :data:`EXHAUSTIVE_ONLY_OVERRIDES`)
     instead of erroring; an explicit backend stays strict.
+
+    ``cache`` selects the content-addressed verdict cache mode
+    (:mod:`repro.service`): ``"off"`` (the default — this code path is
+    byte-identical to the pre-cache facade), ``"read"`` (hits are
+    served from the cache, misses are computed but not stored), or
+    ``"readwrite"`` (misses are stored for the next caller).  ``None``
+    defers to the ``REPRO_VERIFY_CACHE`` environment variable (how the
+    campaign worker pool shares one mode), falling back to ``"off"``.
+    ``cache_path`` names the SQLite cache file (default:
+    ``REPRO_CACHE_DB`` or ``verdicts.db``).  A cache hit returns
+    :meth:`Verdict.from_document` of the stored document — serialized
+    byte-identically to the cold verdict — flagged with the in-memory
+    markers ``verdict.cached=True`` / ``verdict.cache_key``; a miss
+    under any mode also carries its ``cache_key``.
 
     When an obs recorder is active (``repro.obs.recording``), the call
     runs under a nested per-verify recorder and attaches its
@@ -708,12 +726,39 @@ def verify(
             return _verify_liveness(scenario, overrides)
         return _verify_fuzz(scenario, overrides)
 
-    parent = _obs_active()
-    if parent is None:
-        return dispatch()
-    with _obs_recording(
-        label=f"verify:{scenario.scenario_id}", trace=parent.trace
-    ) as recorder:
-        verdict = dispatch()
-    verdict.stats["metrics"] = metrics_document(recorder)
-    return verdict
+    def observed() -> Verdict:
+        parent = _obs_active()
+        if parent is None:
+            return dispatch()
+        with _obs_recording(
+            label=f"verify:{scenario.scenario_id}", trace=parent.trace
+        ) as recorder:
+            verdict = dispatch()
+        verdict.stats["metrics"] = metrics_document(recorder)
+        return verdict
+
+    if cache is None:
+        cache = os.environ.get("REPRO_VERIFY_CACHE", "").strip() or "off"
+    # Imported lazily and only on the cache path: the "off" path must
+    # stay byte-identical to (and as import-light as) the pre-cache
+    # facade.
+    if cache != "off":
+        from repro.service.cache import VerdictCache, check_cache_mode
+
+        mode = check_cache_mode(cache)
+        from repro.service.keys import cache_key as _cache_key
+
+        key = _cache_key(scenario, resolved, overrides)
+        with VerdictCache.open(cache_path) as store:
+            document = store.get(key)
+            if document is not None:
+                hit = Verdict.from_document(document)
+                hit.cached = True
+                hit.cache_key = key
+                return hit
+            verdict = observed()
+            if mode == "readwrite":
+                store.put(key, verdict.to_document())
+        verdict.cache_key = key
+        return verdict
+    return observed()

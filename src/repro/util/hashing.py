@@ -1,0 +1,69 @@
+"""Canonical JSON fingerprints, shared by every content address.
+
+One function pair produces every stable identity in this repository:
+campaign job ids (:func:`repro.campaign.spec.job_fingerprint`) and the
+service layer's verdict cache keys
+(:func:`repro.service.keys.cache_key`) both hash the *canonical JSON*
+of a payload — ``sort_keys=True``, compact ``(",", ":")`` separators,
+UTF-8 — through SHA-256.  Centralising the encoding here is what makes
+the two address spaces provably consistent: a regression test pins
+campaign fingerprints byte-identical across the refactor, so any change
+to this module that would silently reshuffle existing stores fails
+loudly instead.
+
+:func:`normalized` is the *value* canonicalisation used by cache keys
+(not by campaign job ids, whose contract predates it and must stay
+byte-stable): Python represents ``--set seed=1`` as ``int`` but
+``seed=1.0`` as ``float``, and ``json.dumps`` encodes those differently
+(``1`` vs ``1.0``) even though ``verify()`` treats them alike.
+Normalising integral floats to ints — recursively, bools exempt —
+makes permuted-equal and format-equal override sets hash to the same
+key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from typing import Any
+
+
+def canonical_json(document: Any) -> str:
+    """The canonical (sorted-keys, compact) JSON encoding used for
+    fingerprints and deterministic exports."""
+    return json.dumps(document, sort_keys=True, separators=(",", ":"))
+
+
+def canonical_fingerprint(document: Any) -> str:
+    """SHA-256 hex digest of :func:`canonical_json` of ``document``.
+
+    Contract: stable across processes, Python versions, and mapping
+    insertion order.  Any change to this function invalidates every
+    existing campaign store and verdict cache; bump their schema
+    versions if that is ever intended.
+    """
+    return hashlib.sha256(
+        canonical_json(document).encode("utf-8")
+    ).hexdigest()
+
+
+def normalized(value: Any) -> Any:
+    """Recursively canonicalise a JSON-safe payload's *values*.
+
+    Integral floats collapse to ints (``1.0`` → ``1`` — the same value
+    under every ``verify()`` override, but a different JSON byte
+    sequence), tuples become lists, mapping keys become strings.
+    Booleans are exempt from the float rule (``bool`` is an ``int``
+    subclass but ``True != 1`` as a cache-key intent).  Key *order*
+    needs no handling here — :func:`canonical_json` sorts keys.
+    """
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    if isinstance(value, (list, tuple)):
+        return [normalized(part) for part in value]
+    if isinstance(value, dict):
+        return {str(key): normalized(part) for key, part in value.items()}
+    return value

@@ -1,0 +1,148 @@
+"""Tests for the shared canonical-fingerprint helper.
+
+Two contracts live here: (1) the refactor of campaign job ids onto
+:mod:`repro.util.hashing` is byte-identical — pinned digests guard
+every existing campaign store; (2) verdict cache keys are stable
+under override-dict insertion order and numeric formatting (``1`` vs
+``1.0``), the instability the key layer exists to remove.
+"""
+
+import itertools
+import json
+
+import pytest
+
+from repro.campaign.spec import job_fingerprint
+from repro.scenarios import get_scenario
+from repro.service.keys import (
+    cache_key,
+    code_version,
+    normalize_overrides,
+    scenario_fingerprint,
+)
+from repro.util.hashing import canonical_fingerprint, canonical_json, normalized
+
+
+class TestCanonicalJson:
+    def test_sorted_compact(self):
+        assert canonical_json({"b": 1, "a": [1, 2]}) == '{"a":[1,2],"b":1}'
+
+    def test_round_trips(self):
+        document = {"x": [1, {"y": None}], "z": "s"}
+        assert json.loads(canonical_json(document)) == document
+
+    def test_fingerprint_is_sha256_hex(self):
+        digest = canonical_fingerprint({})
+        assert len(digest) == 64
+        assert set(digest) <= set("0123456789abcdef")
+
+    def test_fingerprint_insertion_order_invariant(self):
+        assert canonical_fingerprint({"a": 1, "b": 2}) == canonical_fingerprint(
+            {"b": 2, "a": 1}
+        )
+
+
+class TestCampaignFingerprintsPinned:
+    """Job ids hashed before the refactor must hash identically after
+    it — these digests were recorded against the pre-refactor
+    implementation and existing stores depend on them."""
+
+    PINNED = [
+        (
+            "fig1a",
+            {"n": 2, "seed": 0},
+            "d234b78d664d32a196822b0e50764056e7b3f638b7a79259c332e7cdc8c02e43",
+        ),
+        (
+            "verify",
+            {"scenario": "agp-opacity", "backend": "exhaustive"},
+            "24315c616ea9c878399a61849ad1c4fea82579b4830e36b1f19f5b16b2df1401",
+        ),
+        (
+            "thm44",
+            {},
+            "146a5b48be2aef66b7e052ffbfc13d4919af4709b2714edd10ea93191cfae9a8",
+        ),
+    ]
+
+    @pytest.mark.parametrize("experiment, params, digest", PINNED)
+    def test_pinned(self, experiment, params, digest):
+        assert job_fingerprint(experiment, params) == digest
+
+    def test_params_hashed_verbatim(self):
+        # Campaign ids predate value normalization and must NOT adopt
+        # it: 1 and 1.0 are distinct job ids (byte-stability of
+        # existing stores outweighs the cosmetic unification).
+        assert job_fingerprint("fig1a", {"n": 1}) != job_fingerprint(
+            "fig1a", {"n": 1.0}
+        )
+
+
+class TestNormalized:
+    def test_integral_float_collapses(self):
+        assert normalized(1.0) == 1
+        assert isinstance(normalized(1.0), int)
+
+    def test_non_integral_float_kept(self):
+        assert normalized(0.25) == 0.25
+
+    def test_bool_exempt(self):
+        # bool is an int subclass, but True is not the cache intent 1.
+        assert normalized(True) is True
+        assert normalized(False) is False
+
+    def test_tuples_become_lists(self):
+        assert normalized((1, (2.0, 3))) == [1, [2, 3]]
+
+    def test_dict_keys_stringified_recursively(self):
+        assert normalized({1: {2: 3.0}}) == {"1": {"2": 3}}
+
+    def test_plain_values_untouched(self):
+        for value in ("s", None, 7, [1, "x"]):
+            assert normalized(value) == value
+
+
+class TestCacheKeyStability:
+    def test_insertion_order_invariant(self):
+        scenario = get_scenario("agp-opacity")
+        overrides = {"seed": 3, "iterations": 50, "max_depth": 9}
+        keys = {
+            cache_key(scenario, "fuzz", dict(permutation))
+            for permutation in itertools.permutations(overrides.items())
+        }
+        assert len(keys) == 1
+
+    def test_float_formatting_invariant(self):
+        scenario = get_scenario("agp-opacity")
+        assert cache_key(scenario, "fuzz", {"seed": 1}) == cache_key(
+            scenario, "fuzz", {"seed": 1.0}
+        )
+
+    def test_distinct_values_distinct_keys(self):
+        scenario = get_scenario("agp-opacity")
+        assert cache_key(scenario, "fuzz", {"seed": 1}) != cache_key(
+            scenario, "fuzz", {"seed": 2}
+        )
+        assert cache_key(scenario, "fuzz", {}) != cache_key(
+            scenario, "exhaustive", {}
+        )
+
+    def test_scenario_content_addressed(self):
+        assert scenario_fingerprint(
+            get_scenario("agp-opacity")
+        ) != scenario_fingerprint(get_scenario("agp-opacity-3p"))
+
+    def test_normalize_overrides(self):
+        assert normalize_overrides({"a": 2.0, "b": (1,)}) == {
+            "a": 2,
+            "b": [1],
+        }
+
+    def test_epoch_changes_code_version_and_key(self, monkeypatch):
+        scenario = get_scenario("agp-opacity")
+        monkeypatch.delenv("REPRO_CACHE_EPOCH", raising=False)
+        base_code = code_version()
+        base_key = cache_key(scenario, "exhaustive", {})
+        monkeypatch.setenv("REPRO_CACHE_EPOCH", "2")
+        assert code_version() == f"{base_code}+epoch:2"
+        assert cache_key(scenario, "exhaustive", {}) != base_key
