@@ -41,6 +41,11 @@ Usage::
     python -m repro cache stats                            # verdict cache
     python -m repro cache gc                               # evict stale code
 
+    python -m repro lint                              # project static analysis
+    python -m repro lint --list-rules                 # the rule table
+    python -m repro lint --select FP001,OB001 --format md
+    python -m repro lint --footprints                 # static vs dynamic FP001
+
 Exit codes: 0 all claims OK (verify/fuzz: every verdict as expected /
 oracle agreement), 1 a paper claim mismatched, a job failed, or a
 verdict surprised (including budget-exhausted), 2 usage error.
@@ -1060,6 +1065,89 @@ def _add_cache_parser(subparsers) -> None:
     db_arg(stats)
 
 
+def cmd_lint(arguments) -> int:
+    from repro.lint import (
+        crosscheck_catalog,
+        footprint_parity,
+        lint_paths,
+        rules_table_markdown,
+    )
+    from repro.util.hashing import canonical_json
+
+    if arguments.list_rules:
+        print(rules_table_markdown())
+        return 0
+    select = (
+        [part for part in arguments.select.split(",")]
+        if arguments.select
+        else None
+    )
+    report = lint_paths(arguments.paths or None, select=select)
+    if arguments.format == "json":
+        document = report.to_document()
+    elif arguments.format == "md":
+        print(report.render_markdown())
+        document = None
+    else:
+        print(report.render_text())
+        document = None
+    exit_code = 0 if report.clean else 1
+    if arguments.footprints:
+        parity = footprint_parity()
+        catalog = crosscheck_catalog(parity.static_map)
+        issues = parity.problems + parity.mismatches + catalog
+        if document is not None:
+            document["footprints"] = {
+                "static": parity.static_map,
+                "dynamic": parity.dynamic_map,
+                "issues": issues,
+            }
+        else:
+            state = "byte-match" if not issues else "MISMATCH"
+            print(
+                f"footprints: static vs dynamic {state} for "
+                f"{len(parity.static_map)} base object classes, "
+                f"catalog walk {'clean' if not catalog else 'diverged'}"
+            )
+            for issue in issues:
+                print(f"footprint issue: {issue}")
+        if issues:
+            exit_code = max(exit_code, 1)
+    if document is not None:
+        print(canonical_json(document))
+    return exit_code
+
+
+def _add_lint_parser(subparsers) -> None:
+    lint = subparsers.add_parser(
+        "lint",
+        help="project-specific static analysis (footprint soundness, "
+        "determinism, obs discipline, error conventions)",
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "md", "json"), default="text",
+        help="report format (default: text)",
+    )
+    lint.add_argument(
+        "--select", default=None, metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule table and exit",
+    )
+    lint.add_argument(
+        "--footprints", action="store_true",
+        help="also cross-check the static FP001 footprint map against "
+        "footprints recorded by a live runtime (and a seeded walk over "
+        "the exhaustible scenario slice)",
+    )
+
+
 def main(argv: List[str] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -1086,6 +1174,7 @@ def main(argv: List[str] = None) -> int:
     _add_mutate_parser(subparsers)
     _add_serve_parser(subparsers)
     _add_cache_parser(subparsers)
+    _add_lint_parser(subparsers)
     arguments = parser.parse_args(argv)
     try:
         if arguments.command == "list":
@@ -1106,6 +1195,8 @@ def main(argv: List[str] = None) -> int:
             return cmd_serve(arguments)
         if arguments.command == "cache":
             return cmd_cache(arguments)
+        if arguments.command == "lint":
+            return cmd_lint(arguments)
         return cmd_run(arguments.experiments, _parse_params(arguments.param))
     except UsageError as error:
         print(f"usage error: {error}", file=sys.stderr)

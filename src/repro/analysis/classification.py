@@ -62,6 +62,7 @@ class ClassifiedGrid:
     def point(self, l: int, k: int) -> GridPoint:
         point = self.maybe_point(l, k)
         if point is None:
+            # repro-lint: disable=ER001 -- mapping-protocol accessor, not a registry lookup; KeyError mirrors dict semantics and maybe_point() is the lenient path
             raise KeyError(f"no point ({l},{k})")
         return point
 

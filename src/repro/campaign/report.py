@@ -89,6 +89,7 @@ def _json_value(value: Any) -> bool:
         return True
     if isinstance(value, (list, dict)):
         try:
+            # repro-lint: disable=DT003 -- serializability probe, output discarded; sort_keys=True would reject mixed-type keys the real encoder accepts
             json.dumps(value)
         except (TypeError, ValueError):
             return False

@@ -28,7 +28,7 @@ from typing import (
 )
 
 from repro.core.events import Crash, Event, Invocation, Response
-from repro.util.errors import SpecificationError
+from repro.util.errors import SpecificationError, unknown_choice
 
 
 class ProgressMode(enum.Enum):
@@ -191,7 +191,10 @@ class ObjectType:
         for sig in self.operations:
             if sig.name == operation:
                 return sig
-        raise KeyError(f"unknown operation {operation!r} on type {self.name!r}")
+        raise unknown_choice(
+            f"operation on type {self.name!r}", operation,
+            self.operation_names(),
+        )
 
     # -- finite alphabets (used by repro.setmodel and the explorers) --------
 

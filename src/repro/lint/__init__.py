@@ -1,0 +1,46 @@
+"""repro-lint: project-specific static analysis.
+
+Generic linters cannot see this repository's invariants — that
+``BaseObject.footprint()`` must cover what ``apply()`` touches (DPOR
+soundness), that fingerprinted paths stay deterministic, that recorder
+uses sit behind the disabled fast-path guard, that registry lookups
+fail through ``unknown_choice``.  This package encodes them as AST
+rules with stable ids, surfaced as ``python -m repro lint``.
+
+See ``docs/architecture.md`` (Static analysis layer) for the rule
+table and the suppression policy.
+"""
+
+from repro.lint.diagnostics import Diagnostic, Suppressed, parse_suppressions
+from repro.lint.engine import (
+    RULES,
+    LintReport,
+    lint_file,
+    lint_paths,
+    rules_table_markdown,
+    validate_select,
+)
+from repro.lint.dynamic import (
+    FootprintParity,
+    crosscheck_catalog,
+    dynamic_footprint_map,
+    footprint_parity,
+)
+from repro.lint.footprint import static_footprint_map
+
+__all__ = [
+    "Diagnostic",
+    "Suppressed",
+    "parse_suppressions",
+    "RULES",
+    "LintReport",
+    "lint_file",
+    "lint_paths",
+    "rules_table_markdown",
+    "validate_select",
+    "FootprintParity",
+    "crosscheck_catalog",
+    "dynamic_footprint_map",
+    "footprint_parity",
+    "static_footprint_map",
+]

@@ -1,0 +1,669 @@
+"""FP001: static footprint soundness for base objects.
+
+The partial-order reduction (:mod:`repro.engine.dpor`) commutes steps
+whose declared footprints do not conflict.  The declaration lives in
+:meth:`repro.base_objects.base.BaseObject.footprint`; the truth lives in
+``apply``.  A primitive that *mutates* state while its footprint can
+declare mode ``"read"``, or that touches cells outside the declared
+key, makes DPOR prune reachable interleavings — wrong verdicts under
+``reduction=dpor``, with nothing crashing.
+
+This module walks the AST of every ``BaseObject`` subclass:
+
+* ``methods()`` is read as a literal tuple — the method universe;
+* ``footprint()`` is *symbolically evaluated* once per method name
+  (branches on ``method == "..."`` resolve concretely; unresolvable
+  tests fork and union), yielding the set of ``(mode, key)`` pairs the
+  declaration can return, where a key is ``whole``, ``arg:i`` (derived
+  from ``args[i]``, possibly through ``freeze``/checker wrappers), or
+  unresolvable;
+* each ``apply`` branch is scanned for ``self.<attr>`` reads and writes
+  (attribute stores, augmented assigns, subscript stores, mutating
+  method calls, keyed ``[...]``/``.get`` reads), with one level of
+  ``self._helper(...)`` inlining.
+
+FP001 fires when a branch writes state but the declaration can say
+``read``, when an access is not covered by a declared ``arg:i`` cell,
+or when the declaration is not statically analyzable at all (keeping
+footprints simple is part of the contract).
+
+:func:`static_footprint_map` exports the per-class per-method
+``{"mode", "cell"}`` map; :mod:`repro.lint.dynamic` byte-compares it
+(canonical JSON) against footprints recorded by a live
+:class:`~repro.sim.runtime.Runtime`.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.diagnostics import Diagnostic
+
+#: Attribute-call names treated as mutations of the receiver.
+MUTATORS = {
+    "append", "add", "clear", "pop", "popitem", "update", "extend",
+    "insert", "remove", "discard", "setdefault", "sort", "reverse",
+}
+
+#: Key kinds: ``"whole"``, ``"arg:<i>"``, ``"other"`` (unresolvable).
+WHOLE = "whole"
+OTHER = "other"
+
+
+@dataclass(frozen=True)
+class Access:
+    """One ``self.<attr>`` touch inside an ``apply`` branch."""
+
+    attr: str
+    kind: str  # "read" | "write"
+    key: str  # WHOLE | "arg:i" | OTHER
+    line: int
+    col: int
+
+
+@dataclass
+class ClassAnalysis:
+    """Everything FP001 derives about one BaseObject subclass."""
+
+    name: str
+    line: int
+    col: int
+    methods: Tuple[str, ...]
+    #: method -> possible (mode, key) pairs; mode may be "?" when the
+    #: declaration could not be evaluated.
+    footprints: Dict[str, Set[Tuple[str, str]]]
+    #: method -> accesses inside its apply branch (plus shared preamble).
+    accesses: Dict[str, List[Access]]
+    #: attributes some apply branch writes (the concurrency-visible state).
+    mutable_attrs: Set[str]
+    has_footprint_override: bool
+
+    def footprint_row(self, method: str) -> Dict[str, str]:
+        """The exported ``{"mode", "cell"}`` row for one method."""
+        pairs = self.footprints.get(method, {("write", WHOLE)})
+        modes = sorted({mode for mode, _ in pairs})
+        keyed = any(key.startswith("arg:") for _, key in pairs)
+        return {"mode": "|".join(modes), "cell": "keyed" if keyed else WHOLE}
+
+
+# ---------------------------------------------------------------------------
+# symbolic evaluation of footprint()
+# ---------------------------------------------------------------------------
+
+#: Abstract values: ("str", s) | ("none",) | ("key", kind) | ("args",)
+#: | ("other",)
+_Abstract = Tuple
+
+
+def _eval_key(values: Set[_Abstract]) -> Set[str]:
+    keys: Set[str] = set()
+    for value in values:
+        if value[0] == "none":
+            keys.add(WHOLE)
+        elif value[0] == "key":
+            keys.add(value[1])
+        else:
+            keys.add(OTHER)
+    return keys
+
+
+def _arg_key(node: ast.expr) -> Optional[str]:
+    """``args[i]`` (possibly wrapped in a single-argument call such as
+    ``freeze(...)`` or ``self._check_index(...)``) -> ``"arg:i"``."""
+    while isinstance(node, ast.Call) and len(node.args) == 1:
+        node = node.args[0]
+    if (
+        isinstance(node, ast.Subscript)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "args"
+        and isinstance(node.slice, ast.Constant)
+        and isinstance(node.slice.value, int)
+    ):
+        return f"arg:{node.slice.value}"
+    return None
+
+
+class _FootprintEval:
+    """Evaluate one footprint() body with ``method`` fixed."""
+
+    def __init__(self, method: str):
+        self.method = method
+        self.env: Dict[str, Set[_Abstract]] = {}
+        self.returns: Set[Tuple[str, str]] = set()
+        self.unresolved = False
+
+    def eval_expr(self, node: ast.expr) -> Set[_Abstract]:
+        if isinstance(node, ast.Constant):
+            if node.value is None:
+                return {("none",)}
+            if isinstance(node.value, str):
+                return {("str", node.value)}
+            return {("other",)}
+        if isinstance(node, ast.Name):
+            if node.id == "method":
+                return {("str", self.method)}
+            if node.id == "args":
+                return {("args",)}
+            if node.id in self.env:
+                return self.env[node.id]
+            return {("other",)}
+        arg = _arg_key(node)
+        if arg is not None:
+            return {("key", arg)}
+        if isinstance(node, ast.IfExp):
+            truth = self.eval_test(node.test)
+            out: Set[_Abstract] = set()
+            if True in truth:
+                out |= self.eval_expr(node.body)
+            if False in truth:
+                out |= self.eval_expr(node.orelse)
+            return out
+        return {("other",)}
+
+    def eval_test(self, node: ast.expr) -> Set[bool]:
+        if isinstance(node, ast.Compare) and len(node.ops) == 1:
+            left = self.eval_expr(node.left)
+            right = self.eval_expr(node.comparators[0])
+            op = node.ops[0]
+            if isinstance(op, (ast.Eq, ast.NotEq)):
+                if len(left) == 1 and len(right) == 1:
+                    (lv,), (rv,) = left, right
+                    if lv[0] == "str" and rv[0] == "str":
+                        equal = lv[1] == rv[1]
+                        return {equal if isinstance(op, ast.Eq) else not equal}
+            if isinstance(op, (ast.In, ast.NotIn)):
+                container = node.comparators[0]
+                if (
+                    len(left) == 1
+                    and next(iter(left))[0] == "str"
+                    and isinstance(container, (ast.Tuple, ast.List, ast.Set))
+                    and all(
+                        isinstance(e, ast.Constant) for e in container.elts
+                    )
+                ):
+                    member = next(iter(left))[1] in {
+                        e.value for e in container.elts  # type: ignore[union-attr]
+                    }
+                    return {member if isinstance(op, ast.In) else not member}
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.Not):
+            return {not value for value in self.eval_test(node.operand)}
+        return {True, False}
+
+    def exec_stmts(self, stmts: Sequence[ast.stmt]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, ast.Assign):
+                if len(stmt.targets) == 1 and isinstance(
+                    stmt.targets[0], ast.Name
+                ):
+                    self.env[stmt.targets[0].id] = self.eval_expr(stmt.value)
+                continue
+            if isinstance(stmt, ast.Return):
+                self._record_return(stmt)
+                return
+            if isinstance(stmt, ast.If):
+                truth = self.eval_test(stmt.test)
+                if truth == {True}:
+                    self.exec_stmts(stmt.body)
+                    if self._block_returns(stmt.body):
+                        return
+                elif truth == {False}:
+                    self.exec_stmts(stmt.orelse)
+                else:
+                    self.exec_stmts(stmt.body)
+                    self.exec_stmts(stmt.orelse)
+                    if self._block_returns(stmt.body) and self._block_returns(
+                        stmt.orelse
+                    ):
+                        return
+                continue
+            if isinstance(stmt, (ast.Raise, ast.Pass, ast.Expr)):
+                continue
+            self.unresolved = True
+
+    def _block_returns(self, stmts: Sequence[ast.stmt]) -> bool:
+        return bool(stmts) and isinstance(stmts[-1], (ast.Return, ast.Raise))
+
+    def _record_return(self, stmt: ast.Return) -> None:
+        value = stmt.value
+        if not isinstance(value, ast.Tuple) or len(value.elts) != 2:
+            self.unresolved = True
+            return
+        modes = self.eval_expr(value.elts[0])
+        keys = _eval_key(self.eval_expr(value.elts[1]))
+        for mode_value in modes:
+            mode = mode_value[1] if mode_value[0] == "str" else "?"
+            if mode not in ("read", "write"):
+                mode = "?"
+            for key in keys:
+                self.returns.add((mode, key))
+
+
+def _possible_footprints(
+    funcdef: ast.FunctionDef, method: str
+) -> Tuple[Set[Tuple[str, str]], bool]:
+    """All ``(mode, key)`` pairs footprint() can return for ``method``."""
+    evaluator = _FootprintEval(method)
+    evaluator.exec_stmts(funcdef.body)
+    if not evaluator.returns:
+        evaluator.unresolved = True
+    return evaluator.returns, evaluator.unresolved
+
+
+# ---------------------------------------------------------------------------
+# apply() access collection
+# ---------------------------------------------------------------------------
+
+
+class _AccessCollector:
+    """Collect ``self.<attr>`` reads/writes from one statement list."""
+
+    def __init__(self, helpers: Dict[str, ast.FunctionDef], depth: int = 0):
+        self.helpers = helpers
+        self.depth = depth
+        self.accesses: List[Access] = []
+        self.env: Dict[str, str] = {}  # local name -> "arg:i"
+
+    def _key(self, node: ast.expr) -> str:
+        arg = _arg_key(node)
+        if arg is not None:
+            return arg
+        if isinstance(node, ast.Name) and node.id in self.env:
+            return self.env[node.id]
+        return OTHER
+
+    def _self_attr(self, node: ast.expr) -> Optional[str]:
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return node.attr
+        return None
+
+    def record(self, attr: str, kind: str, key: str, node: ast.AST) -> None:
+        self.accesses.append(
+            Access(attr, kind, key, node.lineno, node.col_offset)
+        )
+
+    def collect(self, stmts: Sequence[ast.stmt]) -> List[Access]:
+        for stmt in stmts:
+            self.visit(stmt)
+        return self.accesses
+
+    def visit_target(self, node: ast.expr) -> None:
+        attr = self._self_attr(node)
+        if attr is not None:
+            self.record(attr, "write", WHOLE, node)
+            return
+        if isinstance(node, ast.Subscript):
+            base = self._self_attr(node.value)
+            if base is not None:
+                self.record(base, "write", self._key(node.slice), node)
+                self.visit(node.slice)
+                return
+        if isinstance(node, (ast.Tuple, ast.List)):
+            for element in node.elts:
+                self.visit_target(element)
+            return
+        if isinstance(node, ast.Starred):
+            self.visit_target(node.value)
+            return
+        # Name / other targets: plain locals, nothing shared touched.
+
+    def _track_assign(self, stmt: ast.Assign) -> None:
+        # ``expected, new = args`` and ``key = args[0]`` style bindings,
+        # so later subscripts through the local still resolve to arg:i.
+        if len(stmt.targets) != 1:
+            return
+        target = stmt.targets[0]
+        if isinstance(target, ast.Name):
+            key = self._key(stmt.value)
+            if key != OTHER:
+                self.env[target.id] = key
+        if (
+            isinstance(target, (ast.Tuple, ast.List))
+            and isinstance(stmt.value, ast.Name)
+            and stmt.value.id == "args"
+        ):
+            for index, element in enumerate(target.elts):
+                if isinstance(element, ast.Name):
+                    self.env[element.id] = f"arg:{index}"
+
+    def visit(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Assign):
+            self._track_assign(node)
+            for target in node.targets:
+                self.visit_target(target)
+            self.visit(node.value)
+            return
+        if isinstance(node, ast.AugAssign):
+            self.visit_target(node.target)
+            self.visit(node.value)
+            return
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            base_attr = self._self_attr(node.func.value)
+            if base_attr is not None:
+                if node.func.attr in MUTATORS:
+                    self.record(base_attr, "write", WHOLE, node)
+                elif node.func.attr == "get" and node.args:
+                    self.record(
+                        base_attr, "read", self._key(node.args[0]), node
+                    )
+                else:
+                    self.record(base_attr, "read", WHOLE, node)
+                for arg in node.args:
+                    self.visit(arg)
+                for keyword in node.keywords:
+                    self.visit(keyword.value)
+                return
+            if (
+                isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "self"
+                and node.func.attr in self.helpers
+                and self.depth < 2
+            ):
+                helper = _AccessCollector(self.helpers, self.depth + 1)
+                self.accesses.extend(
+                    helper.collect(self.helpers[node.func.attr].body)
+                )
+                for arg in node.args:
+                    self.visit(arg)
+                return
+        if isinstance(node, ast.Subscript) and isinstance(
+            node.ctx, ast.Load
+        ):
+            base = self._self_attr(node.value)
+            if base is not None:
+                self.record(base, "read", self._key(node.slice), node)
+                self.visit(node.slice)
+                return
+        attr = self._self_attr(node) if isinstance(node, ast.Attribute) else None
+        if attr is not None and isinstance(node.ctx, ast.Load):
+            self.record(attr, "read", WHOLE, node)
+            return
+        for child in ast.iter_child_nodes(node):
+            self.visit(child)
+
+
+def _apply_branches(
+    funcdef: ast.FunctionDef,
+) -> Tuple[Dict[str, List[ast.stmt]], List[ast.stmt]]:
+    """Split apply() into per-method branches plus shared statements."""
+    branches: Dict[str, List[ast.stmt]] = {}
+    common: List[ast.stmt] = []
+
+    def method_of(test: ast.expr) -> Optional[str]:
+        if (
+            isinstance(test, ast.Compare)
+            and len(test.ops) == 1
+            and isinstance(test.ops[0], ast.Eq)
+            and isinstance(test.left, ast.Name)
+            and test.left.id == "method"
+            and isinstance(test.comparators[0], ast.Constant)
+            and isinstance(test.comparators[0].value, str)
+        ):
+            return test.comparators[0].value
+        return None
+
+    def walk(stmts: Sequence[ast.stmt]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, ast.If):
+                method = method_of(stmt.test)
+                if method is not None:
+                    branches.setdefault(method, []).extend(stmt.body)
+                    walk(stmt.orelse)
+                    continue
+            if isinstance(stmt, ast.Return) or isinstance(stmt, ast.Raise):
+                continue
+            common.append(stmt)
+
+    walk(funcdef.body)
+    return branches, common
+
+
+# ---------------------------------------------------------------------------
+# class discovery and the rule
+# ---------------------------------------------------------------------------
+
+
+def _base_object_classes(tree: ast.Module) -> List[ast.ClassDef]:
+    """Classes whose base chain reaches ``BaseObject``."""
+    classes = {
+        node.name: node
+        for node in ast.walk(tree)
+        if isinstance(node, ast.ClassDef)
+    }
+    known: Set[str] = {"BaseObject"}
+    changed = True
+    while changed:
+        changed = False
+        for name, node in classes.items():
+            if name in known:
+                continue
+            for base in node.bases:
+                base_name = (
+                    base.id
+                    if isinstance(base, ast.Name)
+                    else base.attr
+                    if isinstance(base, ast.Attribute)
+                    else None
+                )
+                if base_name in known:
+                    known.add(name)
+                    changed = True
+                    break
+    return [
+        classes[name]
+        for name in classes
+        if name in known and name != "BaseObject"
+    ]
+
+
+def _literal_methods(classdef: ast.ClassDef) -> Tuple[str, ...]:
+    for node in classdef.body:
+        if isinstance(node, ast.FunctionDef) and node.name == "methods":
+            for stmt in ast.walk(node):
+                if isinstance(stmt, ast.Return) and isinstance(
+                    stmt.value, (ast.Tuple, ast.List)
+                ):
+                    names = []
+                    for element in stmt.value.elts:
+                        if isinstance(element, ast.Constant) and isinstance(
+                            element.value, str
+                        ):
+                            names.append(element.value)
+                    return tuple(names)
+    return ()
+
+
+def _local_base_chain(
+    classdef: ast.ClassDef, module_classes: Dict[str, ast.ClassDef]
+) -> List[ast.ClassDef]:
+    """``classdef`` followed by its same-module ancestors, nearest first."""
+    chain = [classdef]
+    seen = {classdef.name}
+    frontier = [classdef]
+    while frontier:
+        current = frontier.pop(0)
+        for base in current.bases:
+            base_name = base.id if isinstance(base, ast.Name) else None
+            parent = module_classes.get(base_name) if base_name else None
+            if parent is not None and parent.name not in seen:
+                seen.add(parent.name)
+                chain.append(parent)
+                frontier.append(parent)
+    return chain
+
+
+def analyze_class(
+    classdef: ast.ClassDef,
+    module_classes: Optional[Dict[str, ast.ClassDef]] = None,
+) -> ClassAnalysis:
+    """Derive the full FP001 view of one BaseObject subclass.
+
+    ``module_classes`` (name -> classdef for the whole module) lets the
+    analysis resolve same-module inheritance: a subclass overriding only
+    ``footprint()`` is analyzed against its parent's ``methods()`` and
+    ``apply()``.  Cross-module inheritance is not resolved — base
+    objects subclass :class:`~repro.base_objects.base.BaseObject`
+    directly, and missing definitions fall back to the conservative
+    defaults.
+    """
+    chain = _local_base_chain(classdef, module_classes or {})
+    functions: Dict[str, ast.FunctionDef] = {}
+    for ancestor in reversed(chain):  # nearest override wins
+        for node in ancestor.body:
+            if isinstance(node, ast.FunctionDef):
+                functions[node.name] = node
+    methods: Tuple[str, ...] = ()
+    for ancestor in chain:
+        methods = _literal_methods(ancestor)
+        if methods:
+            break
+    footprint_def = functions.get("footprint")
+    apply_def = functions.get("apply")
+
+    branches: Dict[str, List[ast.stmt]] = {}
+    common: List[ast.stmt] = []
+    if apply_def is not None:
+        branches, common = _apply_branches(apply_def)
+
+    universe = tuple(dict.fromkeys(list(methods) + sorted(branches)))
+
+    footprints: Dict[str, Set[Tuple[str, str]]] = {}
+    for method in universe:
+        if footprint_def is None:
+            footprints[method] = {("write", WHOLE)}
+        else:
+            returns, unresolved = _possible_footprints(footprint_def, method)
+            if unresolved:
+                returns = set(returns) | {("?", OTHER)}
+            footprints[method] = returns
+
+    helpers = {
+        name: fn for name, fn in functions.items() if name not in ("apply",)
+    }
+    accesses: Dict[str, List[Access]] = {}
+    common_accesses = _AccessCollector(helpers).collect(common)
+    for method in universe:
+        collector = _AccessCollector(helpers)
+        accesses[method] = common_accesses + collector.collect(
+            branches.get(method, [])
+        )
+
+    mutable: Set[str] = {
+        access.attr
+        for method_accesses in accesses.values()
+        for access in method_accesses
+        if access.kind == "write"
+    }
+    return ClassAnalysis(
+        name=classdef.name,
+        line=classdef.lineno,
+        col=classdef.col_offset,
+        methods=universe,
+        footprints=footprints,
+        accesses=accesses,
+        mutable_attrs=mutable,
+        has_footprint_override=footprint_def is not None,
+    )
+
+
+def check_footprints(
+    tree: ast.Module, relpath: str, external: bool = False
+) -> List[Diagnostic]:
+    """Run FP001 over one module."""
+    diagnostics: List[Diagnostic] = []
+    module_classes = {
+        node.name: node
+        for node in ast.walk(tree)
+        if isinstance(node, ast.ClassDef)
+    }
+    for classdef in _base_object_classes(tree):
+        analysis = analyze_class(classdef, module_classes)
+        for method in analysis.methods:
+            pairs = analysis.footprints[method]
+            relevant = [
+                access
+                for access in analysis.accesses[method]
+                if access.kind == "write"
+                or access.attr in analysis.mutable_attrs
+            ]
+            writes = [a for a in relevant if a.kind == "write"]
+            for mode, key in sorted(pairs):
+                if mode == "?":
+                    diagnostics.append(
+                        Diagnostic(
+                            "FP001", relpath, analysis.line, analysis.col,
+                            f"{analysis.name}.footprint() is not statically "
+                            f"analyzable for method {method!r}; keep "
+                            "footprint declarations symbolically simple",
+                        )
+                    )
+                    continue
+                if writes and mode == "read":
+                    worst = writes[0]
+                    diagnostics.append(
+                        Diagnostic(
+                            "FP001", relpath, worst.line, worst.col,
+                            f"{analysis.name}.apply() branch for "
+                            f"{method!r} writes self.{worst.attr} but "
+                            "footprint() can declare mode 'read' — DPOR "
+                            "would commute a mutation (unsound reduction)",
+                        )
+                    )
+                if key == OTHER:
+                    diagnostics.append(
+                        Diagnostic(
+                            "FP001", relpath, analysis.line, analysis.col,
+                            f"{analysis.name}.footprint() key for "
+                            f"{method!r} is not statically resolvable "
+                            "(expected None or args[i])",
+                        )
+                    )
+                    continue
+                if key.startswith("arg:"):
+                    for access in relevant:
+                        if access.key != key:
+                            diagnostics.append(
+                                Diagnostic(
+                                    "FP001", relpath, access.line, access.col,
+                                    f"{analysis.name}.apply() branch for "
+                                    f"{method!r} touches self.{access.attr} "
+                                    f"({access.kind}, "
+                                    f"{'whole attribute' if access.key == WHOLE else access.key}) "
+                                    f"outside the declared cell {key} — "
+                                    "footprint under-approximates the "
+                                    "touched set",
+                                )
+                            )
+    return diagnostics
+
+
+def static_footprint_map(
+    sources: Dict[str, str]
+) -> Dict[str, Dict[str, Dict[str, str]]]:
+    """The per-class per-method ``{"mode", "cell"}`` map from source text.
+
+    ``sources`` maps a label (path) to Python source; classes across all
+    sources are merged (duplicate class names keep the last parse, which
+    never happens in the package itself).
+    """
+    result: Dict[str, Dict[str, Dict[str, str]]] = {}
+    for label, source in sources.items():
+        tree = ast.parse(source, filename=label)
+        module_classes = {
+            node.name: node
+            for node in ast.walk(tree)
+            if isinstance(node, ast.ClassDef)
+        }
+        for classdef in _base_object_classes(tree):
+            analysis = analyze_class(classdef, module_classes)
+            result[analysis.name] = {
+                method: analysis.footprint_row(method)
+                for method in analysis.methods
+            }
+    return result

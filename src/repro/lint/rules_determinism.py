@@ -1,0 +1,170 @@
+"""Determinism rules (DT00x).
+
+Every stable identity in this repository — campaign job fingerprints,
+verdict cache keys, deterministic JSON exports, seeded fuzz schedules —
+depends on the hashed path being a pure function of its inputs.  These
+rules flag the classic ways that silently stops being true:
+
+* **DT001** — wall-clock reads (``time.time``, ``datetime.now``, ...)
+  inside the deterministic scope (hashing, engine, fuzz, export, and
+  service-key modules).
+* **DT002** — ambient randomness (``os.urandom``, ``uuid.uuid4``,
+  ``secrets``, the module-level ``random`` functions, and unseeded
+  ``random.Random()``) inside the same scope.
+* **DT003** — ``json.dumps``/``json.dump`` without ``sort_keys=True``
+  anywhere outside :mod:`repro.util.hashing` (the one module allowed to
+  define the canonical encoding).  Mapping order must never leak into
+  an artifact.
+* **DT004** — iterating a ``set``/``frozenset`` expression without
+  ``sorted(...)`` inside the deterministic scope.  Set order depends on
+  the interpreter's hash seed; dict iteration is insertion-ordered and
+  therefore exempt.
+
+``time.perf_counter`` is deliberately *not* flagged: relative timing
+feeds throughput stats, which are never hashed.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from typing import List, Optional
+
+from repro.lint.astutil import call_keyword, dotted_name, import_aliases
+from repro.lint.diagnostics import Diagnostic
+
+#: Package-relative path prefixes forming the deterministic scope of
+#: DT001/DT002/DT004.  Files outside the package (test fixtures) are
+#: treated as in scope so the rules stay testable.
+DETERMINISTIC_SCOPE = (
+    "util/hashing.py",
+    "service/keys.py",
+    "engine/",
+    "fuzz/",
+    "sim/",
+    "campaign/spec.py",
+    "campaign/report.py",
+    "scenarios/families.py",
+)
+
+#: Wall-clock reads (DT001).
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "time.localtime",
+    "time.gmtime",
+    "time.ctime",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+#: Ambient randomness (DT002): module-level ``random`` functions use the
+#: shared unseeded global Mersenne Twister.
+_AMBIENT_RANDOM = {
+    "os.urandom",
+    "uuid.uuid4",
+    "uuid.uuid1",
+    "secrets.token_bytes",
+    "secrets.token_hex",
+    "secrets.token_urlsafe",
+    "secrets.randbelow",
+    "secrets.choice",
+    "random.random",
+    "random.randint",
+    "random.randrange",
+    "random.choice",
+    "random.choices",
+    "random.shuffle",
+    "random.sample",
+    "random.getrandbits",
+    "random.uniform",
+    "random.seed",
+}
+
+
+def in_scope(relpath: str, external: bool) -> bool:
+    """Whether the file falls inside the deterministic scope."""
+    if external:
+        return True
+    return any(relpath.startswith(prefix) for prefix in DETERMINISTIC_SCOPE)
+
+
+def _is_set_expression(node: ast.expr, aliases) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        return dotted_name(node.func, aliases) in ("set", "frozenset")
+    return False
+
+
+def check_determinism(
+    tree: ast.Module, relpath: str, external: bool = False
+) -> List[Diagnostic]:
+    """Run DT001/DT002/DT003/DT004 over one module."""
+    diagnostics: List[Diagnostic] = []
+    aliases = import_aliases(tree)
+    scoped = in_scope(relpath, external)
+    hashing_module = relpath == "util/hashing.py"
+
+    def flag(rule: str, node: ast.AST, message: str) -> None:
+        diagnostics.append(
+            Diagnostic(rule, relpath, node.lineno, node.col_offset, message)
+        )
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func, aliases)
+            if name is None:
+                continue
+            if scoped and name in _WALL_CLOCK:
+                flag(
+                    "DT001", node,
+                    f"wall-clock read {name}() in a deterministic module; "
+                    "thread timestamps in from the caller instead",
+                )
+            elif scoped and name in _AMBIENT_RANDOM:
+                flag(
+                    "DT002", node,
+                    f"ambient randomness {name}() in a deterministic "
+                    "module; use a seeded rng (repro.util.rng)",
+                )
+            elif scoped and name == "random.Random" and not (
+                node.args or node.keywords
+            ):
+                flag(
+                    "DT002", node,
+                    "unseeded random.Random() in a deterministic module; "
+                    "pass an explicit seed",
+                )
+            elif name in ("json.dumps", "json.dump") and not hashing_module:
+                sort_keys = call_keyword(node, "sort_keys")
+                sorted_on = (
+                    isinstance(sort_keys, ast.Constant)
+                    and sort_keys.value is True
+                )
+                if not sorted_on:
+                    flag(
+                        "DT003", node,
+                        f"{name} without sort_keys=True; mapping order "
+                        "leaks into the output (use "
+                        "repro.util.hashing.canonical_json for "
+                        "fingerprinted payloads)",
+                    )
+        if not scoped:
+            continue
+        iterables: List[Optional[ast.expr]] = []
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iterables.append(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            iterables.extend(gen.iter for gen in node.generators)
+        for iterable in iterables:
+            if iterable is not None and _is_set_expression(iterable, aliases):
+                flag(
+                    "DT004", iterable,
+                    "iteration over a set expression; set order depends "
+                    "on the hash seed — wrap it in sorted(...)",
+                )
+    return diagnostics

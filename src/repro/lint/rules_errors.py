@@ -1,0 +1,49 @@
+"""Error-convention rule (ER001).
+
+Every registry in this repository (scenarios, experiments, mutants,
+families, campaign axes) fails unknown-key lookups through
+:func:`repro.util.errors.unknown_choice`: a :class:`UsageError` with a
+did-you-mean hint, mapped to exit code 2 by the CLI.  A ``raise
+KeyError(...)`` instead bypasses that contract — callers catching
+``ReproError`` miss it, the CLI turns it into a traceback instead of a
+usage message, and the suggestion machinery never runs.
+
+ER001 flags every explicit ``raise KeyError(...)`` in library code.
+Lookups that *re-raise* a dict's own ``KeyError`` through
+``unknown_choice`` (the standard idiom) are naturally not flagged —
+only explicit constructions are.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from typing import List
+
+from repro.lint.diagnostics import Diagnostic
+
+
+def check_errors(
+    tree: ast.Module, relpath: str, external: bool = False
+) -> List[Diagnostic]:
+    """Run ER001 over one module."""
+    diagnostics: List[Diagnostic] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Raise) or node.exc is None:
+            continue
+        exc = node.exc
+        name = None
+        if isinstance(exc, ast.Call) and isinstance(exc.func, ast.Name):
+            name = exc.func.id
+        elif isinstance(exc, ast.Name):
+            name = exc.id
+        if name == "KeyError":
+            diagnostics.append(
+                Diagnostic(
+                    "ER001", relpath, node.lineno, node.col_offset,
+                    "raise KeyError in library code; lookups should fail "
+                    "through repro.util.errors.unknown_choice (UsageError "
+                    "with a did-you-mean hint, CLI exit code 2)",
+                )
+            )
+    return diagnostics

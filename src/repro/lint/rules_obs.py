@@ -1,0 +1,227 @@
+"""Obs discipline rule (OB001).
+
+The instrumentation contract (:mod:`repro.obs.recorder`) is that
+disabled metrics cost one pointer comparison per site: hot loops fetch
+``active()`` once into a local and guard every use with an
+``is not None`` check.  An *unguarded* attribute use of the fetched
+recorder either crashes when metrics are off (``None.count``) or — the
+sneaky version — only appears on the instrumented path and skews the
+measured/unmeasured parity the obs benchmarks gate.
+
+OB001 flags, per function:
+
+* chained calls straight off the getter (``active().count(...)``);
+* any attribute access on a local bound from ``active()`` /
+  ``_obs_active()`` that is not dominated by a ``None`` guard.
+
+Recognized guards (the shapes the codebase actually uses):
+
+* ``if rec is not None: rec.count(...)`` (use in the body);
+* ``if rec is None: ... else: rec.count(...)`` (use in the orelse);
+* ``if rec is None: return`` followed by uses (early exit);
+* ``rec.count(...) if rec is not None else ...`` (conditional
+  expressions, either arm matching the test's polarity);
+* ``rec is not None and rec.count(...)`` (short-circuit).
+
+Passing the local to another function (``f(rec)``) is not flagged —
+the callee owns the check.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from typing import Dict, List, Optional, Set
+
+from repro.lint.astutil import dotted_name, import_aliases, parent_map
+from repro.lint.diagnostics import Diagnostic
+
+#: Dotted origins of the active-recorder getter.
+_GETTERS = {
+    "repro.obs.recorder.active",
+    "repro.obs.active",
+}
+
+_TERMINATORS = (ast.Return, ast.Raise, ast.Continue, ast.Break)
+
+
+def _is_getter_call(node: ast.expr, aliases: Dict[str, str]) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and dotted_name(node.func, aliases) in _GETTERS
+    )
+
+
+def _contains_getter_call(node: ast.expr, aliases: Dict[str, str]) -> bool:
+    return any(
+        _is_getter_call(child, aliases)
+        for child in ast.walk(node)
+        if isinstance(child, ast.Call)
+    )
+
+
+def _nonnull_when_true(test: ast.expr, name: str) -> bool:
+    """Whether the test being true implies ``name is not None``."""
+    if isinstance(test, ast.Name) and test.id == name:
+        return True
+    if (
+        isinstance(test, ast.Compare)
+        and len(test.ops) == 1
+        and isinstance(test.ops[0], ast.IsNot)
+        and isinstance(test.left, ast.Name)
+        and test.left.id == name
+        and isinstance(test.comparators[0], ast.Constant)
+        and test.comparators[0].value is None
+    ):
+        return True
+    if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+        return _nonnull_when_false(test.operand, name)
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+        return any(_nonnull_when_true(value, name) for value in test.values)
+    return False
+
+
+def _nonnull_when_false(test: ast.expr, name: str) -> bool:
+    """Whether the test being false implies ``name is not None``."""
+    if (
+        isinstance(test, ast.Compare)
+        and len(test.ops) == 1
+        and isinstance(test.ops[0], ast.Is)
+        and isinstance(test.left, ast.Name)
+        and test.left.id == name
+        and isinstance(test.comparators[0], ast.Constant)
+        and test.comparators[0].value is None
+    ):
+        return True
+    if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+        return _nonnull_when_true(test.operand, name)
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.Or):
+        return any(_nonnull_when_false(value, name) for value in test.values)
+    return False
+
+
+def _in_subtree(node: ast.AST, roots, parents) -> bool:
+    seen: Set[int] = {id(root) for root in roots}
+    current: Optional[ast.AST] = node
+    while current is not None:
+        if id(current) in seen:
+            return True
+        current = parents.get(current)
+    return False
+
+
+def _terminates(body: List[ast.stmt]) -> bool:
+    return bool(body) and isinstance(body[-1], _TERMINATORS)
+
+
+def _guarded(usage: ast.Name, func: ast.AST, parents) -> bool:
+    name = usage.id
+    node: ast.AST = usage
+    while node is not func:
+        parent = parents.get(node)
+        if parent is None:
+            break
+        if isinstance(parent, (ast.If, ast.IfExp)):
+            body = parent.body if isinstance(parent.body, list) else [parent.body]
+            orelse = (
+                parent.orelse
+                if isinstance(parent.orelse, list)
+                else [parent.orelse]
+            )
+            if _in_subtree(node, body, parents) and node is not parent.test:
+                if _nonnull_when_true(parent.test, name):
+                    return True
+            if _in_subtree(node, orelse, parents):
+                if _nonnull_when_false(parent.test, name):
+                    return True
+        if isinstance(parent, ast.While):
+            if (
+                _in_subtree(node, parent.body, parents)
+                and node is not parent.test
+                and _nonnull_when_true(parent.test, name)
+            ):
+                return True
+        if isinstance(parent, ast.BoolOp):
+            for index, value in enumerate(parent.values):
+                if _in_subtree(node, [value], parents):
+                    earlier = parent.values[:index]
+                    if isinstance(parent.op, ast.And) and any(
+                        _nonnull_when_true(v, name) for v in earlier
+                    ):
+                        return True
+                    if isinstance(parent.op, ast.Or) and any(
+                        _nonnull_when_false(v, name) for v in earlier
+                    ):
+                        return True
+                    break
+        # Early-exit guards: a preceding sibling ``if name is None:
+        # return`` in any statement block on the ancestor path.
+        for field_name in ("body", "orelse", "finalbody"):
+            block = getattr(parent, field_name, None)
+            if not isinstance(block, list) or node not in block:
+                continue
+            for sibling in block[: block.index(node)]:
+                if (
+                    isinstance(sibling, ast.If)
+                    and not sibling.orelse
+                    and _terminates(sibling.body)
+                    and _nonnull_when_false(sibling.test, name)
+                ):
+                    return True
+        node = parent
+    return False
+
+
+def check_obs(
+    tree: ast.Module, relpath: str, external: bool = False
+) -> List[Diagnostic]:
+    """Run OB001 over one module."""
+    diagnostics: List[Diagnostic] = []
+    aliases = import_aliases(tree)
+    if not any(value in _GETTERS for value in aliases.values()):
+        # The module never imports the getter; nothing to check.
+        return diagnostics
+    parents = parent_map(tree)
+
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        tracked: Set[str] = set()
+        for inner in ast.walk(node):
+            if isinstance(inner, ast.Assign) and _contains_getter_call(
+                inner.value, aliases
+            ):
+                for target in inner.targets:
+                    if isinstance(target, ast.Name):
+                        tracked.add(target.id)
+            if (
+                isinstance(inner, ast.Attribute)
+                and _is_getter_call(inner.value, aliases)
+            ):
+                diagnostics.append(
+                    Diagnostic(
+                        "OB001", relpath, inner.lineno, inner.col_offset,
+                        "chained call on active(); bind the recorder to a "
+                        "local and guard it with `is not None` (the "
+                        "disabled fast path)",
+                    )
+                )
+        if not tracked:
+            continue
+        for inner in ast.walk(node):
+            if (
+                isinstance(inner, ast.Attribute)
+                and isinstance(inner.value, ast.Name)
+                and inner.value.id in tracked
+                and isinstance(inner.value.ctx, ast.Load)
+            ):
+                if not _guarded(inner.value, node, parents):
+                    diagnostics.append(
+                        Diagnostic(
+                            "OB001", relpath, inner.lineno, inner.col_offset,
+                            f"recorder use {inner.value.id}.{inner.attr} "
+                            "not dominated by an `is not None` guard "
+                            "(obs disabled fast-path discipline)",
+                        )
+                    )
+    return diagnostics

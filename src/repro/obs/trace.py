@@ -58,7 +58,10 @@ def write_trace(
 ) -> None:
     """Write a Perfetto-loadable trace JSON file."""
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(chrome_trace_document(events, process_names), handle)
+        json.dump(
+            chrome_trace_document(events, process_names), handle,
+            sort_keys=True,
+        )
         handle.write("\n")
 
 
@@ -73,7 +76,8 @@ def write_trace_fragment(
     """One worker's share of a campaign trace (raw events + lane label)."""
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(
-            {"worker": worker, "pid": pid, "events": events}, handle
+            {"worker": worker, "pid": pid, "events": events}, handle,
+            sort_keys=True,
         )
         handle.write("\n")
 

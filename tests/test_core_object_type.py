@@ -11,7 +11,7 @@ from repro.core.object_type import (
 )
 from repro.objects.consensus import ConsensusSpec, consensus_object_type
 from repro.objects.register_obj import RegisterSpec, register_object_type
-from repro.util.errors import SpecificationError
+from repro.util.errors import SpecificationError, UsageError
 
 
 class TestOperationSignature:
@@ -39,7 +39,7 @@ class TestObjectType:
     def test_signature_lookup(self):
         object_type = register_object_type()
         assert object_type.signature("read").name == "read"
-        with pytest.raises(KeyError):
+        with pytest.raises(UsageError, match="unknown operation"):
             object_type.signature("nope")
 
     def test_responses_to(self):
